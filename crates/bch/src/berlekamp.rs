@@ -1,0 +1,125 @@
+//! Berlekamp–Massey synthesis of the error-locator polynomial.
+
+use gf::{Field, Poly};
+
+/// Run the Berlekamp–Massey algorithm over GF(2^m).
+///
+/// Given the syndrome sequence `s = [S_1, S_2, …, S_{2t}]`, returns the
+/// minimal connection polynomial `Λ(x) = 1 + Λ_1 x + … + Λ_L x^L` such that
+///
+/// ```text
+///   S_j = Σ_{i=1}^{L} Λ_i · S_{j−i}      for j = L+1 … 2t
+/// ```
+///
+/// When the syndromes are the power sums of a difference set `D` with
+/// `|D| ≤ t`, the returned polynomial is the error-locator polynomial
+/// `Λ(x) = Π_{X∈D} (1 − X·x)` whose roots are the inverses of the elements
+/// of `D`. Complexity is `O(t²)` field multiplications, the cost the paper
+/// attributes to ECC-based decoding.
+pub fn berlekamp_massey(syndromes: &[u64], field: &Field) -> Poly {
+    let n = syndromes.len();
+    // C(x): current connection polynomial, B(x): last copy before the length change.
+    let mut c = vec![0u64; n + 1];
+    let mut b = vec![0u64; n + 1];
+    c[0] = 1;
+    b[0] = 1;
+    let mut l: usize = 0; // current LFSR length
+    let mut m: usize = 1; // steps since last length change
+    let mut b_disc: u64 = 1; // discrepancy at the last length change
+
+    for i in 0..n {
+        // Compute the discrepancy d = S_i + Σ_{j=1..L} C_j S_{i-j}.
+        let mut d = syndromes[i];
+        for j in 1..=l {
+            if c[j] != 0 && syndromes[i - j] != 0 {
+                d ^= field.mul(c[j], syndromes[i - j]);
+            }
+        }
+        if d == 0 {
+            m += 1;
+        } else if 2 * l <= i {
+            // Length change: C(x) <- C(x) - (d/b) x^m B(x), L <- i + 1 - L.
+            let t_prev = c.clone();
+            let coef = field.div(d, b_disc);
+            for j in 0..=(n - m) {
+                if b[j] != 0 {
+                    c[j + m] ^= field.mul(coef, b[j]);
+                }
+            }
+            l = i + 1 - l;
+            b = t_prev;
+            b_disc = d;
+            m = 1;
+        } else {
+            // No length change: C(x) <- C(x) - (d/b) x^m B(x).
+            let coef = field.div(d, b_disc);
+            for j in 0..=(n - m) {
+                if b[j] != 0 {
+                    c[j + m] ^= field.mul(coef, b[j]);
+                }
+            }
+            m += 1;
+        }
+    }
+
+    c.truncate(l + 1);
+    Poly::from_coeffs(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build the syndromes S_1..S_2t of a difference set and check BM
+    /// recovers the locator polynomial with the set's inverses as roots.
+    fn check_roundtrip(m: u32, t: usize, elements: &[u64]) {
+        let f = Field::new(m);
+        let mut s = vec![0u64; 2 * t];
+        for &e in elements {
+            let mut p = e;
+            for slot in s.iter_mut() {
+                *slot ^= p;
+                p = f.mul(p, e);
+            }
+        }
+        let lambda = berlekamp_massey(&s, &f);
+        assert_eq!(lambda.degree(), Some(elements.len()), "locator degree");
+        // Each element's inverse must be a root.
+        for &e in elements {
+            assert_eq!(lambda.eval(f.inv(e), &f), 0, "inverse of {e} is not a root");
+        }
+        // Λ(0) must be 1.
+        assert_eq!(lambda.coeff(0), 1);
+    }
+
+    #[test]
+    fn locator_for_small_sets() {
+        check_roundtrip(8, 5, &[3]);
+        check_roundtrip(8, 5, &[3, 77]);
+        check_roundtrip(8, 5, &[3, 77, 200, 13, 255]);
+        check_roundtrip(11, 8, &[1, 2, 4, 8, 16, 32, 64, 128]);
+        check_roundtrip(32, 6, &[0xDEADBEEF, 0xCAFEBABE, 0x1234, 7, 0xFFFFFFF1]);
+    }
+
+    #[test]
+    fn zero_syndromes_give_constant_one() {
+        let f = Field::new(8);
+        let lambda = berlekamp_massey(&[0, 0, 0, 0, 0, 0], &f);
+        assert_eq!(lambda, Poly::one());
+    }
+
+    #[test]
+    fn arbitrary_syndromes_stay_within_bounds() {
+        // Random syndromes (not from a real difference set): BM must not
+        // panic and the connection polynomial length is bounded by the
+        // syndrome count. (Over-capacity detection happens at decode time.)
+        let f = Field::new(10);
+        let t = 7;
+        let s: Vec<u64> = (0..2 * t as u64)
+            .map(|i| (i.wrapping_mul(0x9E3779B97F4A7C15) >> 20) % f.order())
+            .collect();
+        let lambda = berlekamp_massey(&s, &f);
+        assert!(lambda.degree_or_zero() <= 2 * t);
+        assert_eq!(lambda.coeff(0), 1);
+    }
+}

@@ -1,0 +1,268 @@
+//! Root finding for error-locator polynomials over GF(2^m).
+//!
+//! Two strategies, chosen by field size:
+//!
+//! * **Chien search** (exhaustive evaluation at every nonzero field element)
+//!   for small fields. PBS works over GF(2^m) with `n = 2^m − 1 ≤ 2047`
+//!   (§5.1), so a full scan costs at most a few thousand polynomial
+//!   evaluations per group — this is the O(1)-per-group decoding cost the
+//!   paper relies on.
+//! * **Berlekamp trace algorithm** for large fields (PinSketch works over
+//!   GF(2^32)). The polynomial is recursively split with
+//!   `gcd(f, Tr(βx) mod f)` for successively chosen β; every fully-splitting
+//!   square-free polynomial over GF(2^m) is separated into linear factors in
+//!   an expected `O(m · deg² · log deg)` field operations.
+
+use gf::{Field, Poly};
+
+/// Fields with at most this many elements use the exhaustive Chien search.
+const CHIEN_LIMIT: u64 = 1 << 16;
+
+/// Error returned when a polynomial does not split into distinct roots over
+/// the field — for a locator polynomial this signals an undecodable sketch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RootFindError;
+
+impl std::fmt::Display for RootFindError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "polynomial does not split into distinct roots over GF(2^m)")
+    }
+}
+
+impl std::error::Error for RootFindError {}
+
+/// Find all roots of `poly` in GF(2^m), requiring that `poly` splits into
+/// `deg(poly)` *distinct* roots (which is exactly the property a valid
+/// error-locator polynomial has). Returns an error otherwise.
+pub fn find_roots(poly: &Poly, field: &Field) -> Result<Vec<u64>, RootFindError> {
+    let degree = match poly.degree() {
+        None => return Err(RootFindError), // zero polynomial
+        Some(0) => return Ok(Vec::new()),
+        Some(d) => d,
+    };
+    // A locator polynomial never has 0 as a root (its constant term is 1),
+    // but be defensive: a zero constant term means x | poly, i.e. root 0,
+    // which is outside the set of valid positions.
+    if poly.coeff(0) == 0 {
+        return Err(RootFindError);
+    }
+
+    if field.order() <= CHIEN_LIMIT || degree as u64 * 4 >= field.order() {
+        let roots = chien_search(poly, field);
+        if roots.len() == degree {
+            Ok(roots)
+        } else {
+            Err(RootFindError)
+        }
+    } else {
+        trace_split(poly, field)
+    }
+}
+
+/// Exhaustive root search: evaluate at every nonzero field element.
+fn chien_search(poly: &Poly, field: &Field) -> Vec<u64> {
+    let mut roots = Vec::new();
+    for x in field.nonzero_elements() {
+        if poly.eval(x, field) == 0 {
+            roots.push(x);
+            if roots.len() == poly.degree_or_zero() {
+                break;
+            }
+        }
+    }
+    roots
+}
+
+/// Berlekamp trace algorithm for large fields.
+fn trace_split(poly: &Poly, field: &Field) -> Result<Vec<u64>, RootFindError> {
+    let monic = poly.clone().into_monic(field);
+    let degree = monic.degree().unwrap();
+
+    // Check that the polynomial splits completely with distinct roots:
+    // poly | x^(2^m) − x  ⇔  x^(2^m) ≡ x (mod poly).
+    let x = Poly::x();
+    let mut frob = x.rem(&monic, field);
+    for _ in 0..field.m() {
+        frob = frob.square_mod(&monic, field);
+    }
+    if frob != x.rem(&monic, field) {
+        return Err(RootFindError);
+    }
+
+    let mut roots = Vec::with_capacity(degree);
+    // Deterministic pseudo-random β sequence (splitmix64) so decoding is
+    // reproducible; the specific constants only affect how quickly the
+    // recursion splits, never correctness.
+    let mut beta_state: u64 = 0x243F_6A88_85A3_08D3;
+    let mut next_beta = move || {
+        beta_state = beta_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = beta_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+
+    let mut stack = vec![monic];
+    while let Some(current) = stack.pop() {
+        let deg = current.degree().unwrap_or(0);
+        match deg {
+            0 => {}
+            1 => {
+                // monic linear factor x + c: root is c.
+                roots.push(current.coeff(0));
+            }
+            _ => {
+                // Try trace-based splits until the factor breaks apart.
+                let mut split = None;
+                for _ in 0..64 {
+                    let beta = {
+                        let mut b = next_beta() % field.order();
+                        if b == 0 {
+                            b = 1;
+                        }
+                        b
+                    };
+                    // T(x) = Σ_{i=0}^{m-1} (βx)^(2^i) mod current
+                    let bx = Poly::from_coeffs(vec![0, beta]).rem(&current, field);
+                    let mut term = bx.clone();
+                    let mut acc = bx;
+                    for _ in 1..field.m() {
+                        term = term.square_mod(&current, field);
+                        acc = acc.add(&term, field);
+                    }
+                    if acc.is_zero() {
+                        continue;
+                    }
+                    let g = current.gcd(&acc, field);
+                    let gd = g.degree_or_zero();
+                    if gd > 0 && gd < deg {
+                        let (q, r) = current.div_rem(&g, field);
+                        debug_assert!(r.is_zero(), "gcd must divide the polynomial");
+                        split = Some((g, q));
+                        break;
+                    }
+                }
+                match split {
+                    Some((g, q)) => {
+                        stack.push(g);
+                        stack.push(q);
+                    }
+                    // Statistically unreachable for a fully-splitting
+                    // polynomial; report failure rather than looping forever.
+                    None => return Err(RootFindError),
+                }
+            }
+        }
+    }
+
+    if roots.len() == degree {
+        Ok(roots)
+    } else {
+        Err(RootFindError)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn poly_with_roots(roots: &[u64], f: &Field) -> Poly {
+        let mut p = Poly::one();
+        for &r in roots {
+            p = p.mul(&Poly::from_coeffs(vec![r, 1]), f);
+        }
+        p
+    }
+
+    #[test]
+    fn chien_finds_all_roots_in_small_field() {
+        let f = Field::new(8);
+        let roots = [1u64, 42, 200, 255];
+        let p = poly_with_roots(&roots, &f);
+        let mut found = find_roots(&p, &f).unwrap();
+        found.sort_unstable();
+        let mut expect = roots.to_vec();
+        expect.sort_unstable();
+        assert_eq!(found, expect);
+    }
+
+    #[test]
+    fn trace_algorithm_finds_roots_in_gf32() {
+        let f = Field::new(32);
+        let roots = [0xDEADBEEFu64, 0x1234_5678, 3, 0xFFFF_FFFE, 0x0BAD_F00D, 0x8000_0000];
+        let p = poly_with_roots(&roots, &f);
+        let mut found = find_roots(&p, &f).unwrap();
+        found.sort_unstable();
+        let mut expect = roots.to_vec();
+        expect.sort_unstable();
+        assert_eq!(found, expect);
+    }
+
+    #[test]
+    fn trace_algorithm_handles_many_roots() {
+        let f = Field::new(24);
+        let roots: Vec<u64> = (1..=40u64).map(|i| i * 0x1_2345 % f.order()).collect();
+        let p = poly_with_roots(&roots, &f);
+        let mut found = find_roots(&p, &f).unwrap();
+        found.sort_unstable();
+        let mut expect = roots.clone();
+        expect.sort_unstable();
+        expect.dedup();
+        assert_eq!(found, expect);
+    }
+
+    /// An element of trace 1: the quadratic x² + x + c is then irreducible.
+    /// Scanning the basis monomials 1, x, x², … always terminates within m
+    /// steps because the trace map is nonzero.
+    fn trace_one_element(f: &Field) -> u64 {
+        (0..f.m())
+            .map(|i| 1u64 << i)
+            .find(|&c| f.trace(c) == 1)
+            .expect("the trace map is not identically zero")
+    }
+
+    #[test]
+    fn non_splitting_polynomial_is_rejected_large_field() {
+        let f = Field::new(32);
+        let c = trace_one_element(&f);
+        let p = Poly::from_coeffs(vec![c, 1, 1]); // irreducible quadratic
+        assert!(find_roots(&p, &f).is_err());
+    }
+
+    #[test]
+    fn non_splitting_polynomial_is_rejected_small_field() {
+        let f = Field::new(8);
+        let c = trace_one_element(&f);
+        let p = Poly::from_coeffs(vec![c, 1, 1]); // irreducible quadratic
+        assert!(find_roots(&p, &f).is_err());
+    }
+
+    #[test]
+    fn repeated_roots_are_rejected() {
+        let f = Field::new(8);
+        let p = poly_with_roots(&[7, 7, 9], &f);
+        assert!(find_roots(&p, &f).is_err());
+    }
+
+    #[test]
+    fn repeated_roots_are_rejected_large_field() {
+        let f = Field::new(32);
+        let p = poly_with_roots(&[0xABCDu64, 0xABCD, 99], &f);
+        assert!(find_roots(&p, &f).is_err());
+    }
+
+    #[test]
+    fn constant_polynomial_has_no_roots() {
+        let f = Field::new(8);
+        assert_eq!(find_roots(&Poly::constant(5), &f).unwrap(), Vec::<u64>::new());
+        assert!(find_roots(&Poly::zero(), &f).is_err());
+    }
+
+    #[test]
+    fn zero_constant_term_rejected() {
+        let f = Field::new(8);
+        // x * (x + 3): has root 0, which is not a valid locator root.
+        let p = Poly::from_coeffs(vec![0, 3, 1]);
+        assert!(find_roots(&p, &f).is_err());
+    }
+}

@@ -1,0 +1,49 @@
+//! Criterion benchmarks comparing PBS against the three baselines on a fixed
+//! reduced-scale workload (the micro-benchmark counterpart of Figures 1–3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddigest::DifferenceDigest;
+use graphene::Graphene;
+use pbs_core::Pbs;
+use pinsketch::{PinSketch, PinSketchWp};
+use protocol::{Reconciler, Workload};
+use std::hint::black_box;
+
+fn bench_schemes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reconcile_20k_set");
+    group.sample_size(10);
+
+    let pbs = Pbs::paper_default();
+    let pinsketch = PinSketch::default();
+    let pinsketch_wp = PinSketchWp::default();
+    let ddigest = DifferenceDigest::default();
+    let graphene = Graphene::default();
+
+    for &d in &[10usize, 100, 500] {
+        let workload = Workload {
+            set_size: 20_000,
+            d,
+            universe_bits: 32,
+            subset_mode: true,
+        };
+        let pair = workload.generate(2026);
+        let schemes: Vec<&dyn Reconciler> =
+            vec![&pbs, &pinsketch, &pinsketch_wp, &ddigest, &graphene];
+        for scheme in schemes {
+            group.bench_with_input(
+                BenchmarkId::new(scheme.name().replace('/', "_"), d),
+                &d,
+                |b, _| {
+                    b.iter(|| {
+                        let out = scheme.reconcile(&pair.a, &pair.b, 99);
+                        black_box(out.comm.total_bytes())
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schemes);
+criterion_main!(benches);

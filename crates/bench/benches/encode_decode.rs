@@ -1,0 +1,86 @@
+//! Criterion benchmarks of PBS encoding and decoding (the Figure 1c/1d
+//! metrics at micro-benchmark scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pbs_core::{AliceSession, BobSession, Pbs, PbsConfig};
+use protocol::Workload;
+use std::hint::black_box;
+
+fn bench_pbs_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pbs_end_to_end");
+    group.sample_size(10);
+    for &d in &[10usize, 100, 1_000] {
+        let workload = Workload {
+            set_size: 20_000,
+            d,
+            universe_bits: 32,
+            subset_mode: true,
+        };
+        let pair = workload.generate(42);
+        let pbs = Pbs::paper_default();
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            b.iter(|| {
+                let report = pbs.reconcile_with_known_d(&pair.a, &pair.b, d.max(1), 7);
+                black_box(report.outcome.recovered.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_pbs_encode_only(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pbs_encode_round1");
+    group.sample_size(10);
+    for &d in &[100usize, 1_000] {
+        let workload = Workload {
+            set_size: 20_000,
+            d,
+            universe_bits: 32,
+            subset_mode: true,
+        };
+        let pair = workload.generate(11);
+        let cfg = PbsConfig::paper_default();
+        let params = Pbs::new(cfg).plan(d);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| {
+                let mut alice = AliceSession::new(cfg, params, &pair.a, 3);
+                black_box(alice.start_round().len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_pbs_decode_only(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pbs_decode_round1");
+    group.sample_size(10);
+    for &d in &[100usize, 1_000] {
+        let workload = Workload {
+            set_size: 20_000,
+            d,
+            universe_bits: 32,
+            subset_mode: true,
+        };
+        let pair = workload.generate(13);
+        let cfg = PbsConfig::paper_default();
+        let params = Pbs::new(cfg).plan(d);
+        let mut alice = AliceSession::new(cfg, params, &pair.a, 5);
+        let sketches = alice.start_round();
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| {
+                let mut bob = BobSession::new(cfg, params, &pair.b, 5);
+                let reports = bob.handle_sketches(&sketches);
+                black_box(reports.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pbs_end_to_end,
+    bench_pbs_encode_only,
+    bench_pbs_decode_only
+);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Criterion micro-benchmarks of the substrate: GF(2^m) arithmetic and the
+//! BCH syndrome-sketch encode/decode pipeline. These quantify the O(t²)
+//! decoding cost the paper's complexity analysis is built on.
+
+use bch::BchCodec;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gf::{Field, Poly};
+use std::hint::black_box;
+
+fn bench_field_mul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gf_mul");
+    for &m in &[7u32, 11, 32] {
+        let f = Field::new(m);
+        let pairs: Vec<(u64, u64)> = (0..1024u64)
+            .map(|i| {
+                let a = (i.wrapping_mul(0x9E3779B97F4A7C15) >> 8) % f.order();
+                let b = (i.wrapping_mul(0xC2B2AE3D27D4EB4F) >> 8) % f.order();
+                (a.max(1), b.max(1))
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("mul_1k", m), &m, |bench, _| {
+            bench.iter(|| {
+                let mut acc = 0u64;
+                for &(a, b) in &pairs {
+                    acc ^= f.mul(a, b);
+                }
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_sketch_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bch_sketch_encode");
+    group.sample_size(10);
+    // PBS-style small field (m=7, t=13) vs PinSketch-style large field (m=32).
+    for &(m, t, elems) in &[(7u32, 13usize, 5_000usize), (32, 138, 5_000)] {
+        let codec = BchCodec::new(m, t);
+        let field_order = 1u64 << m;
+        let elements: Vec<u64> = (1..=elems as u64)
+            .map(|i| (i.wrapping_mul(0x9E3779B97F4A7C15) % (field_order - 1)) + 1)
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new(format!("m{m}_t{t}"), elems),
+            &elems,
+            |bench, _| {
+                bench.iter(|| black_box(codec.sketch_set(elements.iter().copied())));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sketch_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bch_sketch_decode");
+    group.sample_size(10);
+    // Decode a difference of exactly t elements: the worst case for
+    // Berlekamp–Massey + root finding.
+    for &(m, t) in &[(7u32, 13usize), (11, 20), (32, 50), (32, 200)] {
+        let codec = BchCodec::new(m, t);
+        let field_order = 1u64 << m;
+        let mut diff: Vec<u64> = (1..=t as u64)
+            .map(|i| (i.wrapping_mul(0x2545F4914F6CDD1D) % (field_order - 1)) + 1)
+            .collect();
+        diff.sort_unstable();
+        diff.dedup();
+        let sketch = codec.sketch_set(diff.iter().copied());
+        group.bench_with_input(BenchmarkId::new(format!("m{m}"), t), &t, |bench, _| {
+            bench.iter(|| black_box(codec.decode(&sketch).unwrap().len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_poly_ops(c: &mut Criterion) {
+    let f = Field::new(11);
+    let a = Poly::from_coeffs((1..=64u64).collect());
+    let b = Poly::from_coeffs((1..=32u64).map(|x| x * 31 % 2048).collect());
+    c.bench_function("poly_mul_64x32_gf2k11", |bench| {
+        bench.iter(|| black_box(a.mul(&b, &f)));
+    });
+    c.bench_function("poly_divrem_64by32_gf2k11", |bench| {
+        bench.iter(|| black_box(a.div_rem(&b, &f)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_field_mul,
+    bench_sketch_encode,
+    bench_sketch_decode,
+    bench_poly_ops
+);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Figure 4 (a–d) / §J.2: PBS as a function of δ (average distinct elements
+//! per group), d = 10,000 in the paper. δ controls the communication ↔
+//! computation trade-off: larger δ lowers communication but raises encoding
+//! and decoding time.
+
+use bench::{run_point, Scale};
+use pbs_core::{Pbs, PbsConfig};
+use protocol::Workload;
+
+fn main() {
+    let scale = Scale::from_env(50_000, 3, &[]);
+    let d: usize = std::env::var("PBS_FIG4_D")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000);
+    let deltas: Vec<usize> = std::env::var("PBS_FIG4_DELTAS")
+        .ok()
+        .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
+        .unwrap_or_else(|| vec![3, 5, 8, 12, 16, 21, 30]);
+
+    println!("# Figure 4 / §J.2: PBS vs δ (d = {d}, target success rate 0.99, r = 3)");
+    println!("# |A| = {}, trials per point = {}", scale.set_size, scale.trials);
+    println!(
+        "{:<8} {:>10} {:>12} {:>10} {:>12} {:>12} {:>8}",
+        "delta", "success", "comm (KB)", "x-minimum", "encode (s)", "decode (s)", "rounds"
+    );
+
+    let workload = Workload {
+        set_size: scale.set_size,
+        d,
+        universe_bits: 32,
+        subset_mode: true,
+    };
+    for &delta in &deltas {
+        let pbs = Pbs::new(PbsConfig::paper_default().with_delta(delta));
+        let point = run_point(&pbs, &workload, scale.trials, 0xF164 + delta as u64);
+        println!(
+            "{:<8} {:>10.4} {:>12.3} {:>10.2} {:>12.6} {:>12.6} {:>8.2}",
+            delta,
+            point.success_rate,
+            point.mean_comm_kb,
+            point.comm_over_minimum,
+            point.mean_encode_s,
+            point.mean_decode_s,
+            point.mean_rounds
+        );
+    }
+    println!();
+    println!("Paper shape target (§J.2): communication decreases as δ grows while encoding and");
+    println!("decoding time increase — δ is the knob trading communication for computation.");
+}

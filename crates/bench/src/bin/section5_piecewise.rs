@@ -1,0 +1,44 @@
+//! §5.3 / Appendix G: expected fraction of the distinct elements reconciled
+//! in each round ("piecewise reconciliability"), analytically and measured.
+
+use analysis::expected_round_shares;
+use bench::Scale;
+use pbs_core::{Pbs, PbsConfig};
+use protocol::Workload;
+
+fn main() {
+    let (n, t, d, g) = (127usize, 13usize, 1_000usize, 200usize);
+    println!("# §5.3: expected share of distinct elements reconciled per round");
+    let shares = expected_round_shares(n, t, d, g, 4);
+    println!("analytical (n = {n}, t = {t}, d = {d}, g = {g}):");
+    for (i, s) in shares.iter().take(4).enumerate() {
+        println!("  round {:>2}: {:.6}", i + 1, s);
+    }
+    println!("  residual: {:.3e}", shares[4]);
+
+    // Empirical counterpart on the reduced-scale workload.
+    let scale = Scale::from_env(50_000, 5, &[]);
+    let workload = Workload {
+        set_size: scale.set_size,
+        d,
+        universe_bits: 32,
+        subset_mode: true,
+    };
+    let pbs = Pbs::new(PbsConfig::paper_default().unlimited_rounds());
+    let mut per_round = vec![0f64; 6];
+    for trial in 0..scale.trials {
+        let pair = workload.generate(0x5EC5 + trial);
+        let report = pbs.reconcile_with_known_d(&pair.a, &pair.b, d, trial);
+        for (i, &count) in report.per_round_recovered.iter().enumerate().take(6) {
+            per_round[i] += count as f64;
+        }
+    }
+    let total: f64 = per_round.iter().sum();
+    println!("measured   (|A| = {}, {} trials):", scale.set_size, scale.trials);
+    for (i, v) in per_round.iter().take(4).enumerate() {
+        println!("  round {:>2}: {:.6}", i + 1, v / total.max(1.0));
+    }
+    println!();
+    println!("Paper reference (§5.3): 0.962, 0.0380, 3.61e-4, 2.86e-6 for rounds 1..4 —");
+    println!("the vast majority of the difference reconciles in the first round.");
+}

@@ -1,0 +1,81 @@
+//! §6 / Appendix A–B: the Tug-of-War estimator — unbiasedness, the
+//! Pr[d ≤ 1.38·d̂] coverage guarantee, and the size comparison against the
+//! Strata and min-wise estimators.
+
+use estimator::{Estimator, MinWiseEstimator, StrataEstimator, TowEstimator, RECOMMENDED_INFLATION};
+use protocol::Workload;
+
+fn build_pair<E: Estimator + Clone>(proto: &E, a: &[u64], b: &[u64]) -> (E, E) {
+    let mut ea = proto.clone();
+    let mut eb = proto.clone();
+    for &x in a {
+        ea.insert(x);
+    }
+    for &x in b {
+        eb.insert(x);
+    }
+    (ea, eb)
+}
+
+fn main() {
+    let trials = std::env::var("PBS_BENCH_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(60u64);
+    let set_size = 20_000usize;
+    println!("# §6: ToW estimator accuracy and size (trials per d = {trials})");
+    println!(
+        "{:>8} {:>12} {:>12} {:>14} {:>14}",
+        "d", "mean d-hat", "rel. bias", "P[d<=1.38d^]", "mean gamma-est"
+    );
+    for &d in &[10usize, 100, 1_000, 10_000] {
+        let workload = Workload {
+            set_size,
+            d,
+            universe_bits: 32,
+            subset_mode: true,
+        };
+        let mut sum = 0.0;
+        let mut covered = 0u64;
+        let mut inflated = 0.0;
+        for trial in 0..trials {
+            let pair = workload.generate(0xE571 + d as u64 + trial * 7);
+            let (ea, eb) = build_pair(&TowEstimator::paper_default(trial), &pair.a, &pair.b);
+            let est = ea.estimate(&eb);
+            sum += est;
+            inflated += est * RECOMMENDED_INFLATION;
+            if (d as f64) <= est * RECOMMENDED_INFLATION {
+                covered += 1;
+            }
+        }
+        let mean = sum / trials as f64;
+        println!(
+            "{:>8} {:>12.1} {:>12.4} {:>14.3} {:>14.1}",
+            d,
+            mean,
+            (mean - d as f64) / d as f64,
+            covered as f64 / trials as f64,
+            inflated / trials as f64
+        );
+    }
+
+    // Size comparison (Appendix B).
+    let workload = Workload {
+        set_size,
+        d: 100,
+        universe_bits: 32,
+        subset_mode: true,
+    };
+    let pair = workload.generate(7);
+    let (tow, _) = build_pair(&TowEstimator::paper_default(1), &pair.a, &pair.b);
+    let (strata, _) = build_pair(&StrataEstimator::new(32, 1), &pair.a, &pair.b);
+    let (minwise, _) = build_pair(&MinWiseEstimator::new(128, 1), &pair.a, &pair.b);
+    println!();
+    println!("estimator sizes for |A| = {set_size} (bytes on the wire):");
+    println!("  ToW (128 sketches):     {:>8}", tow.wire_bits().div_ceil(8));
+    println!("  Strata (32 x 80 cells): {:>8}", strata.wire_bits().div_ceil(8));
+    println!("  Min-wise (128 hashes):  {:>8}", minwise.wire_bits().div_ceil(8));
+    println!();
+    println!("Paper reference (§6): 128 ToW sketches cost 336 bytes and guarantee");
+    println!("Pr[d <= 1.38 d-hat] >= 99%; the Strata estimator is an order of magnitude larger.");
+}

@@ -1,0 +1,601 @@
+//! The two-party PBS state machines.
+//!
+//! [`AliceSession`] and [`BobSession`] hold each party's per-group state and
+//! exchange the messages defined in [`crate::messages`]. The [`crate::Pbs`]
+//! driver wires them together in-process; callers with a real transport can
+//! serialize the messages themselves and drive the same state machines (see
+//! the `blockchain_relay` example).
+//!
+//! The round structure follows §2.2.2 / §2.4 / §3:
+//!
+//! * `AliceSession::start_round` — re-partitions every unverified group with
+//!   a fresh hash function and emits one BCH sketch per group.
+//! * `BobSession::handle_sketches` — decodes each sketch against his own
+//!   parity bitmap and reports the differing bins (or a decoding failure,
+//!   which makes him split the group three ways, §3.2).
+//! * `AliceSession::apply_reports` — recovers one element per differing bin
+//!   (Procedure 1), rejects fakes with the sub-universe check (Procedure 3),
+//!   applies the recovered elements, and verifies the group checksum
+//!   (§2.2.3).
+
+use crate::messages::{
+    child_sessions, BinInfo, GroupReport, GroupReportBody, GroupSketch, RoundStatus, SessionId,
+};
+use crate::PbsConfig;
+use analysis::OptimalParams;
+use bch::BchCodec;
+use std::collections::{HashMap, HashSet};
+use xhash::{derive_seed, PartitionHasher, SetChecksum};
+
+/// Salt labels for seed derivation, so the group partition, each round's bin
+/// partition and each split partition use mutually independent hash functions.
+const GROUP_SALT: u64 = 0x6_1201;
+const ROUND_SALT: u64 = 0x2_0550;
+const SPLIT_SALT: u64 = 0x3_5711;
+
+/// Number of ways a group is split after a BCH decoding failure (§3.2
+/// explains why a three-way split is preferred over a two-way split).
+const SPLIT_WAYS: u64 = 3;
+
+fn bin_seed(base: u64, session: SessionId, round: u32) -> u64 {
+    derive_seed(derive_seed(base, session), ROUND_SALT + round as u64)
+}
+
+fn split_seed(base: u64, session: SessionId) -> u64 {
+    derive_seed(derive_seed(base, session), SPLIT_SALT)
+}
+
+fn group_seed(base: u64) -> u64 {
+    derive_seed(base, GROUP_SALT)
+}
+
+/// A membership constraint a recovered element must satisfy: under `hasher`
+/// it must map to bin `expected`. The chain of constraints encodes the
+/// element's group (and sub-group) path; checking it is the generalized
+/// Procedure 3.
+#[derive(Debug, Clone, Copy)]
+struct Membership {
+    hasher: PartitionHasher,
+    expected: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Alice
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct AliceGroup {
+    id: SessionId,
+    /// Alice's current working set for this group: initially `A_i`, with the
+    /// estimated differences of previous rounds applied (§2.4).
+    elements: HashSet<u64>,
+    /// Incrementally maintained checksum of `elements`.
+    checksum: SetChecksum,
+    /// `c(B_i)`, once Bob has sent it.
+    bob_checksum: Option<u64>,
+    /// Group / sub-group membership constraints (generalized Procedure 3).
+    membership: Vec<Membership>,
+    /// Seed of the bin-partition hash used for the sketch Alice sent in the
+    /// current round.
+    current_bin_seed: u64,
+    verified: bool,
+}
+
+impl AliceGroup {
+    fn new(
+        id: SessionId,
+        elements: HashSet<u64>,
+        membership: Vec<Membership>,
+        universe_bits: u32,
+    ) -> Self {
+        let mut checksum = SetChecksum::new(universe_bits);
+        for &e in &elements {
+            checksum.add(e);
+        }
+        AliceGroup {
+            id,
+            elements,
+            checksum,
+            bob_checksum: None,
+            membership,
+            current_bin_seed: 0,
+            verified: false,
+        }
+    }
+}
+
+/// Alice's side of the protocol: she wants to learn `A△B`.
+#[derive(Debug)]
+pub struct AliceSession {
+    cfg: PbsConfig,
+    params: OptimalParams,
+    codec: BchCodec,
+    base_seed: u64,
+    round: u32,
+    groups: Vec<AliceGroup>,
+    /// Elements whose membership Alice has toggled so far — once every group
+    /// verifies, this is exactly `A△B`.
+    recovered: HashSet<u64>,
+    fakes_rejected: u64,
+}
+
+impl AliceSession {
+    /// Create Alice's session state from her set.
+    pub fn new(cfg: PbsConfig, params: OptimalParams, elements: &[u64], seed: u64) -> Self {
+        let codec = BchCodec::new(params.m, params.t);
+        let group_hasher = PartitionHasher::new(params.groups as u64, group_seed(seed));
+        let mut buckets: Vec<HashSet<u64>> = vec![HashSet::new(); params.groups];
+        for &e in elements {
+            buckets[group_hasher.bin(e) as usize].insert(e);
+        }
+        let groups = buckets
+            .into_iter()
+            .enumerate()
+            .map(|(i, elems)| {
+                AliceGroup::new(
+                    (i + 1) as SessionId,
+                    elems,
+                    vec![Membership {
+                        hasher: group_hasher,
+                        expected: i as u64,
+                    }],
+                    cfg.universe_bits,
+                )
+            })
+            .collect();
+        AliceSession {
+            cfg,
+            params,
+            codec,
+            base_seed: seed,
+            round: 0,
+            groups,
+            recovered: HashSet::new(),
+            fakes_rejected: 0,
+        }
+    }
+
+    /// The current round number (0 before the first [`Self::start_round`]).
+    pub fn round(&self) -> u32 {
+        self.round
+    }
+
+    /// Number of sessions (groups and sub-groups) that have not verified yet.
+    pub fn active_sessions(&self) -> usize {
+        self.groups.iter().filter(|g| !g.verified).count()
+    }
+
+    /// `true` once every group pair's checksum has verified.
+    pub fn all_verified(&self) -> bool {
+        self.groups.iter().all(|g| g.verified)
+    }
+
+    /// Number of recovered elements rejected by the Procedure 3 check so far.
+    pub fn fakes_rejected(&self) -> u64 {
+        self.fakes_rejected
+    }
+
+    /// The set of elements Alice currently believes to be in `A△B`.
+    pub fn recovered_so_far(&self) -> &HashSet<u64> {
+        &self.recovered
+    }
+
+    /// Consume the session and return the recovered difference.
+    pub fn into_recovered(self) -> Vec<u64> {
+        self.recovered.into_iter().collect()
+    }
+
+    /// Begin a new round: re-partition every unverified group with a fresh
+    /// hash function and produce the BCH sketches to send to Bob.
+    pub fn start_round(&mut self) -> Vec<GroupSketch> {
+        self.round += 1;
+        let round = self.round;
+        let mut out = Vec::new();
+        for group in self.groups.iter_mut().filter(|g| !g.verified) {
+            let seed = bin_seed(self.base_seed, group.id, round);
+            group.current_bin_seed = seed;
+            let hasher = PartitionHasher::new(self.params.n as u64, seed);
+            let mut sketch = self.codec.empty_sketch();
+            for &e in &group.elements {
+                sketch.add(hasher.position(e), self.codec.field());
+            }
+            out.push(GroupSketch {
+                session: group.id,
+                round,
+                sketch,
+                needs_checksum: group.bob_checksum.is_none(),
+            });
+        }
+        out
+    }
+
+    /// Apply Bob's reports for the current round: recover elements, reject
+    /// fakes, verify checksums and split groups whose decoding failed.
+    pub fn apply_reports(&mut self, reports: &[GroupReport]) -> RoundStatus {
+        let mut recovered_this_round = 0usize;
+        let mut splits: Vec<(usize, SessionId)> = Vec::new();
+
+        let mut index: HashMap<SessionId, usize> = HashMap::with_capacity(self.groups.len());
+        for (i, g) in self.groups.iter().enumerate() {
+            index.insert(g.id, i);
+        }
+
+        for report in reports {
+            let Some(&gi) = index.get(&report.session) else {
+                continue;
+            };
+            match &report.body {
+                GroupReportBody::DecodeFailed => {
+                    splits.push((gi, report.session));
+                }
+                GroupReportBody::Decoded { bins, checksum } => {
+                    recovered_this_round += self.apply_decoded(gi, bins, *checksum);
+                }
+            }
+        }
+
+        // Perform the three-way splits after the borrow of `self.groups` above.
+        // Process from the highest index down so removals do not shift the
+        // remaining indices.
+        splits.sort_by(|a, b| b.0.cmp(&a.0));
+        for (gi, session) in splits {
+            self.split_group(gi, session);
+        }
+
+        RoundStatus {
+            recovered_this_round,
+            active_sessions: self.active_sessions(),
+            all_verified: self.all_verified(),
+        }
+    }
+
+    /// Handle a successfully decoded report for group index `gi`. Returns the
+    /// number of elements applied.
+    fn apply_decoded(&mut self, gi: usize, bins: &[BinInfo], checksum: Option<u64>) -> usize {
+        let universe_mask = if self.cfg.universe_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.cfg.universe_bits) - 1
+        };
+        let group = &mut self.groups[gi];
+        if let Some(c) = checksum {
+            group.bob_checksum = Some(c);
+        }
+
+        // One pass over the group's current elements: XOR sum per bin.
+        let hasher = PartitionHasher::new(self.params.n as u64, group.current_bin_seed);
+        let mut alice_xor: HashMap<u64, u64> = HashMap::with_capacity(bins.len());
+        for b in bins {
+            alice_xor.insert(b.position, 0);
+        }
+        for &e in &group.elements {
+            let p = hasher.position(e);
+            if let Some(slot) = alice_xor.get_mut(&p) {
+                *slot ^= e;
+            }
+        }
+
+        let mut applied = 0usize;
+        for b in bins {
+            let xor_a = alice_xor.get(&b.position).copied().unwrap_or(0);
+            let s = xor_a ^ b.xor_sum;
+            if s == 0 {
+                // Procedure 1, case (I): the bin pair holds no recoverable
+                // difference (an exception masked the parity mismatch).
+                continue;
+            }
+            // The recovered value must be a valid universe element…
+            if s > universe_mask {
+                self.fakes_rejected += 1;
+                continue;
+            }
+            // …must hash back to the reported bin (Procedure 3)…
+            if hasher.position(s) != b.position {
+                self.fakes_rejected += 1;
+                continue;
+            }
+            // …and must belong to this group / sub-group path.
+            if !group
+                .membership
+                .iter()
+                .all(|m| m.hasher.bin(s) == m.expected)
+            {
+                self.fakes_rejected += 1;
+                continue;
+            }
+            // Apply: toggle membership in the group's working set and in the
+            // global recovered set.
+            if group.elements.contains(&s) {
+                group.elements.remove(&s);
+                group.checksum.remove(s);
+            } else {
+                group.elements.insert(s);
+                group.checksum.add(s);
+            }
+            if !self.recovered.insert(s) {
+                self.recovered.remove(&s);
+            }
+            applied += 1;
+        }
+
+        // Checksum verification (Line 5 of Procedure 2).
+        if let Some(expect) = group.bob_checksum {
+            if group.checksum.value() == expect {
+                group.verified = true;
+            }
+        }
+        applied
+    }
+
+    /// Split group index `gi` into three sub-groups (§3.2).
+    fn split_group(&mut self, gi: usize, session: SessionId) {
+        let parent = self.groups.swap_remove(gi);
+        let children = child_sessions(session);
+        let hasher = PartitionHasher::new(SPLIT_WAYS, split_seed(self.base_seed, session));
+        let mut parts: [HashSet<u64>; 3] = [HashSet::new(), HashSet::new(), HashSet::new()];
+        for &e in &parent.elements {
+            parts[hasher.bin(e) as usize].insert(e);
+        }
+        for (k, part) in parts.into_iter().enumerate() {
+            let mut membership = parent.membership.clone();
+            membership.push(Membership {
+                hasher,
+                expected: k as u64,
+            });
+            self.groups.push(AliceGroup::new(
+                children[k],
+                part,
+                membership,
+                self.cfg.universe_bits,
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bob
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct BobGroup {
+    elements: Vec<u64>,
+    checksum: u64,
+}
+
+/// Bob's side of the protocol: he answers Alice's sketches.
+#[derive(Debug)]
+pub struct BobSession {
+    cfg: PbsConfig,
+    params: OptimalParams,
+    codec: BchCodec,
+    base_seed: u64,
+    groups: HashMap<SessionId, BobGroup>,
+    decode_failures: u32,
+}
+
+impl BobSession {
+    /// Create Bob's session state from his set.
+    pub fn new(cfg: PbsConfig, params: OptimalParams, elements: &[u64], seed: u64) -> Self {
+        let codec = BchCodec::new(params.m, params.t);
+        let group_hasher = PartitionHasher::new(params.groups as u64, group_seed(seed));
+        let mut buckets: Vec<Vec<u64>> = vec![Vec::new(); params.groups];
+        for &e in elements {
+            buckets[group_hasher.bin(e) as usize].push(e);
+        }
+        let groups = buckets
+            .into_iter()
+            .enumerate()
+            .map(|(i, elems)| {
+                let checksum = xhash::element_checksum(cfg.universe_bits, elems.iter().copied());
+                (
+                    (i + 1) as SessionId,
+                    BobGroup {
+                        elements: elems,
+                        checksum,
+                    },
+                )
+            })
+            .collect();
+        BobSession {
+            cfg,
+            params,
+            codec,
+            base_seed: seed,
+            groups,
+            decode_failures: 0,
+        }
+    }
+
+    /// Number of BCH decoding failures Bob has hit (each triggered a §3.2
+    /// three-way split).
+    pub fn decode_failures(&self) -> u32 {
+        self.decode_failures
+    }
+
+    /// Number of group (and sub-group) sessions Bob currently tracks.
+    pub fn session_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Process one batch of sketches from Alice and produce the reports.
+    pub fn handle_sketches(&mut self, sketches: &[GroupSketch]) -> Vec<GroupReport> {
+        let mut out = Vec::with_capacity(sketches.len());
+        for msg in sketches {
+            out.push(self.handle_one(msg));
+        }
+        out
+    }
+
+    fn handle_one(&mut self, msg: &GroupSketch) -> GroupReport {
+        let Some(group) = self.groups.get(&msg.session) else {
+            // Unknown session: treat as empty (can only happen if Alice has a
+            // group Bob's partition left empty — the decode still works).
+            return self.respond_for_elements(msg, &[], 0);
+        };
+        let elements = group.elements.clone();
+        let checksum = group.checksum;
+        self.respond_for_elements(msg, &elements, checksum)
+    }
+
+    fn respond_for_elements(
+        &mut self,
+        msg: &GroupSketch,
+        elements: &[u64],
+        checksum: u64,
+    ) -> GroupReport {
+        let n = self.params.n as u64;
+        let hasher = PartitionHasher::new(n, bin_seed(self.base_seed, msg.session, msg.round));
+
+        // Bob's parity-bitmap sketch plus per-bin XOR sums in one pass.
+        let mut sketch = self.codec.empty_sketch();
+        let mut xor_by_bin: HashMap<u64, u64> = HashMap::new();
+        for &e in elements {
+            let p = hasher.position(e);
+            sketch.add(p, self.codec.field());
+            *xor_by_bin.entry(p).or_insert(0) ^= e;
+        }
+
+        // Combine with Alice's sketch: the result is the sketch of the
+        // positions where the two parity bitmaps differ.
+        sketch.combine(&msg.sketch);
+        match self.codec.decode(&sketch) {
+            Ok(positions) => {
+                let bins = positions
+                    .into_iter()
+                    .map(|p| BinInfo {
+                        position: p,
+                        xor_sum: xor_by_bin.get(&p).copied().unwrap_or(0),
+                    })
+                    .collect();
+                GroupReport {
+                    session: msg.session,
+                    body: GroupReportBody::Decoded {
+                        bins,
+                        checksum: msg.needs_checksum.then_some(checksum),
+                    },
+                }
+            }
+            Err(_) => {
+                self.decode_failures += 1;
+                self.split_group(msg.session);
+                GroupReport {
+                    session: msg.session,
+                    body: GroupReportBody::DecodeFailed,
+                }
+            }
+        }
+    }
+
+    /// Split a group into three sub-groups after a decoding failure (§3.2).
+    fn split_group(&mut self, session: SessionId) {
+        let Some(parent) = self.groups.remove(&session) else {
+            return;
+        };
+        let children = child_sessions(session);
+        let hasher = PartitionHasher::new(SPLIT_WAYS, split_seed(self.base_seed, session));
+        let mut parts: [Vec<u64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for &e in &parent.elements {
+            parts[hasher.bin(e) as usize].push(e);
+        }
+        for (k, part) in parts.into_iter().enumerate() {
+            let checksum = xhash::element_checksum(self.cfg.universe_bits, part.iter().copied());
+            self.groups.insert(
+                children[k],
+                BobGroup {
+                    elements: part,
+                    checksum,
+                },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Pbs;
+
+    fn params_for(d: usize) -> (PbsConfig, OptimalParams) {
+        let cfg = PbsConfig::default();
+        let params = Pbs::new(cfg).plan(d);
+        (cfg, params)
+    }
+
+    #[test]
+    fn single_round_happy_path() {
+        let (cfg, params) = params_for(4);
+        let alice: Vec<u64> = (1..=500).collect();
+        let bob: Vec<u64> = (5..=500).collect();
+        let mut a = AliceSession::new(cfg, params, &alice, 99);
+        let mut b = BobSession::new(cfg, params, &bob, 99);
+        let sketches = a.start_round();
+        assert_eq!(sketches.len(), params.groups);
+        let reports = b.handle_sketches(&sketches);
+        let status = a.apply_reports(&reports);
+        assert!(status.all_verified);
+        assert_eq!(status.recovered_this_round, 4);
+        let mut rec: Vec<u64> = a.into_recovered();
+        rec.sort_unstable();
+        assert_eq!(rec, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bob_reports_decode_failure_when_capacity_exceeded() {
+        // Parameterize for d = 5 but create 400 differences concentrated so
+        // that some group certainly exceeds t.
+        let (cfg, params) = params_for(5);
+        let alice: Vec<u64> = (1..=1000).collect();
+        let bob: Vec<u64> = (601..=1000).collect();
+        let mut a = AliceSession::new(cfg, params, &alice, 7);
+        let mut b = BobSession::new(cfg, params, &bob, 7);
+        let sketches = a.start_round();
+        let reports = b.handle_sketches(&sketches);
+        assert!(b.decode_failures() > 0);
+        assert!(reports
+            .iter()
+            .any(|r| matches!(r.body, GroupReportBody::DecodeFailed)));
+        // Alice splits the failed sessions; the protocol stays consistent and
+        // finishes over subsequent rounds.
+        let mut status = a.apply_reports(&reports);
+        let mut rounds = 1;
+        while !status.all_verified && rounds < 20 {
+            let sketches = a.start_round();
+            let reports = b.handle_sketches(&sketches);
+            status = a.apply_reports(&reports);
+            rounds += 1;
+        }
+        assert!(status.all_verified, "did not converge after {rounds} rounds");
+        let mut rec = a.into_recovered();
+        rec.sort_unstable();
+        assert_eq!(rec, (1..=600).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn membership_constraints_follow_splits() {
+        let (cfg, params) = params_for(5);
+        let alice: Vec<u64> = (1..=50).collect();
+        let mut a = AliceSession::new(cfg, params, &alice, 5);
+        let before: usize = a.groups.len();
+        // Force a split of the first session and check the children carry an
+        // extra membership constraint.
+        let first_id = a.groups[0].id;
+        let parent_membership = a.groups[0].membership.len();
+        a.split_group(0, first_id);
+        assert_eq!(a.groups.len(), before + 2);
+        for g in a.groups.iter().filter(|g| g.id > params.groups as u64) {
+            assert_eq!(g.membership.len(), parent_membership + 1);
+        }
+    }
+
+    #[test]
+    fn empty_sets_verify_immediately() {
+        let (cfg, params) = params_for(1);
+        let mut a = AliceSession::new(cfg, params, &[], 3);
+        let mut b = BobSession::new(cfg, params, &[], 3);
+        let sketches = a.start_round();
+        let reports = b.handle_sketches(&sketches);
+        let status = a.apply_reports(&reports);
+        assert!(status.all_verified);
+        assert_eq!(status.recovered_this_round, 0);
+    }
+}

@@ -1,0 +1,286 @@
+//! Compact binary encoding of the PBS protocol messages.
+//!
+//! The in-process driver never needs to serialize anything, but callers that
+//! ship [`GroupSketch`]/[`GroupReport`] batches over a real transport (see the
+//! `blockchain_relay` example for the state-machine side) need a wire format.
+//! The encoding here is deliberately simple and self-describing per batch:
+//! little-endian fixed-width integers, length-prefixed vectors, and syndrome
+//! words packed to ⌈m/8⌉ bytes.
+//!
+//! Note that the *accounting* used in the experiments charges the
+//! information-theoretic message sizes of Formula (1) (e.g. `log n` bits per
+//! position), matching how the paper counts communication; this byte format
+//! adds the framing a real implementation would pay (a few bytes per message).
+
+use crate::messages::{BinInfo, GroupReport, GroupReportBody, GroupSketch};
+use bch::Sketch;
+
+/// Errors produced when decoding a wire buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the declared content.
+    Truncated,
+    /// A tag byte had an unknown value.
+    BadTag(u8),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "wire buffer truncated"),
+            WireError::BadTag(t) => write!(f, "unknown tag byte {t:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Encode a batch of sketches (one Alice → Bob round) into bytes.
+///
+/// `m` is the field degree (`log₂(n+1)`); it determines how syndrome words
+/// are packed.
+pub fn encode_sketches(batch: &[GroupSketch], m: u32) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u32(&mut out, batch.len() as u32);
+    out.push(m as u8);
+    for msg in batch {
+        put_u64(&mut out, msg.session);
+        put_u32(&mut out, msg.round);
+        out.push(u8::from(msg.needs_checksum));
+        let bytes = msg.sketch.to_bytes(m);
+        put_u16(&mut out, msg.sketch.capacity() as u16);
+        out.extend_from_slice(&bytes);
+    }
+    out
+}
+
+/// Decode a batch of sketches produced by [`encode_sketches`].
+pub fn decode_sketches(buf: &[u8]) -> Result<Vec<GroupSketch>, WireError> {
+    let mut r = Reader::new(buf);
+    let count = r.u32()? as usize;
+    let m = r.u8()? as u32;
+    let width = m.div_ceil(8) as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let session = r.u64()?;
+        let round = r.u32()?;
+        let needs_checksum = match r.u8()? {
+            0 => false,
+            1 => true,
+            t => return Err(WireError::BadTag(t)),
+        };
+        let t = r.u16()? as usize;
+        let raw = r.take(t * width)?;
+        let sketch = Sketch::from_bytes(raw, m).ok_or(WireError::Truncated)?;
+        out.push(GroupSketch {
+            session,
+            round,
+            sketch,
+            needs_checksum,
+        });
+    }
+    if r.done() {
+        Ok(out)
+    } else {
+        Err(WireError::Truncated)
+    }
+}
+
+const TAG_DECODED: u8 = 1;
+const TAG_DECODED_WITH_CHECKSUM: u8 = 2;
+const TAG_FAILED: u8 = 3;
+
+/// Encode a batch of reports (one Bob → Alice round) into bytes.
+pub fn encode_reports(batch: &[GroupReport]) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u32(&mut out, batch.len() as u32);
+    for msg in batch {
+        put_u64(&mut out, msg.session);
+        match &msg.body {
+            GroupReportBody::DecodeFailed => out.push(TAG_FAILED),
+            GroupReportBody::Decoded { bins, checksum } => {
+                match checksum {
+                    Some(c) => {
+                        out.push(TAG_DECODED_WITH_CHECKSUM);
+                        put_u64(&mut out, *c);
+                    }
+                    None => out.push(TAG_DECODED),
+                }
+                put_u32(&mut out, bins.len() as u32);
+                for b in bins {
+                    put_u32(&mut out, b.position as u32);
+                    put_u64(&mut out, b.xor_sum);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Decode a batch of reports produced by [`encode_reports`].
+pub fn decode_reports(buf: &[u8]) -> Result<Vec<GroupReport>, WireError> {
+    let mut r = Reader::new(buf);
+    let count = r.u32()? as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let session = r.u64()?;
+        let tag = r.u8()?;
+        let body = match tag {
+            TAG_FAILED => GroupReportBody::DecodeFailed,
+            TAG_DECODED | TAG_DECODED_WITH_CHECKSUM => {
+                let checksum = if tag == TAG_DECODED_WITH_CHECKSUM {
+                    Some(r.u64()?)
+                } else {
+                    None
+                };
+                let bins_len = r.u32()? as usize;
+                let mut bins = Vec::with_capacity(bins_len);
+                for _ in 0..bins_len {
+                    let position = r.u32()? as u64;
+                    let xor_sum = r.u64()?;
+                    bins.push(BinInfo { position, xor_sum });
+                }
+                GroupReportBody::Decoded { bins, checksum }
+            }
+            t => return Err(WireError::BadTag(t)),
+        };
+        out.push(GroupReport { session, body });
+    }
+    if r.done() {
+        Ok(out)
+    } else {
+        Err(WireError::Truncated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AliceSession, BobSession, Pbs, PbsConfig};
+
+    #[test]
+    fn sketch_batch_roundtrip() {
+        let cfg = PbsConfig::default();
+        let params = Pbs::new(cfg).plan(10);
+        let alice: Vec<u64> = (1..=2_000).collect();
+        let mut session = AliceSession::new(cfg, params, &alice, 3);
+        let batch = session.start_round();
+        let bytes = encode_sketches(&batch, params.m);
+        let back = decode_sketches(&bytes).unwrap();
+        assert_eq!(back, batch);
+    }
+
+    #[test]
+    fn report_batch_roundtrip() {
+        let cfg = PbsConfig::default();
+        let params = Pbs::new(cfg).plan(10);
+        let alice: Vec<u64> = (1..=2_000).collect();
+        let bob: Vec<u64> = (11..=2_005).collect();
+        let mut a = AliceSession::new(cfg, params, &alice, 3);
+        let mut b = BobSession::new(cfg, params, &bob, 3);
+        let sketches = a.start_round();
+        let reports = b.handle_sketches(&sketches);
+        let bytes = encode_reports(&reports);
+        let back = decode_reports(&bytes).unwrap();
+        assert_eq!(back, reports);
+    }
+
+    #[test]
+    fn full_protocol_over_the_wire_format() {
+        let cfg = PbsConfig::default();
+        let params = Pbs::new(cfg).plan(8);
+        let alice: Vec<u64> = (1..=3_000).collect();
+        let bob: Vec<u64> = (9..=3_000).collect();
+        let mut a = AliceSession::new(cfg, params, &alice, 9);
+        let mut b = BobSession::new(cfg, params, &bob, 9);
+        let mut rounds = 0;
+        loop {
+            rounds += 1;
+            let sketch_bytes = encode_sketches(&a.start_round(), params.m);
+            let sketches = decode_sketches(&sketch_bytes).unwrap();
+            let report_bytes = encode_reports(&b.handle_sketches(&sketches));
+            let reports = decode_reports(&report_bytes).unwrap();
+            let status = a.apply_reports(&reports);
+            if status.all_verified || rounds > 10 {
+                break;
+            }
+        }
+        assert!(a.all_verified());
+        let mut rec = a.into_recovered();
+        rec.sort_unstable();
+        assert_eq!(rec, (1..=8).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn corrupted_buffers_are_rejected() {
+        let cfg = PbsConfig::default();
+        let params = Pbs::new(cfg).plan(5);
+        let alice: Vec<u64> = (1..=500).collect();
+        let mut session = AliceSession::new(cfg, params, &alice, 1);
+        let mut bytes = encode_sketches(&session.start_round(), params.m);
+        bytes.truncate(bytes.len() - 3);
+        assert_eq!(decode_sketches(&bytes), Err(WireError::Truncated));
+        assert_eq!(decode_reports(&[9, 0, 0, 0]), Err(WireError::Truncated));
+        // Bad tag byte inside a report.
+        let bad = {
+            let mut v = Vec::new();
+            put_u32(&mut v, 1);
+            put_u64(&mut v, 7);
+            v.push(0xEE);
+            v
+        };
+        assert_eq!(decode_reports(&bad), Err(WireError::BadTag(0xEE)));
+    }
+}

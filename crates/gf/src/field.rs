@@ -1,0 +1,642 @@
+//! GF(2^m) field arithmetic.
+
+/// Maximum supported extension degree.
+pub const MAX_M: u32 = 32;
+/// Minimum supported extension degree.
+pub const MIN_M: u32 = 3;
+
+/// Degrees up to this bound use log/antilog tables for multiplication and
+/// inversion; larger degrees use carry-less shift-and-reduce multiplication.
+const TABLE_M_LIMIT: u32 = 16;
+
+/// Irreducible (in fact primitive) polynomials of degree `m` over GF(2),
+/// indexed by `m - 3`. The `u64` encodes the full polynomial including the
+/// leading `x^m` term (bit `m`).
+///
+/// Every entry is verified to be irreducible by a unit test using the Rabin
+/// irreducibility test ([`is_irreducible`]); [`Field::new`] additionally
+/// falls back to an exhaustive search should an entry ever be wrong, so the
+/// field is always well defined.
+const IRREDUCIBLE: [u64; (MAX_M - MIN_M + 1) as usize] = [
+    0xB,          // m = 3:  x^3 + x + 1
+    0x13,         // m = 4:  x^4 + x + 1
+    0x25,         // m = 5:  x^5 + x^2 + 1
+    0x43,         // m = 6:  x^6 + x + 1
+    0x83,         // m = 7:  x^7 + x + 1
+    0x11D,        // m = 8:  x^8 + x^4 + x^3 + x^2 + 1
+    0x211,        // m = 9:  x^9 + x^4 + 1
+    0x409,        // m = 10: x^10 + x^3 + 1
+    0x805,        // m = 11: x^11 + x^2 + 1
+    0x1053,       // m = 12: x^12 + x^6 + x^4 + x + 1
+    0x201B,       // m = 13: x^13 + x^4 + x^3 + x + 1
+    0x4443,       // m = 14: x^14 + x^10 + x^6 + x + 1
+    0x8003,       // m = 15: x^15 + x + 1
+    0x1100B,      // m = 16: x^16 + x^12 + x^3 + x + 1
+    0x20009,      // m = 17: x^17 + x^3 + 1
+    0x40081,      // m = 18: x^18 + x^7 + 1
+    0x80027,      // m = 19: x^19 + x^5 + x^2 + x + 1
+    0x100009,     // m = 20: x^20 + x^3 + 1
+    0x200005,     // m = 21: x^21 + x^2 + 1
+    0x400003,     // m = 22: x^22 + x + 1
+    0x800021,     // m = 23: x^23 + x^5 + 1
+    0x100001B,    // m = 24: x^24 + x^4 + x^3 + x + 1
+    0x2000009,    // m = 25: x^25 + x^3 + 1
+    0x4000047,    // m = 26: x^26 + x^6 + x^2 + x + 1
+    0x8000027,    // m = 27: x^27 + x^5 + x^2 + x + 1
+    0x10000009,   // m = 28: x^28 + x^3 + 1
+    0x20000005,   // m = 29: x^29 + x^2 + 1
+    0x40000053,   // m = 30: x^30 + x^6 + x^4 + x + 1
+    0x80000009,   // m = 31: x^31 + x^3 + 1
+    0x100400007,  // m = 32: x^32 + x^22 + x^2 + x + 1
+];
+
+/// Multiply two polynomials over GF(2) (carry-less multiplication).
+///
+/// `a` and `b` must have degree < 64 combined so the product fits in 128 bits.
+/// Uses the PCLMULQDQ instruction when the CPU supports it (the hot path for
+/// the large fields PinSketch needs), falling back to portable shift-and-add.
+fn clmul(a: u64, b: u64) -> u128 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("pclmulqdq") {
+            // SAFETY: feature presence checked at runtime just above.
+            return unsafe { clmul_pclmul(a, b) };
+        }
+    }
+    clmul_portable(a, b)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "pclmulqdq")]
+unsafe fn clmul_pclmul(a: u64, b: u64) -> u128 {
+    use std::arch::x86_64::{_mm_clmulepi64_si128, _mm_extract_epi64, _mm_set_epi64x};
+    let va = _mm_set_epi64x(0, a as i64);
+    let vb = _mm_set_epi64x(0, b as i64);
+    let prod = _mm_clmulepi64_si128::<0>(va, vb);
+    let lo = _mm_extract_epi64::<0>(prod) as u64;
+    let hi = _mm_extract_epi64::<1>(prod) as u64;
+    ((hi as u128) << 64) | lo as u128
+}
+
+fn clmul_portable(a: u64, b: u64) -> u128 {
+    let mut acc: u128 = 0;
+    let mut a = a as u128;
+    let mut b = b;
+    while b != 0 {
+        if b & 1 == 1 {
+            acc ^= a;
+        }
+        a <<= 1;
+        b >>= 1;
+    }
+    acc
+}
+
+/// Reduce a GF(2)-polynomial `v` modulo `poly` (degree `m`, with its leading
+/// bit set). The result has degree < m.
+fn reduce(mut v: u128, poly: u64, m: u32) -> u64 {
+    if v == 0 {
+        return 0;
+    }
+    let poly = poly as u128;
+    // Highest possible degree of v is 2m - 2 < 64 for m <= 32.
+    loop {
+        let deg = 127 - v.leading_zeros();
+        if deg < m {
+            break;
+        }
+        v ^= poly << (deg - m);
+        if v == 0 {
+            break;
+        }
+    }
+    v as u64
+}
+
+/// Degree of a nonzero GF(2)-polynomial encoded as a bitmask.
+fn deg2(p: u64) -> u32 {
+    debug_assert!(p != 0);
+    63 - p.leading_zeros()
+}
+
+/// Remainder of GF(2)-polynomial division `a mod b` (`b != 0`).
+fn rem2(mut a: u64, b: u64) -> u64 {
+    let db = deg2(b);
+    while a != 0 && deg2(a) >= db {
+        a ^= b << (deg2(a) - db);
+    }
+    a
+}
+
+/// Greatest common divisor of two GF(2)-polynomials.
+fn gcd2(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let r = rem2(a, b);
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// Compute `x^(2^k) mod poly` for a GF(2)-polynomial modulus, starting from `x`.
+fn frobenius_iter(poly: u64, m: u32, k: u32) -> u64 {
+    let mut cur: u64 = 0b10; // x
+    for _ in 0..k {
+        // Square cur modulo poly. Squaring a GF(2) polynomial spreads bits out.
+        let sq = square_bits(cur);
+        cur = reduce(sq, poly, m);
+    }
+    cur
+}
+
+/// Square of a GF(2) polynomial: interleave zero bits.
+fn square_bits(a: u64) -> u128 {
+    let mut out: u128 = 0;
+    let mut i = 0;
+    let mut v = a;
+    while v != 0 {
+        if v & 1 == 1 {
+            out |= 1u128 << (2 * i);
+        }
+        v >>= 1;
+        i += 1;
+    }
+    out
+}
+
+/// Rabin irreducibility test for a GF(2)-polynomial of degree `m`.
+///
+/// `poly` must include the leading `x^m` term. Returns `true` iff `poly` is
+/// irreducible over GF(2).
+pub fn is_irreducible(poly: u64, m: u32) -> bool {
+    if m == 0 || poly >> m != 1 {
+        return false;
+    }
+    if m == 1 {
+        return true;
+    }
+    // Condition 1: x^(2^m) == x (mod poly).
+    let xqm = frobenius_iter(poly, m, m);
+    if xqm != 0b10 {
+        return false;
+    }
+    // Condition 2: for every prime divisor q of m, gcd(x^(2^(m/q)) - x, poly) == 1.
+    let mut rest = m;
+    let mut q = 2;
+    let mut primes = Vec::new();
+    while q * q <= rest {
+        if rest % q == 0 {
+            primes.push(q);
+            while rest % q == 0 {
+                rest /= q;
+            }
+        }
+        q += 1;
+    }
+    if rest > 1 {
+        primes.push(rest);
+    }
+    for q in primes {
+        let e = m / q;
+        let xq = frobenius_iter(poly, m, e);
+        let diff = xq ^ 0b10; // x^(2^e) - x
+        if diff == 0 || gcd2(poly, diff) != 1 {
+            return false;
+        }
+    }
+    true
+}
+
+/// Return an irreducible polynomial of degree `m` (including the leading term).
+///
+/// Uses the built-in table, falling back to an exhaustive search (smallest
+/// irreducible polynomial) if the table entry fails verification. The search
+/// fallback exists purely as a safety net; the table is unit-tested.
+pub fn irreducible_poly(m: u32) -> u64 {
+    assert!(
+        (MIN_M..=MAX_M).contains(&m),
+        "field degree m must be in {MIN_M}..={MAX_M}, got {m}"
+    );
+    let cand = IRREDUCIBLE[(m - MIN_M) as usize];
+    if is_irreducible(cand, m) {
+        return cand;
+    }
+    // Safety net: smallest irreducible polynomial of degree m.
+    let base = 1u64 << m;
+    for low in 1..(1u64 << m) {
+        let p = base | low;
+        if is_irreducible(p, m) {
+            return p;
+        }
+    }
+    unreachable!("an irreducible polynomial of degree {m} always exists")
+}
+
+/// A binary extension field GF(2^m), `3 <= m <= 32`.
+///
+/// Elements are `u64` values whose low `m` bits hold the polynomial-basis
+/// coefficients. All operations panic (in debug builds) if an operand has
+/// bits above `m` set.
+#[derive(Clone)]
+pub struct Field {
+    m: u32,
+    poly: u64,
+    order: u64,
+    /// antilog table: exp[i] = g^i for a generator g (only for small m)
+    exp: Vec<u32>,
+    /// log table: log[exp[i]] = i (only for small m; log[0] unused)
+    log: Vec<u32>,
+}
+
+impl std::fmt::Debug for Field {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Field")
+            .field("m", &self.m)
+            .field("poly", &format_args!("{:#x}", self.poly))
+            .field("tables", &!self.exp.is_empty())
+            .finish()
+    }
+}
+
+impl Field {
+    /// Construct GF(2^m) using the crate's default irreducible polynomial.
+    pub fn new(m: u32) -> Self {
+        Self::with_poly(m, irreducible_poly(m))
+    }
+
+    /// Construct GF(2^m) with an explicit irreducible polynomial
+    /// (including its leading `x^m` term).
+    ///
+    /// # Panics
+    /// Panics if `m` is out of range or `poly` is not irreducible of degree `m`.
+    pub fn with_poly(m: u32, poly: u64) -> Self {
+        assert!(
+            (MIN_M..=MAX_M).contains(&m),
+            "field degree m must be in {MIN_M}..={MAX_M}, got {m}"
+        );
+        assert!(
+            is_irreducible(poly, m),
+            "modulus {poly:#x} is not an irreducible polynomial of degree {m}"
+        );
+        let order = 1u64 << m;
+        let mut field = Field {
+            m,
+            poly,
+            order,
+            exp: Vec::new(),
+            log: Vec::new(),
+        };
+        if m <= TABLE_M_LIMIT {
+            field.build_tables();
+        }
+        field
+    }
+
+    /// Build log/antilog tables. The primitive element used is the smallest
+    /// element (>= 2, i.e. `x` or a small polynomial) that generates the
+    /// multiplicative group.
+    fn build_tables(&mut self) {
+        let size = self.order as usize;
+        let group = self.order - 1;
+        // Find a generator by trial: try x, then x+1, ... Most table entries
+        // are primitive polynomials so x itself generates.
+        let mut gen = 2u64;
+        loop {
+            if self.multiplicative_order_slow(gen) == group {
+                break;
+            }
+            gen += 1;
+            debug_assert!(gen < self.order, "no generator found (impossible)");
+        }
+        let mut exp = vec![0u32; 2 * size];
+        let mut log = vec![0u32; size];
+        let mut cur = 1u64;
+        for (i, e) in exp.iter_mut().take(group as usize).enumerate() {
+            *e = cur as u32;
+            log[cur as usize] = i as u32;
+            cur = self.mul_slow(cur, gen);
+        }
+        // Duplicate the cycle so exp[(la + lb)] never needs a modulo.
+        for i in group as usize..2 * size {
+            exp[i] = exp[i - group as usize];
+        }
+        self.exp = exp;
+        self.log = log;
+    }
+
+    fn multiplicative_order_slow(&self, a: u64) -> u64 {
+        if a == 0 {
+            return 0;
+        }
+        let mut cur = a;
+        let mut ord = 1;
+        while cur != 1 {
+            cur = self.mul_slow(cur, a);
+            ord += 1;
+        }
+        ord
+    }
+
+    /// The extension degree `m`.
+    #[inline]
+    pub fn m(&self) -> u32 {
+        self.m
+    }
+
+    /// The field modulus, including the leading `x^m` term.
+    #[inline]
+    pub fn modulus(&self) -> u64 {
+        self.poly
+    }
+
+    /// Number of field elements, `2^m`.
+    #[inline]
+    pub fn order(&self) -> u64 {
+        self.order
+    }
+
+    /// Number of nonzero field elements, `2^m - 1`.
+    #[inline]
+    pub fn nonzero_count(&self) -> u64 {
+        self.order - 1
+    }
+
+    /// `true` if `a` is a valid element (fits in `m` bits).
+    #[inline]
+    pub fn contains(&self, a: u64) -> bool {
+        a < self.order
+    }
+
+    #[inline]
+    fn check(&self, a: u64) {
+        debug_assert!(self.contains(a), "element {a:#x} out of field GF(2^{})", self.m);
+    }
+
+    /// Field addition (XOR).
+    #[inline]
+    pub fn add(&self, a: u64, b: u64) -> u64 {
+        self.check(a);
+        self.check(b);
+        a ^ b
+    }
+
+    /// Field subtraction; identical to addition in characteristic 2.
+    #[inline]
+    pub fn sub(&self, a: u64, b: u64) -> u64 {
+        self.add(a, b)
+    }
+
+    fn mul_slow(&self, a: u64, b: u64) -> u64 {
+        reduce(clmul(a, b), self.poly, self.m)
+    }
+
+    /// Field multiplication.
+    #[inline]
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        self.check(a);
+        self.check(b);
+        if a == 0 || b == 0 {
+            return 0;
+        }
+        if !self.exp.is_empty() {
+            let la = self.log[a as usize] as usize;
+            let lb = self.log[b as usize] as usize;
+            self.exp[la + lb] as u64
+        } else {
+            self.mul_slow(a, b)
+        }
+    }
+
+    /// Field squaring.
+    #[inline]
+    pub fn square(&self, a: u64) -> u64 {
+        self.check(a);
+        if a == 0 {
+            return 0;
+        }
+        if !self.exp.is_empty() {
+            let la = self.log[a as usize] as usize;
+            self.exp[la + la] as u64
+        } else {
+            reduce(square_bits(a), self.poly, self.m)
+        }
+    }
+
+    /// Exponentiation `a^e` (with `0^0 == 1`).
+    pub fn pow(&self, a: u64, mut e: u64) -> u64 {
+        self.check(a);
+        if e == 0 {
+            return 1;
+        }
+        if a == 0 {
+            return 0;
+        }
+        let mut base = a;
+        let mut acc = 1u64;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = self.mul(acc, base);
+            }
+            base = self.square(base);
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics if `a == 0`.
+    pub fn inv(&self, a: u64) -> u64 {
+        self.check(a);
+        assert!(a != 0, "zero has no multiplicative inverse");
+        if !self.exp.is_empty() {
+            let la = self.log[a as usize] as u64;
+            let group = self.order - 1;
+            self.exp[((group - la) % group) as usize] as u64
+        } else {
+            // a^(2^m - 2)
+            self.pow(a, self.order - 2)
+        }
+    }
+
+    /// Field division `a / b`.
+    ///
+    /// # Panics
+    /// Panics if `b == 0`.
+    #[inline]
+    pub fn div(&self, a: u64, b: u64) -> u64 {
+        self.mul(a, self.inv(b))
+    }
+
+    /// The trace map `Tr(a) = a + a^2 + a^4 + ... + a^(2^(m-1))`, which takes
+    /// values in GF(2) (returned as 0 or 1). Used by the Berlekamp trace
+    /// root-finding algorithm in the `bch` crate.
+    pub fn trace(&self, a: u64) -> u64 {
+        self.check(a);
+        let mut acc = a;
+        let mut cur = a;
+        for _ in 1..self.m {
+            cur = self.square(cur);
+            acc ^= cur;
+        }
+        debug_assert!(acc == 0 || acc == 1, "trace must land in GF(2)");
+        acc
+    }
+
+    /// Square root of `a`: in GF(2^m) the Frobenius map is a bijection, so
+    /// every element has a unique square root `a^(2^(m-1))`.
+    pub fn sqrt(&self, a: u64) -> u64 {
+        self.check(a);
+        let mut cur = a;
+        for _ in 0..(self.m - 1) {
+            cur = self.square(cur);
+        }
+        cur
+    }
+
+    /// Iterator over all nonzero field elements (1 ..= 2^m - 1).
+    pub fn nonzero_elements(&self) -> impl Iterator<Item = u64> {
+        1..self.order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_entries_are_irreducible() {
+        for m in MIN_M..=MAX_M {
+            let p = IRREDUCIBLE[(m - MIN_M) as usize];
+            assert!(
+                is_irreducible(p, m),
+                "table polynomial {p:#x} for m={m} is not irreducible"
+            );
+        }
+    }
+
+    #[test]
+    fn reducible_polynomials_are_rejected() {
+        // x^4 + 1 = (x+1)^4 is reducible.
+        assert!(!is_irreducible(0b10001, 4));
+        // x^2 factors trivially.
+        assert!(!is_irreducible(0b100, 2));
+        // x^2 + x + 1 is the unique irreducible quadratic.
+        assert!(is_irreducible(0b111, 2));
+        // wrong degree encoding
+        assert!(!is_irreducible(0b111, 3));
+    }
+
+    #[test]
+    fn small_field_mul_matches_slow_path() {
+        let f = Field::new(8);
+        for a in 0..256u64 {
+            for b in 0..256u64 {
+                assert_eq!(f.mul(a, b), f.mul_slow(a, b), "mismatch at {a} * {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn gf16_inverse_and_identity() {
+        let f = Field::new(4);
+        for a in 1..16u64 {
+            let inv = f.inv(a);
+            assert_eq!(f.mul(a, inv), 1, "a * a^-1 != 1 for a={a}");
+            assert_eq!(f.mul(a, 1), a);
+            assert_eq!(f.mul(a, 0), 0);
+        }
+    }
+
+    #[test]
+    fn large_field_inverse() {
+        let f = Field::new(32);
+        for a in [1u64, 2, 3, 0xDEADBEEF, 0xFFFF_FFFE, 0x8000_0001] {
+            let inv = f.inv(a);
+            assert_eq!(f.mul(a, inv), 1, "a * a^-1 != 1 for a={a:#x}");
+        }
+    }
+
+    #[test]
+    fn distributivity_small_field() {
+        let f = Field::new(6);
+        for a in 0..64u64 {
+            for b in 0..64u64 {
+                let c = (a * 31 + b * 17 + 5) % 64;
+                assert_eq!(
+                    f.mul(a, f.add(b, c)),
+                    f.add(f.mul(a, b), f.mul(a, c)),
+                    "distributivity failed at a={a}, b={b}, c={c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn square_equals_self_mul() {
+        for m in [3u32, 8, 11, 13, 17, 24, 32] {
+            let f = Field::new(m);
+            let samples: Vec<u64> = (0..200).map(|i| (i * 2654435761u64 + 12345) % f.order()).collect();
+            for a in samples {
+                assert_eq!(f.square(a), f.mul(a, a), "square mismatch for a={a:#x}, m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        let f = Field::new(10);
+        let a = 0x2AB;
+        let mut acc = 1u64;
+        for e in 0..50u64 {
+            assert_eq!(f.pow(a, e), acc, "pow mismatch at exponent {e}");
+            acc = f.mul(acc, a);
+        }
+    }
+
+    #[test]
+    fn frobenius_is_additive_and_trace_in_gf2() {
+        let f = Field::new(12);
+        for i in 0..500u64 {
+            let a = (i * 48271 + 7) % f.order();
+            let b = (i * 69621 + 3) % f.order();
+            assert_eq!(f.square(f.add(a, b)), f.add(f.square(a), f.square(b)));
+            let t = f.trace(a);
+            assert!(t == 0 || t == 1);
+        }
+    }
+
+    #[test]
+    fn sqrt_inverts_square() {
+        for m in [5u32, 11, 20, 32] {
+            let f = Field::new(m);
+            for i in 0..100u64 {
+                let a = i.wrapping_mul(6364136223846793005).wrapping_add(1) % f.order();
+                assert_eq!(f.sqrt(f.square(a)), a, "sqrt(square(a)) != a for m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn order_and_bounds() {
+        let f = Field::new(11);
+        assert_eq!(f.order(), 2048);
+        assert_eq!(f.nonzero_count(), 2047);
+        assert_eq!(f.m(), 11);
+        assert!(f.contains(2047));
+        assert!(!f.contains(2048));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero has no multiplicative inverse")]
+    fn inverse_of_zero_panics() {
+        Field::new(8).inv(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "field degree m must be in")]
+    fn out_of_range_degree_panics() {
+        Field::new(2);
+    }
+}

@@ -1,0 +1,37 @@
+//! Binary extension-field arithmetic GF(2^m) and polynomials over it.
+//!
+//! This crate is the lowest-level substrate of the PBS reproduction. Every
+//! BCH-style syndrome sketch in the workspace (the PBS parity-bitmap sketch
+//! and the PinSketch baseline) is decoded with arithmetic from this crate:
+//!
+//! * [`Field`] — a binary extension field GF(2^m) for `3 <= m <= 32`,
+//!   with log/antilog tables for small `m` and carry-less shift-and-reduce
+//!   multiplication for large `m`.
+//! * [`Poly`] — dense polynomials over a [`Field`], with the operations a
+//!   Berlekamp–Massey decoder and a Berlekamp-trace root finder need:
+//!   multiplication, remainder, gcd, evaluation, formal derivative and
+//!   modular squaring.
+//!
+//! Field elements are represented as `u64` values whose low `m` bits are the
+//! coefficients of the polynomial-basis representation. The zero element is
+//! `0`; the multiplicative identity is `1`.
+//!
+//! # Example
+//!
+//! ```
+//! use gf::Field;
+//!
+//! let f = Field::new(8);
+//! let a = 0x53;
+//! let b = 0xCA;
+//! let c = f.mul(a, b);
+//! assert_eq!(f.mul(c, f.inv(b)), a);
+//! ```
+
+#![warn(missing_docs)]
+
+mod field;
+mod poly;
+
+pub use field::{irreducible_poly, is_irreducible, Field};
+pub use poly::Poly;

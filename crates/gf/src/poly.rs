@@ -1,0 +1,382 @@
+//! Dense polynomials over GF(2^m).
+//!
+//! The representation is a coefficient vector in *ascending* degree order
+//! (`coeffs[i]` is the coefficient of `x^i`), normalized so the leading
+//! coefficient is nonzero (the zero polynomial is the empty vector).
+
+use crate::Field;
+
+/// A polynomial over a [`Field`].
+///
+/// All operations take the field explicitly so a `Poly` stays a plain value
+/// type; mixing polynomials built for different fields is a logic error that
+/// debug assertions catch (coefficients out of range).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Poly {
+    coeffs: Vec<u64>,
+}
+
+impl Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Poly { coeffs: Vec::new() }
+    }
+
+    /// The constant polynomial `1`.
+    pub fn one() -> Self {
+        Poly { coeffs: vec![1] }
+    }
+
+    /// The monomial `x`.
+    pub fn x() -> Self {
+        Poly { coeffs: vec![0, 1] }
+    }
+
+    /// Build a polynomial from ascending-degree coefficients, trimming
+    /// leading zeros.
+    pub fn from_coeffs(coeffs: Vec<u64>) -> Self {
+        let mut p = Poly { coeffs };
+        p.normalize();
+        p
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(c: u64) -> Self {
+        if c == 0 {
+            Self::zero()
+        } else {
+            Poly { coeffs: vec![c] }
+        }
+    }
+
+    /// The monomial `c * x^d`.
+    pub fn monomial(c: u64, d: usize) -> Self {
+        if c == 0 {
+            return Self::zero();
+        }
+        let mut coeffs = vec![0u64; d + 1];
+        coeffs[d] = c;
+        Poly { coeffs }
+    }
+
+    fn normalize(&mut self) {
+        while self.coeffs.last() == Some(&0) {
+            self.coeffs.pop();
+        }
+    }
+
+    /// `true` iff this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Degree of the polynomial; `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        if self.coeffs.is_empty() {
+            None
+        } else {
+            Some(self.coeffs.len() - 1)
+        }
+    }
+
+    /// Degree as an `usize`, treating the zero polynomial as degree 0.
+    pub fn degree_or_zero(&self) -> usize {
+        self.degree().unwrap_or(0)
+    }
+
+    /// Coefficient of `x^i` (0 if beyond the stored degree).
+    pub fn coeff(&self, i: usize) -> u64 {
+        self.coeffs.get(i).copied().unwrap_or(0)
+    }
+
+    /// Leading coefficient (0 for the zero polynomial).
+    pub fn leading(&self) -> u64 {
+        self.coeffs.last().copied().unwrap_or(0)
+    }
+
+    /// Ascending-degree coefficient slice.
+    pub fn coeffs(&self) -> &[u64] {
+        &self.coeffs
+    }
+
+    /// Polynomial addition (XOR of coefficients in characteristic 2).
+    pub fn add(&self, other: &Poly, f: &Field) -> Poly {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            out.push(f.add(self.coeff(i), other.coeff(i)));
+        }
+        Poly::from_coeffs(out)
+    }
+
+    /// Scale every coefficient by `c`.
+    pub fn scale(&self, c: u64, f: &Field) -> Poly {
+        if c == 0 {
+            return Poly::zero();
+        }
+        Poly::from_coeffs(self.coeffs.iter().map(|&a| f.mul(a, c)).collect())
+    }
+
+    /// Schoolbook polynomial multiplication, O(deg_a * deg_b).
+    pub fn mul(&self, other: &Poly, f: &Field) -> Poly {
+        if self.is_zero() || other.is_zero() {
+            return Poly::zero();
+        }
+        let mut out = vec![0u64; self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            for (j, &b) in other.coeffs.iter().enumerate() {
+                if b == 0 {
+                    continue;
+                }
+                out[i + j] ^= f.mul(a, b);
+            }
+        }
+        Poly::from_coeffs(out)
+    }
+
+    /// Multiply by the monomial `x^k`.
+    pub fn shift(&self, k: usize) -> Poly {
+        if self.is_zero() {
+            return Poly::zero();
+        }
+        let mut out = vec![0u64; k];
+        out.extend_from_slice(&self.coeffs);
+        Poly { coeffs: out }
+    }
+
+    /// Quotient and remainder of `self / divisor`.
+    ///
+    /// # Panics
+    /// Panics if `divisor` is the zero polynomial.
+    pub fn div_rem(&self, divisor: &Poly, f: &Field) -> (Poly, Poly) {
+        assert!(!divisor.is_zero(), "polynomial division by zero");
+        let dd = divisor.degree().unwrap();
+        if self.is_zero() || self.degree().unwrap() < dd {
+            return (Poly::zero(), self.clone());
+        }
+        let lead_inv = f.inv(divisor.leading());
+        let mut rem = self.coeffs.clone();
+        let mut quot = vec![0u64; rem.len() - dd];
+        for i in (dd..rem.len()).rev() {
+            let c = rem[i];
+            if c == 0 {
+                continue;
+            }
+            let q = f.mul(c, lead_inv);
+            quot[i - dd] = q;
+            for (j, &dc) in divisor.coeffs.iter().enumerate() {
+                rem[i - dd + j] ^= f.mul(q, dc);
+            }
+        }
+        (Poly::from_coeffs(quot), Poly::from_coeffs(rem))
+    }
+
+    /// Remainder of `self mod divisor`.
+    pub fn rem(&self, divisor: &Poly, f: &Field) -> Poly {
+        self.div_rem(divisor, f).1
+    }
+
+    /// Monic greatest common divisor.
+    pub fn gcd(&self, other: &Poly, f: &Field) -> Poly {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let r = a.rem(&b, f);
+            a = b;
+            b = r;
+        }
+        a.into_monic(f)
+    }
+
+    /// Divide by the leading coefficient so the polynomial is monic.
+    pub fn into_monic(self, f: &Field) -> Poly {
+        if self.is_zero() {
+            return self;
+        }
+        let lead = self.leading();
+        if lead == 1 {
+            return self;
+        }
+        self.scale(f.inv(lead), f)
+    }
+
+    /// Evaluate the polynomial at `x` by Horner's rule.
+    pub fn eval(&self, x: u64, f: &Field) -> u64 {
+        let mut acc = 0u64;
+        for &c in self.coeffs.iter().rev() {
+            acc = f.add(f.mul(acc, x), c);
+        }
+        acc
+    }
+
+    /// Formal derivative. In characteristic 2 the even-degree terms vanish
+    /// and the odd-degree coefficients move down one degree.
+    pub fn derivative(&self) -> Poly {
+        if self.coeffs.len() <= 1 {
+            return Poly::zero();
+        }
+        let mut out = vec![0u64; self.coeffs.len() - 1];
+        for (i, v) in out.iter_mut().enumerate() {
+            // coefficient of x^i in the derivative is (i+1) * coeffs[i+1];
+            // (i+1) mod 2 is 1 only when i is even.
+            if i % 2 == 0 {
+                *v = self.coeffs[i + 1];
+            }
+        }
+        Poly::from_coeffs(out)
+    }
+
+    /// `self * other mod modulus`, without materializing the full product
+    /// degree when the modulus is much smaller.
+    pub fn mulmod(&self, other: &Poly, modulus: &Poly, f: &Field) -> Poly {
+        self.mul(other, f).rem(modulus, f)
+    }
+
+    /// `self^2 mod modulus`. Squaring in characteristic 2 is the Frobenius
+    /// map applied to each coefficient with degrees doubled, which is much
+    /// cheaper than a general multiplication.
+    pub fn square_mod(&self, modulus: &Poly, f: &Field) -> Poly {
+        if self.is_zero() {
+            return Poly::zero();
+        }
+        let mut out = vec![0u64; 2 * self.coeffs.len() - 1];
+        for (i, &c) in self.coeffs.iter().enumerate() {
+            if c != 0 {
+                out[2 * i] = f.square(c);
+            }
+        }
+        Poly::from_coeffs(out).rem(modulus, f)
+    }
+
+    /// Compute the roots of the polynomial by exhaustively evaluating at
+    /// every nonzero field element. Suitable only for small fields
+    /// (`2^m` up to a few million); the `bch` crate uses a trace-based
+    /// splitting algorithm for large fields.
+    pub fn roots_exhaustive(&self, f: &Field) -> Vec<u64> {
+        let mut roots = Vec::new();
+        if self.is_zero() {
+            return roots;
+        }
+        for x in f.nonzero_elements() {
+            if self.eval(x, f) == 0 {
+                roots.push(x);
+            }
+        }
+        roots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f8() -> Field {
+        Field::new(8)
+    }
+
+    #[test]
+    fn construction_normalizes_leading_zeros() {
+        let p = Poly::from_coeffs(vec![1, 2, 0, 0]);
+        assert_eq!(p.degree(), Some(1));
+        assert_eq!(p.coeffs(), &[1, 2]);
+        assert!(Poly::from_coeffs(vec![0, 0]).is_zero());
+        assert_eq!(Poly::zero().degree(), None);
+    }
+
+    #[test]
+    fn add_is_involutive() {
+        let f = f8();
+        let a = Poly::from_coeffs(vec![3, 7, 11]);
+        let b = Poly::from_coeffs(vec![5, 7]);
+        let s = a.add(&b, &f);
+        assert_eq!(s.add(&b, &f), a);
+        assert_eq!(a.add(&a, &f), Poly::zero());
+    }
+
+    #[test]
+    fn mul_matches_known_product() {
+        let f = f8();
+        // (x + 1)(x + 1) = x^2 + 1 in characteristic 2
+        let p = Poly::from_coeffs(vec![1, 1]);
+        let sq = p.mul(&p, &f);
+        assert_eq!(sq, Poly::from_coeffs(vec![1, 0, 1]));
+    }
+
+    #[test]
+    fn div_rem_reconstructs() {
+        let f = f8();
+        let a = Poly::from_coeffs(vec![7, 2, 0, 5, 9, 1]);
+        let b = Poly::from_coeffs(vec![3, 0, 1]);
+        let (q, r) = a.div_rem(&b, &f);
+        let back = q.mul(&b, &f).add(&r, &f);
+        assert_eq!(back, a);
+        assert!(r.degree_or_zero() < b.degree().unwrap());
+    }
+
+    #[test]
+    fn gcd_of_product_with_common_factor() {
+        let f = f8();
+        let common = Poly::from_coeffs(vec![5, 1]); // x + 5
+        let a = common.mul(&Poly::from_coeffs(vec![9, 0, 1]), &f);
+        let b = common.mul(&Poly::from_coeffs(vec![1, 1]), &f);
+        let g = a.gcd(&b, &f);
+        // gcd should be divisible by (x + 5) and vice versa: compare monic forms.
+        assert_eq!(g, common.clone().into_monic(&f));
+    }
+
+    #[test]
+    fn eval_and_roots_of_linear_product() {
+        let f = f8();
+        // Build (x - 3)(x - 17)(x - 200); in char 2, -a == a.
+        let roots = [3u64, 17, 200];
+        let mut p = Poly::one();
+        for &r in &roots {
+            p = p.mul(&Poly::from_coeffs(vec![r, 1]), &f);
+        }
+        for &r in &roots {
+            assert_eq!(p.eval(r, &f), 0);
+        }
+        assert_ne!(p.eval(5, &f), 0);
+        let mut found = p.roots_exhaustive(&f);
+        found.sort_unstable();
+        assert_eq!(found, vec![3, 17, 200]);
+    }
+
+    #[test]
+    fn derivative_drops_even_terms() {
+        // p = 1 + x + x^2 + x^3 -> p' = 1 + x^2 (char 2)
+        let p = Poly::from_coeffs(vec![1, 1, 1, 1]);
+        assert_eq!(p.derivative(), Poly::from_coeffs(vec![1, 0, 1]));
+        assert_eq!(Poly::constant(7).derivative(), Poly::zero());
+    }
+
+    #[test]
+    fn square_mod_matches_mulmod() {
+        let f = Field::new(11);
+        let modulus = Poly::from_coeffs(vec![3, 0, 1, 0, 0, 1]); // degree 5
+        let p = Poly::from_coeffs(vec![100, 2000, 5, 1]);
+        assert_eq!(p.square_mod(&modulus, &f), p.mulmod(&p, &modulus, &f));
+    }
+
+    #[test]
+    fn monomial_and_shift() {
+        let f = f8();
+        let m = Poly::monomial(5, 3);
+        assert_eq!(m.degree(), Some(3));
+        assert_eq!(m.coeff(3), 5);
+        let p = Poly::from_coeffs(vec![1, 2]);
+        assert_eq!(p.shift(2), Poly::from_coeffs(vec![0, 0, 1, 2]));
+        assert_eq!(p.shift(2), p.mul(&Poly::monomial(1, 2), &f));
+    }
+
+    #[test]
+    #[should_panic(expected = "polynomial division by zero")]
+    fn division_by_zero_panics() {
+        let f = f8();
+        let a = Poly::one();
+        let _ = a.div_rem(&Poly::zero(), &f);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for GF(2^m) field and polynomial arithmetic.
+
+use gf::{Field, Poly};
+use proptest::prelude::*;
+
+fn field_strategy() -> impl Strategy<Value = Field> {
+    prop_oneof![
+        Just(Field::new(3)),
+        Just(Field::new(7)),
+        Just(Field::new(8)),
+        Just(Field::new(11)),
+        Just(Field::new(13)),
+        Just(Field::new(17)),
+        Just(Field::new(24)),
+        Just(Field::new(32)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn field_axioms(f in field_strategy(), a_raw in any::<u64>(), b_raw in any::<u64>(), c_raw in any::<u64>()) {
+        let a = a_raw % f.order();
+        let b = b_raw % f.order();
+        let c = c_raw % f.order();
+        // commutativity
+        prop_assert_eq!(f.add(a, b), f.add(b, a));
+        prop_assert_eq!(f.mul(a, b), f.mul(b, a));
+        // associativity
+        prop_assert_eq!(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+        prop_assert_eq!(f.add(f.add(a, b), c), f.add(a, f.add(b, c)));
+        // distributivity
+        prop_assert_eq!(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+        // identities
+        prop_assert_eq!(f.mul(a, 1), a);
+        prop_assert_eq!(f.add(a, 0), a);
+        prop_assert_eq!(f.add(a, a), 0);
+    }
+
+    #[test]
+    fn inverse_round_trip(f in field_strategy(), a_raw in any::<u64>()) {
+        let a = a_raw % f.order();
+        prop_assume!(a != 0);
+        let inv = f.inv(a);
+        prop_assert_eq!(f.mul(a, inv), 1);
+        prop_assert_eq!(f.div(f.mul(a, 0x3) % f.order().max(1), a), f.mul(f.mul(a, 0x3) % f.order().max(1), inv));
+    }
+
+    #[test]
+    fn frobenius_is_field_automorphism(f in field_strategy(), a_raw in any::<u64>(), b_raw in any::<u64>()) {
+        let a = a_raw % f.order();
+        let b = b_raw % f.order();
+        prop_assert_eq!(f.square(f.mul(a, b)), f.mul(f.square(a), f.square(b)));
+        prop_assert_eq!(f.square(f.add(a, b)), f.add(f.square(a), f.square(b)));
+        prop_assert_eq!(f.sqrt(f.square(a)), a);
+    }
+
+    #[test]
+    fn poly_mul_distributes_over_add(
+        f in field_strategy(),
+        a in prop::collection::vec(any::<u64>(), 0..8),
+        b in prop::collection::vec(any::<u64>(), 0..8),
+        c in prop::collection::vec(any::<u64>(), 0..8),
+    ) {
+        let reduce = |v: Vec<u64>| Poly::from_coeffs(v.into_iter().map(|x| x % f.order()).collect());
+        let (a, b, c) = (reduce(a), reduce(b), reduce(c));
+        let lhs = a.mul(&b.add(&c, &f), &f);
+        let rhs = a.mul(&b, &f).add(&a.mul(&c, &f), &f);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn poly_div_rem_reconstruction(
+        f in field_strategy(),
+        a in prop::collection::vec(any::<u64>(), 0..12),
+        b in prop::collection::vec(any::<u64>(), 1..6),
+    ) {
+        let reduce = |v: Vec<u64>| Poly::from_coeffs(v.into_iter().map(|x| x % f.order()).collect());
+        let a = reduce(a);
+        let b = reduce(b);
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b, &f);
+        prop_assert_eq!(q.mul(&b, &f).add(&r, &f), a);
+        if !r.is_zero() {
+            prop_assert!(r.degree().unwrap() < b.degree().unwrap());
+        }
+    }
+
+    #[test]
+    fn poly_eval_is_ring_homomorphism(
+        f in field_strategy(),
+        a in prop::collection::vec(any::<u64>(), 0..8),
+        b in prop::collection::vec(any::<u64>(), 0..8),
+        x_raw in any::<u64>(),
+    ) {
+        let reduce = |v: Vec<u64>| Poly::from_coeffs(v.into_iter().map(|y| y % f.order()).collect());
+        let a = reduce(a);
+        let b = reduce(b);
+        let x = x_raw % f.order();
+        prop_assert_eq!(a.add(&b, &f).eval(x, &f), f.add(a.eval(x, &f), b.eval(x, &f)));
+        prop_assert_eq!(a.mul(&b, &f).eval(x, &f), f.mul(a.eval(x, &f), b.eval(x, &f)));
+    }
+
+    #[test]
+    fn gcd_divides_both(
+        f in field_strategy(),
+        a in prop::collection::vec(any::<u64>(), 1..8),
+        b in prop::collection::vec(any::<u64>(), 1..8),
+    ) {
+        let reduce = |v: Vec<u64>| Poly::from_coeffs(v.into_iter().map(|y| y % f.order()).collect());
+        let a = reduce(a);
+        let b = reduce(b);
+        prop_assume!(!a.is_zero() && !b.is_zero());
+        let g = a.gcd(&b, &f);
+        prop_assert!(!g.is_zero());
+        prop_assert!(a.rem(&g, &f).is_zero());
+        prop_assert!(b.rem(&g, &f).is_zero());
+    }
+}

@@ -1,0 +1,200 @@
+//! Message transcripts and communication accounting.
+
+/// Direction of a protocol message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Alice → Bob.
+    AliceToBob,
+    /// Bob → Alice.
+    BobToAlice,
+}
+
+/// Aggregate communication statistics of a reconciliation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Bytes sent from Alice to Bob.
+    pub bytes_alice_to_bob: u64,
+    /// Bytes sent from Bob to Alice.
+    pub bytes_bob_to_alice: u64,
+    /// Number of messages exchanged (either direction).
+    pub messages: u32,
+}
+
+impl CommStats {
+    /// Total bytes exchanged in both directions — the paper's
+    /// "data transmitted" metric (Figures 1b, 2b, 3b, 5).
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_alice_to_bob + self.bytes_bob_to_alice
+    }
+
+    /// Total kilobytes exchanged (the unit the paper plots).
+    pub fn total_kb(&self) -> f64 {
+        self.total_bytes() as f64 / 1000.0
+    }
+
+    /// Merge another run's statistics into this one.
+    pub fn merge(&mut self, other: &CommStats) {
+        self.bytes_alice_to_bob += other.bytes_alice_to_bob;
+        self.bytes_bob_to_alice += other.bytes_bob_to_alice;
+        self.messages += other.messages;
+    }
+}
+
+/// A record of one logical message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MessageRecord {
+    /// Protocol round this message belongs to (1-based).
+    pub round: u32,
+    /// Direction of the message.
+    pub direction: Direction,
+    /// A short label describing the payload (e.g. `"bch-sketch"`).
+    pub label: &'static str,
+    /// Payload size in **bits** — the paper accounts several sub-byte
+    /// quantities (bit-error positions of `log n` bits each), so the ledger
+    /// keeps bit precision and rounds up only at the aggregate level.
+    pub bits: u64,
+}
+
+/// A ledger of all messages exchanged during a reconciliation run.
+///
+/// Schemes record every payload they *would* put on the wire; the transcript
+/// sums them so the experiment harness reports measured (not estimated)
+/// communication overhead, including any extra rounds.
+#[derive(Debug, Clone, Default)]
+pub struct Transcript {
+    records: Vec<MessageRecord>,
+    current_round: u32,
+}
+
+impl Transcript {
+    /// Create an empty transcript (round counter starts at 1).
+    pub fn new() -> Self {
+        Transcript {
+            records: Vec::new(),
+            current_round: 1,
+        }
+    }
+
+    /// The current round number (1-based).
+    pub fn round(&self) -> u32 {
+        self.current_round
+    }
+
+    /// Advance to the next protocol round.
+    pub fn next_round(&mut self) {
+        self.current_round += 1;
+    }
+
+    /// Record a message of `bits` bits in the current round.
+    pub fn send_bits(&mut self, direction: Direction, label: &'static str, bits: u64) {
+        self.records.push(MessageRecord {
+            round: self.current_round,
+            direction,
+            label,
+            bits,
+        });
+    }
+
+    /// Record a message of `bytes` bytes in the current round.
+    pub fn send_bytes(&mut self, direction: Direction, label: &'static str, bytes: u64) {
+        self.send_bits(direction, label, bytes * 8);
+    }
+
+    /// All recorded messages.
+    pub fn records(&self) -> &[MessageRecord] {
+        &self.records
+    }
+
+    /// Total bits sent in the given direction.
+    pub fn bits_in_direction(&self, direction: Direction) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.direction == direction)
+            .map(|r| r.bits)
+            .sum()
+    }
+
+    /// Total bits recorded during the given round.
+    pub fn bits_in_round(&self, round: u32) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.round == round)
+            .map(|r| r.bits)
+            .sum()
+    }
+
+    /// Total bits for messages carrying the given label.
+    pub fn bits_for_label(&self, label: &str) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.label == label)
+            .map(|r| r.bits)
+            .sum()
+    }
+
+    /// The number of rounds in which at least one message was sent.
+    pub fn rounds_used(&self) -> u32 {
+        self.records.iter().map(|r| r.round).max().unwrap_or(0)
+    }
+
+    /// Collapse the ledger into aggregate [`CommStats`]. Bits are converted
+    /// to bytes per direction, rounding up.
+    pub fn stats(&self) -> CommStats {
+        let a2b = self.bits_in_direction(Direction::AliceToBob);
+        let b2a = self.bits_in_direction(Direction::BobToAlice);
+        CommStats {
+            bytes_alice_to_bob: a2b.div_ceil(8),
+            bytes_bob_to_alice: b2a.div_ceil(8),
+            messages: self.records.len() as u32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transcript_accumulates_bits_and_rounds() {
+        let mut t = Transcript::new();
+        t.send_bits(Direction::AliceToBob, "bch-sketch", 13 * 7);
+        t.send_bytes(Direction::BobToAlice, "xor-sums", 20);
+        t.next_round();
+        t.send_bits(Direction::AliceToBob, "bch-sketch", 50);
+        assert_eq!(t.rounds_used(), 2);
+        assert_eq!(t.bits_in_direction(Direction::AliceToBob), 141);
+        assert_eq!(t.bits_in_direction(Direction::BobToAlice), 160);
+        assert_eq!(t.bits_in_round(1), 91 + 160);
+        assert_eq!(t.bits_for_label("bch-sketch"), 141);
+        let s = t.stats();
+        assert_eq!(s.bytes_alice_to_bob, 18); // ceil(141 / 8)
+        assert_eq!(s.bytes_bob_to_alice, 20);
+        assert_eq!(s.messages, 3);
+        assert_eq!(s.total_bytes(), 38);
+    }
+
+    #[test]
+    fn stats_merge() {
+        let mut a = CommStats {
+            bytes_alice_to_bob: 10,
+            bytes_bob_to_alice: 5,
+            messages: 2,
+        };
+        let b = CommStats {
+            bytes_alice_to_bob: 1,
+            bytes_bob_to_alice: 2,
+            messages: 1,
+        };
+        a.merge(&b);
+        assert_eq!(a.total_bytes(), 18);
+        assert_eq!(a.messages, 3);
+        assert!((a.total_kb() - 0.018).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_transcript() {
+        let t = Transcript::new();
+        assert_eq!(t.rounds_used(), 0);
+        assert_eq!(t.stats().total_bytes(), 0);
+    }
+}

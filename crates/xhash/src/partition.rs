@@ -1,0 +1,125 @@
+//! Consistent hash partitioning of elements into bins.
+//!
+//! PBS partitions a set three times over:
+//!
+//! 1. into `g` *groups* (PBS-for-large-d, §3),
+//! 2. each group into `n` *subsets* / bins (PBS-for-small-d, §2.2.1), with a
+//!    fresh independent hash function per round (§2.4),
+//! 3. a failed group into 3 *sub-groups* (§3.2).
+//!
+//! All three are instances of the same primitive: map a `u64` element to a
+//! bin index in `0..n` given a seed, such that (a) Alice and Bob agree, and
+//! (b) different seeds give (practically) independent mappings. The
+//! [`PartitionHasher`] wraps that primitive.
+
+use crate::xx::xxhash64_u64;
+
+/// Maps elements of the universe to bins `0..n` under a fixed seed.
+///
+/// Bin selection uses the high 64 bits of `hash * n` (Lemire's multiply-shift
+/// range reduction), which avoids the slight modulo bias and a division.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionHasher {
+    seed: u64,
+    bins: u64,
+}
+
+impl PartitionHasher {
+    /// Create a partition hasher over `bins` bins with the given seed.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0`.
+    pub fn new(bins: u64, seed: u64) -> Self {
+        assert!(bins > 0, "cannot partition into zero bins");
+        PartitionHasher { seed, bins }
+    }
+
+    /// Number of bins.
+    #[inline]
+    pub fn bins(&self) -> u64 {
+        self.bins
+    }
+
+    /// The seed this hasher was created with.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Bin index in `0..bins` for `element`.
+    #[inline]
+    pub fn bin(&self, element: u64) -> u64 {
+        let h = xxhash64_u64(element, self.seed);
+        (((h as u128) * (self.bins as u128)) >> 64) as u64
+    }
+
+    /// Bin index as 1-based position `1..=bins`, the convention the paper
+    /// uses for parity-bitmap bit positions (bit positions 1..n map to
+    /// nonzero field elements in the BCH sketch).
+    #[inline]
+    pub fn position(&self, element: u64) -> u64 {
+        self.bin(element) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_are_in_range() {
+        let h = PartitionHasher::new(255, 42);
+        for e in 0..10_000u64 {
+            let b = h.bin(e);
+            assert!(b < 255);
+            assert_eq!(h.position(e), b + 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let h1 = PartitionHasher::new(127, 7);
+        let h2 = PartitionHasher::new(127, 7);
+        for e in [0u64, 1, 0xFFFF_FFFF, u64::MAX] {
+            assert_eq!(h1.bin(e), h2.bin(e));
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_partitions() {
+        let h1 = PartitionHasher::new(1024, 1);
+        let h2 = PartitionHasher::new(1024, 2);
+        let differing = (0..1000u64).filter(|&e| h1.bin(e) != h2.bin(e)).count();
+        // With 1024 bins the two mappings should disagree almost everywhere.
+        assert!(differing > 950, "only {differing} of 1000 elements moved");
+    }
+
+    #[test]
+    fn distribution_is_roughly_uniform() {
+        let bins = 64u64;
+        let h = PartitionHasher::new(bins, 3);
+        let n = 64_000u64;
+        let mut counts = vec![0u32; bins as usize];
+        for e in 0..n {
+            counts[h.bin(e) as usize] += 1;
+        }
+        let expected = (n / bins) as f64;
+        for (b, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.15, "bin {b} count {c} deviates {dev:.3} from {expected}");
+        }
+    }
+
+    #[test]
+    fn single_bin_maps_everything_to_zero() {
+        let h = PartitionHasher::new(1, 99);
+        assert_eq!(h.bin(12345), 0);
+        assert_eq!(h.bin(u64::MAX), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot partition into zero bins")]
+    fn zero_bins_panics() {
+        PartitionHasher::new(0, 0);
+    }
+}

@@ -1,0 +1,179 @@
+//! A 4-wise independent ±1 hash family for the Tug-of-War estimator.
+//!
+//! §6 of the paper requires, per Fact 1 (Appendix A), a family `F` of
+//! *four-wise independent* hash functions mapping universe elements to
+//! `{+1, -1}` uniformly. We realize it the classical way: a random degree-3
+//! polynomial over the prime field GF(p) with p = 2^61 - 1 (a Mersenne
+//! prime, so reduction is two shifts and an add), evaluated at the element
+//! and mapped to ±1 by one output bit. Degree-3 polynomial hashing over a
+//! prime field is 4-wise independent by the standard Vandermonde argument,
+//! which is exactly the property the variance proof of Appendix A uses.
+
+/// The Mersenne prime 2^61 - 1 used as the modulus of the hash family.
+pub const MERSENNE_P: u64 = (1u64 << 61) - 1;
+
+/// One member of the 4-wise independent ±1 hash family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SignHasher {
+    /// Polynomial coefficients a0 + a1 x + a2 x^2 + a3 x^3 over GF(p).
+    coeffs: [u64; 4],
+}
+
+#[inline]
+fn mod_p(x: u128) -> u64 {
+    // Reduce a < p^2 value modulo 2^61 - 1.
+    let lo = (x & MERSENNE_P as u128) as u64;
+    let hi = (x >> 61) as u64;
+    let mut r = lo + hi;
+    if r >= MERSENNE_P {
+        r -= MERSENNE_P;
+    }
+    // One more fold covers the carry from the addition above.
+    if r >= MERSENNE_P {
+        r -= MERSENNE_P;
+    }
+    r
+}
+
+#[inline]
+fn mul_mod(a: u64, b: u64) -> u64 {
+    mod_p((a as u128) * (b as u128))
+}
+
+#[inline]
+fn add_mod(a: u64, b: u64) -> u64 {
+    let s = a + b;
+    if s >= MERSENNE_P {
+        s - MERSENNE_P
+    } else {
+        s
+    }
+}
+
+impl SignHasher {
+    /// Draw a member of the family from a 64-bit seed.
+    ///
+    /// The four coefficients are derived from the seed with the crate's
+    /// xxHash64; drawing fresh seeds yields (for all practical purposes)
+    /// independent members of the family, which is how the ToW estimator
+    /// builds its ℓ independent sketches.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut coeffs = [0u64; 4];
+        for (i, c) in coeffs.iter_mut().enumerate() {
+            *c = crate::xx::xxhash64_u64(i as u64, seed ^ 0xA076_1D64_78BD_642F) % MERSENNE_P;
+        }
+        // The leading coefficient being zero only reduces the degree; it does
+        // not break 4-wise independence of the first four coefficients being
+        // uniform, so no rejection is needed.
+        SignHasher { coeffs }
+    }
+
+    /// Construct from explicit polynomial coefficients (reduced mod p).
+    pub fn from_coeffs(coeffs: [u64; 4]) -> Self {
+        SignHasher {
+            coeffs: [
+                coeffs[0] % MERSENNE_P,
+                coeffs[1] % MERSENNE_P,
+                coeffs[2] % MERSENNE_P,
+                coeffs[3] % MERSENNE_P,
+            ],
+        }
+    }
+
+    /// Evaluate the degree-3 polynomial at `x` over GF(p).
+    #[inline]
+    fn poly_eval(&self, x: u64) -> u64 {
+        let x = x % MERSENNE_P;
+        let mut acc = 0u64;
+        for &c in self.coeffs.iter().rev() {
+            acc = add_mod(mul_mod(acc, x), c);
+        }
+        acc
+    }
+
+    /// The ±1 hash value of `element`.
+    #[inline]
+    pub fn sign(&self, element: u64) -> i64 {
+        // Use the parity of the low bit of the polynomial value. The value is
+        // (essentially) uniform over GF(p), so the bit is balanced.
+        if self.poly_eval(element) & 1 == 0 {
+            1
+        } else {
+            -1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_is_plus_or_minus_one() {
+        let h = SignHasher::from_seed(123);
+        for e in 0..1000u64 {
+            let s = h.sign(e);
+            assert!(s == 1 || s == -1);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let h1 = SignHasher::from_seed(5);
+        let h2 = SignHasher::from_seed(5);
+        for e in [0u64, 7, 1 << 40, u64::MAX] {
+            assert_eq!(h1.sign(e), h2.sign(e));
+        }
+    }
+
+    #[test]
+    fn signs_are_balanced() {
+        let h = SignHasher::from_seed(42);
+        let n = 100_000u64;
+        let sum: i64 = (0..n).map(|e| h.sign(e)).sum();
+        // Expected |sum| is on the order of sqrt(n) ~ 316; allow a wide margin.
+        assert!(sum.abs() < 2_000, "sign sum {sum} too far from zero");
+    }
+
+    #[test]
+    fn pairwise_products_are_balanced() {
+        // A weak empirical check of independence: over many hashers, the
+        // product of signs of two fixed distinct elements averages near 0.
+        let (a, b) = (17u64, 3_000_000_007u64);
+        let trials = 20_000;
+        let sum: i64 = (0..trials)
+            .map(|s| {
+                let h = SignHasher::from_seed(s);
+                h.sign(a) * h.sign(b)
+            })
+            .sum();
+        assert!(
+            sum.abs() < 1_000,
+            "pairwise product sum {sum} suggests correlation"
+        );
+    }
+
+    #[test]
+    fn fourwise_products_are_balanced() {
+        let elems = [2u64, 99, 123_456, 987_654_321];
+        let trials = 20_000;
+        let sum: i64 = (0..trials)
+            .map(|s: u64| {
+                let h = SignHasher::from_seed(s.wrapping_mul(0x9E3779B97F4A7C15));
+                elems.iter().map(|&e| h.sign(e)).product::<i64>()
+            })
+            .sum();
+        assert!(
+            sum.abs() < 1_000,
+            "4-wise product sum {sum} suggests correlation"
+        );
+    }
+
+    #[test]
+    fn mersenne_reduction_is_correct() {
+        for &(a, b) in &[(MERSENNE_P - 1, MERSENNE_P - 1), (123456789, 987654321), (0, 5)] {
+            let expect = ((a as u128 * b as u128) % MERSENNE_P as u128) as u64;
+            assert_eq!(mul_mod(a, b), expect);
+        }
+    }
+}

