@@ -55,8 +55,7 @@ pub const PAPER_CANDIDATE_N: [usize; 6] = [63, 127, 255, 511, 1023, 2047];
 /// parameters; for the paper's default `r = 3` the optimum always falls
 /// inside [`PAPER_CANDIDATE_N`].
 pub const CANDIDATE_N: [usize; 15] = [
-    63, 127, 255, 511, 1023, 2047, 4095, 8191, 16383, 32767, 65535, 131071, 262143, 524287,
-    1048575,
+    63, 127, 255, 511, 1023, 2047, 4095, 8191, 16383, 32767, 65535, 131071, 262143, 524287, 1048575,
 ];
 
 /// How the per-group success probability treats groups whose number of
@@ -105,9 +104,9 @@ pub fn group_success_probability_with(
     let success = matrix.success_probabilities(r);
     let p = 1.0 / g as f64;
     let mut alpha = 0.0;
-    for x in 0..=t.min(d) {
+    for (x, &s) in success.iter().enumerate().take(t.min(d) + 1) {
         let weight = binomial_pmf(d, x, p);
-        let s = if x == 0 { 1.0 } else { success[x] };
+        let s = if x == 0 { 1.0 } else { s };
         alpha += weight * s;
     }
     if let SuccessModel::SplitAware = model {
@@ -202,8 +201,8 @@ pub fn expected_round_shares(n: usize, t: usize, d: usize, g: usize, rounds: u32
     let per_group = d as f64 / g as f64;
     let mut shares = Vec::with_capacity(rounds as usize + 1);
     let mut prev = 0.0;
-    for k in 1..=rounds as usize {
-        let within = expected_within[k] / per_group;
+    for &within_abs in expected_within.iter().take(rounds as usize + 1).skip(1) {
+        let within = within_abs / per_group;
         shares.push((within - prev).max(0.0));
         prev = within;
     }
@@ -221,8 +220,16 @@ mod tests {
         // proportions reconciled in rounds 1..4 are 0.962, 0.0380, 3.61e-4,
         // 2.86e-6.
         let shares = expected_round_shares(127, 13, 1000, 200, 4);
-        assert!((shares[0] - 0.962).abs() < 0.01, "round-1 share {}", shares[0]);
-        assert!((shares[1] - 0.038).abs() < 0.01, "round-2 share {}", shares[1]);
+        assert!(
+            (shares[0] - 0.962).abs() < 0.01,
+            "round-1 share {}",
+            shares[0]
+        );
+        assert!(
+            (shares[1] - 0.038).abs() < 0.01,
+            "round-2 share {}",
+            shares[1]
+        );
         assert!(shares[2] < 0.002, "round-3 share {}", shares[2]);
         assert!(shares[3] < 1e-4, "round-4 share {}", shares[3]);
         let total: f64 = shares.iter().sum();
@@ -231,7 +238,10 @@ mod tests {
 
     #[test]
     fn alpha_increases_with_t_and_n() {
-        for model in [SuccessModel::PessimisticTruncation, SuccessModel::SplitAware] {
+        for model in [
+            SuccessModel::PessimisticTruncation,
+            SuccessModel::SplitAware,
+        ] {
             let a_small = group_success_probability(63, 8, 1000, 200, 3, model);
             let a_big_t = group_success_probability(63, 14, 1000, 200, 3, model);
             let a_big_n = group_success_probability(511, 8, 1000, 200, 3, model);
@@ -244,7 +254,14 @@ mod tests {
     #[test]
     fn split_aware_dominates_truncation() {
         for t in [10usize, 13, 16] {
-            let pess = group_success_probability(127, t, 1000, 200, 3, SuccessModel::PessimisticTruncation);
+            let pess = group_success_probability(
+                127,
+                t,
+                1000,
+                200,
+                3,
+                SuccessModel::PessimisticTruncation,
+            );
             let split = group_success_probability(127, t, 1000, 200, 3, SuccessModel::SplitAware);
             assert!(split >= pess, "split-aware must never be below truncation");
         }
@@ -272,7 +289,10 @@ mod tests {
             overall_success_lower_bound(a, 200)
         };
         let headline = cell(127, 13, SuccessModel::SplitAware);
-        assert!(headline >= 0.99, "n=127,t=13 should be feasible, got {headline}");
+        assert!(
+            headline >= 0.99,
+            "n=127,t=13 should be feasible, got {headline}"
+        );
         let big = cell(255, 13, SuccessModel::SplitAware);
         assert!(big >= headline - 1e-6, "larger n should not hurt");
         let n63_cap = cell(63, 17, SuccessModel::SplitAware);
@@ -281,7 +301,10 @@ mod tests {
             "n=63 saturates below the 0.99 target (paper: 95.8%), got {n63_cap}"
         );
         let tiny = cell(63, 8, SuccessModel::PessimisticTruncation);
-        assert!(tiny <= 0.0, "n=63,t=8 should be vacuous (table shows 0), got {tiny}");
+        assert!(
+            tiny <= 0.0,
+            "n=63,t=8 should be vacuous (table shows 0), got {tiny}"
+        );
         // Pessimistic truncation at t = 13 is far below the paper's 99.1%,
         // which is why the split-aware model is the default.
         let pess = cell(127, 13, SuccessModel::PessimisticTruncation);

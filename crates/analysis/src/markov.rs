@@ -229,7 +229,10 @@ mod tests {
         let m = TransitionMatrix::build(n, d);
         let closed: f64 = (1..d).map(|k| 1.0 - k as f64 / n as f64).product();
         assert!((m.get(d, 0) - closed).abs() < 1e-12);
-        assert!((closed - 0.96).abs() < 0.005, "paper quotes ~0.96, got {closed}");
+        assert!(
+            (closed - 0.96).abs() < 0.005,
+            "paper quotes ~0.96, got {closed}"
+        );
     }
 
     #[test]

@@ -60,7 +60,10 @@ impl std::fmt::Display for OptimizeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             OptimizeError::NoFeasibleParameters => {
-                write!(f, "no (n, t) combination satisfies the target success probability")
+                write!(
+                    f,
+                    "no (n, t) combination satisfies the target success probability"
+                )
             }
         }
     }
@@ -199,7 +202,12 @@ mod tests {
             "per-group cost must decrease with r: {totals:?}"
         );
         // The r = 1 optimum is far more expensive than r = 3 (paper: 591 vs 318).
-        assert!(totals[0] >= totals[2] + 100.0, "r=1 {} vs r=3 {}", totals[0], totals[2]);
+        assert!(
+            totals[0] >= totals[2] + 100.0,
+            "r=1 {} vs r=3 {}",
+            totals[0],
+            totals[2]
+        );
         // r = 3 lands in the neighbourhood of the paper's 318 bits.
         assert!(
             (250.0..=380.0).contains(&totals[2]),

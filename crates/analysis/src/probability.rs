@@ -67,8 +67,14 @@ pub struct ExceptionProbabilities {
 /// paper's per-group analysis concerns; cost grows with the number of integer
 /// partitions of `d`.
 pub fn exception_probabilities(d: usize, n: usize) -> ExceptionProbabilities {
-    assert!(d <= 60, "exact partition enumeration is only intended for small d");
-    assert!(n >= d.max(1), "need at least d bins for the enumeration to make sense");
+    assert!(
+        d <= 60,
+        "exact partition enumeration is only intended for small d"
+    );
+    assert!(
+        n >= d.max(1),
+        "need at least d bins for the enumeration to make sense"
+    );
 
     let mut ideal = 0.0;
     let mut type_i = 0.0;

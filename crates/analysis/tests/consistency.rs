@@ -133,7 +133,10 @@ fn ideal_case_formula_vs_matrix_vs_simulation() {
             .filter(|_| one_round_is_ideal(d, n, &mut rng))
             .count();
         let empirical = ok as f64 / trials as f64;
-        assert!((empirical - closed).abs() < 0.02, "d={d}, n={n}: {empirical} vs {closed}");
+        assert!(
+            (empirical - closed).abs() < 0.02,
+            "d={d}, n={n}: {empirical} vs {closed}"
+        );
     }
 }
 

@@ -80,7 +80,10 @@ impl std::fmt::Display for DecodeError {
                 write!(f, "sketch does not decode: difference exceeds capacity t")
             }
             DecodeError::LocatorNotSplitting => {
-                write!(f, "sketch does not decode: locator polynomial has no full root set")
+                write!(
+                    f,
+                    "sketch does not decode: locator polynomial has no full root set"
+                )
             }
         }
     }
@@ -139,6 +142,35 @@ impl Sketch {
         }
     }
 
+    /// Toggle a whole slice of elements in the sketched set.
+    ///
+    /// This is the batched syndrome kernel: four elements advance through
+    /// their odd-power ladders together (`x, x^3, x^5, …` each stepping by
+    /// `x^2`), so the four field multiplications per syndrome row are
+    /// independent and the backend dispatch in [`Field::mul_slice`] is paid
+    /// once per row instead of once per multiplication. Equivalent to
+    /// calling [`Sketch::add`] per element, measurably faster for the bulk
+    /// sketching PinSketch and PBS do.
+    pub fn add_batch(&mut self, elements: &[u64], field: &Field) {
+        let t = self.syndromes.len();
+        let mut chunks = elements.chunks_exact(4);
+        for chunk in &mut chunks {
+            debug_assert!(chunk.iter().all(|&e| e != 0 && field.contains(e)));
+            let mut powers = [chunk[0], chunk[1], chunk[2], chunk[3]];
+            let mut squares = powers;
+            field.square_slice(&mut squares);
+            for (i, s) in self.syndromes.iter_mut().enumerate() {
+                *s ^= powers[0] ^ powers[1] ^ powers[2] ^ powers[3];
+                if i + 1 < t {
+                    field.mul_slice(&mut powers, &squares);
+                }
+            }
+        }
+        for &e in chunks.remainder() {
+            self.add(e, field);
+        }
+    }
+
     /// XOR-combine with another sketch of the same capacity: the result is
     /// the sketch of the symmetric difference of the two sketched sets.
     pub fn combine(&mut self, other: &Sketch) {
@@ -163,16 +195,29 @@ impl Sketch {
     }
 
     /// Deserialize from the byte format produced by [`Sketch::to_bytes`].
+    ///
+    /// Rejects inputs whose length is not a multiple of the syndrome width
+    /// (trailing garbage) and any syndrome value with bits at or above `m`
+    /// set (an out-of-field element a peer could otherwise smuggle into the
+    /// decoder): the padding bits of each ⌈m/8⌉-byte word must be zero.
     pub fn from_bytes(bytes: &[u8], m: u32) -> Option<Self> {
-        let width = m.div_ceil(8) as usize;
-        if width == 0 || bytes.len() % width != 0 {
+        if m == 0 || m > 64 {
             return None;
         }
+        let width = m.div_ceil(8) as usize;
+        if !bytes.len().is_multiple_of(width) {
+            return None;
+        }
+        let limit = 1u64.checked_shl(m).unwrap_or(0); // 0 means "no bound" (m == 64)
         let mut syndromes = Vec::with_capacity(bytes.len() / width);
         for chunk in bytes.chunks(width) {
             let mut buf = [0u8; 8];
             buf[..width].copy_from_slice(chunk);
-            syndromes.push(u64::from_le_bytes(buf));
+            let value = u64::from_le_bytes(buf);
+            if limit != 0 && value >= limit {
+                return None;
+            }
+            syndromes.push(value);
         }
         Some(Sketch { syndromes })
     }
@@ -239,12 +284,28 @@ impl BchCodec {
         Sketch::zero(self.t)
     }
 
-    /// Sketch a whole set of nonzero field elements.
+    /// Sketch a whole set of nonzero field elements through the batched
+    /// kernel ([`Sketch::add_batch`]).
     pub fn sketch_set(&self, elements: impl IntoIterator<Item = u64>) -> Sketch {
         let mut s = self.empty_sketch();
+        let mut buf = [0u64; 64];
+        let mut n = 0;
         for e in elements {
-            s.add(e, &self.field);
+            buf[n] = e;
+            n += 1;
+            if n == buf.len() {
+                s.add_batch(&buf, &self.field);
+                n = 0;
+            }
         }
+        s.add_batch(&buf[..n], &self.field);
+        s
+    }
+
+    /// Sketch a slice of nonzero field elements (no iterator buffering).
+    pub fn sketch_slice(&self, elements: &[u64]) -> Sketch {
+        let mut s = self.empty_sketch();
+        s.add_batch(elements, &self.field);
         s
     }
 
@@ -283,7 +344,7 @@ impl BchCodec {
 
         // Roots of the locator are the inverses of the difference elements.
         let roots = find_roots(&locator, f).map_err(|_| DecodeError::LocatorNotSplitting)?;
-        if roots.len() != degree || roots.iter().any(|&r| r == 0) {
+        if roots.len() != degree || roots.contains(&0) {
             return Err(DecodeError::LocatorNotSplitting);
         }
         let elements: Vec<u64> = roots.iter().map(|&r| f.inv(r)).collect();
@@ -391,6 +452,45 @@ mod tests {
     #[test]
     fn from_bytes_rejects_bad_length() {
         assert!(Sketch::from_bytes(&[1, 2, 3], 11).is_none());
+    }
+
+    #[test]
+    fn from_bytes_rejects_out_of_field_syndromes() {
+        // m = 11: syndromes are 2 bytes wide but only values < 2048 are
+        // field elements. 0x0FFF = 4095 is out of field.
+        assert!(Sketch::from_bytes(&[0xFF, 0x0F], 11).is_none());
+        // The largest in-field value round-trips.
+        assert_eq!(
+            Sketch::from_bytes(&[0xFF, 0x07], 11).unwrap().syndromes(),
+            &[2047]
+        );
+        // m = 16 uses the full 2-byte range: everything is in field.
+        assert!(Sketch::from_bytes(&[0xFF, 0xFF], 16).is_some());
+        // Degenerate widths are rejected outright.
+        assert!(Sketch::from_bytes(&[1], 0).is_none());
+        assert!(Sketch::from_bytes(&[1; 9], 65).is_none());
+    }
+
+    #[test]
+    fn add_batch_matches_sequential_adds() {
+        for m in [8u32, 11, 32] {
+            let codec = BchCodec::new(m, 9);
+            let order = codec.field().order();
+            for n in [0usize, 1, 3, 4, 5, 64, 130] {
+                let elements: Vec<u64> = (0..n as u64)
+                    .map(|i| (i.wrapping_mul(0x9E3779B97F4A7C15) % (order - 1)) + 1)
+                    .collect();
+                let mut batched = codec.empty_sketch();
+                batched.add_batch(&elements, codec.field());
+                let mut sequential = codec.empty_sketch();
+                for &e in &elements {
+                    sequential.add(e, codec.field());
+                }
+                assert_eq!(batched, sequential, "batch mismatch m={m} n={n}");
+                assert_eq!(codec.sketch_slice(&elements), sequential);
+                assert_eq!(codec.sketch_set(elements.iter().copied()), sequential);
+            }
+        }
     }
 
     #[test]

@@ -2,16 +2,21 @@
 //!
 //! Two strategies, chosen by field size:
 //!
-//! * **Chien search** (exhaustive evaluation at every nonzero field element)
-//!   for small fields. PBS works over GF(2^m) with `n = 2^m − 1 ≤ 2047`
-//!   (§5.1), so a full scan costs at most a few thousand polynomial
-//!   evaluations per group — this is the O(1)-per-group decoding cost the
-//!   paper relies on.
+//! * **Stepping Chien search** for small fields. PBS works over GF(2^m) with
+//!   `n = 2^m − 1 ≤ 2047` (§5.1), so every candidate is scanned — but not by
+//!   re-running a full Horner evaluation per candidate. The classical
+//!   stepping formulation keeps one running term per locator coefficient and
+//!   advances each by a fixed per-coefficient multiplier when moving to the
+//!   next candidate; over the table-backed fields this collapses to one
+//!   exponent add and one antilog lookup per coefficient
+//!   ([`gf::Field::chien_search`]).
 //! * **Berlekamp trace algorithm** for large fields (PinSketch works over
 //!   GF(2^32)). The polynomial is recursively split with
-//!   `gcd(f, Tr(βx) mod f)` for successively chosen β; every fully-splitting
-//!   square-free polynomial over GF(2^m) is separated into linear factors in
-//!   an expected `O(m · deg² · log deg)` field operations.
+//!   `gcd(f, Tr(βx) mod f)` for successively chosen β. The Frobenius ladder
+//!   `x^(2^i) mod f` is computed **once per factor** and reused for the
+//!   full-splitting check and for every β trial (each trial is then only a
+//!   scalar Frobenius ladder on β plus scaled polynomial adds), instead of
+//!   re-running `m` modular squarings per trial.
 
 use gf::{Field, Poly};
 
@@ -25,7 +30,10 @@ pub struct RootFindError;
 
 impl std::fmt::Display for RootFindError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "polynomial does not split into distinct roots over GF(2^m)")
+        write!(
+            f,
+            "polynomial does not split into distinct roots over GF(2^m)"
+        )
     }
 }
 
@@ -59,18 +67,56 @@ pub fn find_roots(poly: &Poly, field: &Field) -> Result<Vec<u64>, RootFindError>
     }
 }
 
-/// Exhaustive root search: evaluate at every nonzero field element.
+/// Full scan over the nonzero field elements: the stepping kernel when the
+/// field is table-backed, a batched-Horner sweep otherwise (only reachable
+/// for degenerate degree ≈ order inputs on large fields).
 fn chien_search(poly: &Poly, field: &Field) -> Vec<u64> {
+    let want = poly.degree_or_zero();
+    if let Some(roots) = field.chien_search(poly.coeffs(), want) {
+        return roots;
+    }
     let mut roots = Vec::new();
-    for x in field.nonzero_elements() {
-        if poly.eval(x, field) == 0 {
-            roots.push(x);
-            if roots.len() == poly.degree_or_zero() {
-                break;
+    let mut batch = Vec::with_capacity(1024);
+    let mut xs = field.nonzero_elements();
+    loop {
+        batch.clear();
+        batch.extend(xs.by_ref().take(1024));
+        if batch.is_empty() {
+            break;
+        }
+        for (i, v) in poly.eval_batch(&batch, field).into_iter().enumerate() {
+            if v == 0 {
+                roots.push(batch[i]);
+                if roots.len() == want {
+                    return roots;
+                }
             }
         }
     }
     roots
+}
+
+/// The Frobenius ladder `x^(2^i) mod modulus` for `i = 0 .. m-1`.
+fn frobenius_ladder(modulus: &Poly, field: &Field) -> Vec<Poly> {
+    let mut ladder = Vec::with_capacity(field.m() as usize);
+    ladder.push(Poly::x().rem(modulus, field));
+    for i in 1..field.m() as usize {
+        ladder.push(ladder[i - 1].square_mod(modulus, field));
+    }
+    ladder
+}
+
+/// `Tr(βx) mod modulus = Σ_{i=0}^{m-1} β^(2^i) · (x^(2^i) mod modulus)`,
+/// assembled from a precomputed ladder: one scalar Frobenius orbit on β and
+/// `m` scaled polynomial additions — no modular squarings per β trial.
+fn trace_poly_from_ladder(ladder: &[Poly], beta: u64, field: &Field) -> Poly {
+    let mut acc = Poly::zero();
+    let mut beta_pow = beta;
+    for step in ladder {
+        acc = acc.add(&step.scale(beta_pow, field), field);
+        beta_pow = field.square(beta_pow);
+    }
+    acc
 }
 
 /// Berlekamp trace algorithm for large fields.
@@ -79,13 +125,12 @@ fn trace_split(poly: &Poly, field: &Field) -> Result<Vec<u64>, RootFindError> {
     let degree = monic.degree().unwrap();
 
     // Check that the polynomial splits completely with distinct roots:
-    // poly | x^(2^m) − x  ⇔  x^(2^m) ≡ x (mod poly).
-    let x = Poly::x();
-    let mut frob = x.rem(&monic, field);
-    for _ in 0..field.m() {
-        frob = frob.square_mod(&monic, field);
-    }
-    if frob != x.rem(&monic, field) {
+    // poly | x^(2^m) − x  ⇔  x^(2^m) ≡ x (mod poly). The ladder gives
+    // x^(2^(m-1)); one more squaring yields x^(2^m), and the same ladder is
+    // then reused for every β trial on this factor.
+    let root_ladder = frobenius_ladder(&monic, field);
+    let frob_m = root_ladder[root_ladder.len() - 1].square_mod(&monic, field);
+    if frob_m != root_ladder[0] {
         return Err(RootFindError);
     }
 
@@ -102,8 +147,11 @@ fn trace_split(poly: &Poly, field: &Field) -> Result<Vec<u64>, RootFindError> {
         z ^ (z >> 31)
     };
 
-    let mut stack = vec![monic];
-    while let Some(current) = stack.pop() {
+    // Each work item carries its Frobenius ladder; children inherit the
+    // parent's ladder reduced modulo the new (smaller) factor, which is far
+    // cheaper than re-deriving it by repeated modular squaring.
+    let mut stack = vec![(monic, root_ladder)];
+    while let Some((current, ladder)) = stack.pop() {
         let deg = current.degree().unwrap_or(0);
         match deg {
             0 => {}
@@ -122,14 +170,7 @@ fn trace_split(poly: &Poly, field: &Field) -> Result<Vec<u64>, RootFindError> {
                         }
                         b
                     };
-                    // T(x) = Σ_{i=0}^{m-1} (βx)^(2^i) mod current
-                    let bx = Poly::from_coeffs(vec![0, beta]).rem(&current, field);
-                    let mut term = bx.clone();
-                    let mut acc = bx;
-                    for _ in 1..field.m() {
-                        term = term.square_mod(&current, field);
-                        acc = acc.add(&term, field);
-                    }
+                    let acc = trace_poly_from_ladder(&ladder, beta, field);
                     if acc.is_zero() {
                         continue;
                     }
@@ -144,8 +185,19 @@ fn trace_split(poly: &Poly, field: &Field) -> Result<Vec<u64>, RootFindError> {
                 }
                 match split {
                     Some((g, q)) => {
-                        stack.push(g);
-                        stack.push(q);
+                        // Terminal children (degree <= 1) never consult their
+                        // ladder — don't pay m reductions to build one.
+                        let child_ladder = |child: &Poly| -> Vec<Poly> {
+                            if child.degree_or_zero() < 2 {
+                                Vec::new()
+                            } else {
+                                ladder.iter().map(|p| p.rem(child, field)).collect()
+                            }
+                        };
+                        let g_ladder = child_ladder(&g);
+                        let q_ladder = child_ladder(&q);
+                        stack.push((g, g_ladder));
+                        stack.push((q, q_ladder));
                     }
                     // Statistically unreachable for a fully-splitting
                     // polynomial; report failure rather than looping forever.
@@ -187,9 +239,32 @@ mod tests {
     }
 
     #[test]
+    fn stepping_chien_matches_exhaustive_eval() {
+        for m in [8u32, 11, 13] {
+            let f = Field::new(m);
+            let roots: Vec<u64> = (1..=7u64)
+                .map(|i| (i * 0x51D + 3) % (f.order() - 1) + 1)
+                .collect();
+            let p = poly_with_roots(&roots, &f);
+            let mut stepping = find_roots(&p, &f).unwrap();
+            stepping.sort_unstable();
+            let mut exhaustive = p.roots_exhaustive(&f);
+            exhaustive.sort_unstable();
+            assert_eq!(stepping, exhaustive, "stepping vs exhaustive for m={m}");
+        }
+    }
+
+    #[test]
     fn trace_algorithm_finds_roots_in_gf32() {
         let f = Field::new(32);
-        let roots = [0xDEADBEEFu64, 0x1234_5678, 3, 0xFFFF_FFFE, 0x0BAD_F00D, 0x8000_0000];
+        let roots = [
+            0xDEADBEEFu64,
+            0x1234_5678,
+            3,
+            0xFFFF_FFFE,
+            0x0BAD_F00D,
+            0x8000_0000,
+        ];
         let p = poly_with_roots(&roots, &f);
         let mut found = find_roots(&p, &f).unwrap();
         found.sort_unstable();
@@ -254,7 +329,10 @@ mod tests {
     #[test]
     fn constant_polynomial_has_no_roots() {
         let f = Field::new(8);
-        assert_eq!(find_roots(&Poly::constant(5), &f).unwrap(), Vec::<u64>::new());
+        assert_eq!(
+            find_roots(&Poly::constant(5), &f).unwrap(),
+            Vec::<u64>::new()
+        );
         assert!(find_roots(&Poly::zero(), &f).is_err());
     }
 

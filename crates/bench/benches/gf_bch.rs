@@ -4,20 +4,24 @@
 
 use bch::BchCodec;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gf::{Field, Poly};
+use gf::{BackendChoice, Field, Poly};
 use std::hint::black_box;
+
+fn mul_pairs(f: &Field) -> Vec<(u64, u64)> {
+    (0..1024u64)
+        .map(|i| {
+            let a = (i.wrapping_mul(0x9E3779B97F4A7C15) >> 8) % f.order();
+            let b = (i.wrapping_mul(0xC2B2AE3D27D4EB4F) >> 8) % f.order();
+            (a.max(1), b.max(1))
+        })
+        .collect()
+}
 
 fn bench_field_mul(c: &mut Criterion) {
     let mut group = c.benchmark_group("gf_mul");
-    for &m in &[7u32, 11, 32] {
+    for &m in &[7u32, 11, 16, 32] {
         let f = Field::new(m);
-        let pairs: Vec<(u64, u64)> = (0..1024u64)
-            .map(|i| {
-                let a = (i.wrapping_mul(0x9E3779B97F4A7C15) >> 8) % f.order();
-                let b = (i.wrapping_mul(0xC2B2AE3D27D4EB4F) >> 8) % f.order();
-                (a.max(1), b.max(1))
-            })
-            .collect();
+        let pairs = mul_pairs(&f);
         group.bench_with_input(BenchmarkId::new("mul_1k", m), &m, |bench, _| {
             bench.iter(|| {
                 let mut acc = 0u64;
@@ -27,6 +31,73 @@ fn bench_field_mul(c: &mut Criterion) {
                 black_box(acc)
             });
         });
+        // The seed's path: per-call feature detection + shift-loop reduce.
+        let reference = Field::with_backend(m, BackendChoice::Reference);
+        group.bench_with_input(BenchmarkId::new("mul_1k_reference", m), &m, |bench, _| {
+            bench.iter(|| {
+                let mut acc = 0u64;
+                for &(a, b) in &pairs {
+                    acc ^= reference.mul(a, b);
+                }
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_field_mul_batched(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gf_mul_slice");
+    for &m in &[11u32, 16, 32] {
+        let f = Field::new(m);
+        let pairs = mul_pairs(&f);
+        let xs: Vec<u64> = pairs.iter().map(|&(a, _)| a).collect();
+        let ys: Vec<u64> = pairs.iter().map(|&(_, b)| b).collect();
+        group.bench_with_input(BenchmarkId::new("mul_slice_1k", m), &m, |bench, _| {
+            let mut dst = xs.clone();
+            bench.iter(|| {
+                dst.copy_from_slice(&xs);
+                f.mul_slice(&mut dst, &ys);
+                black_box(dst[0])
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("square_slice_1k", m), &m, |bench, _| {
+            let mut dst = xs.clone();
+            bench.iter(|| {
+                dst.copy_from_slice(&xs);
+                f.square_slice(&mut dst);
+                black_box(dst[0])
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_chien(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chien_search");
+    group.sample_size(10);
+    for &(m, nroots) in &[(11u32, 10usize), (13, 20)] {
+        let f = Field::new(m);
+        let mut locator = Poly::one();
+        for i in 0..nroots as u64 {
+            let r = (i * 0x51D + 3) % (f.order() - 1) + 1;
+            locator = locator.mul(&Poly::from_coeffs(vec![r, 1]), &f);
+        }
+        let want = locator.degree_or_zero();
+        group.bench_with_input(
+            BenchmarkId::new(format!("stepping_m{m}"), nroots),
+            &m,
+            |bench, _| {
+                bench.iter(|| black_box(f.chien_search(locator.coeffs(), want).unwrap().len()));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("horner_m{m}"), nroots),
+            &m,
+            |bench, _| {
+                bench.iter(|| black_box(locator.roots_exhaustive(&f).len()));
+            },
+        );
     }
     group.finish();
 }
@@ -88,6 +159,8 @@ fn bench_poly_ops(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_field_mul,
+    bench_field_mul_batched,
+    bench_chien,
     bench_sketch_encode,
     bench_sketch_decode,
     bench_poly_ops

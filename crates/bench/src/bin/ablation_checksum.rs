@@ -43,7 +43,9 @@ fn main() {
             // difference is wrong — the false-verification event the paper
             // bounds at ~1e-12.
             if report.outcome.claimed_success
-                && !report.outcome.matches(&symmetric_difference(&pair.a, &pair.b))
+                && !report
+                    .outcome
+                    .matches(&symmetric_difference(&pair.a, &pair.b))
             {
                 mismatches += 1;
             }

@@ -14,7 +14,9 @@ use analysis::binomial_pmf;
 fn overflow_after_split(d: usize, g: usize, t: usize, ways: usize) -> f64 {
     let p = 1.0 / g as f64;
     // Conditional distribution of X given X > t.
-    let tail: f64 = (t + 1..=(t + 80).min(d)).map(|x| binomial_pmf(d, x, p)).sum();
+    let tail: f64 = (t + 1..=(t + 80).min(d))
+        .map(|x| binomial_pmf(d, x, p))
+        .sum();
     if tail <= 0.0 {
         return 0.0;
     }

@@ -1,0 +1,201 @@
+//! Regenerates `BENCH_gf_bch.json`: the GF(2^m)/BCH hot-path speedup report.
+//!
+//! Measures the rebuilt arithmetic core (cached backend dispatch, Barrett
+//! reduction, batched syndrome kernel, stepping Chien / ladder-reusing trace
+//! split) against the seed's reference path (per-call CPU feature detection,
+//! bit-at-a-time reduction, serial per-element Horner chains) on the three
+//! paper-relevant workloads:
+//!
+//! * single field multiplications for m ∈ {11, 16, 32},
+//! * `sketch_set` with n = 10^5 elements and t = 100 (PinSketch encode), and
+//! * `decode` of a d = 100 difference over GF(2^32) (PinSketch decode).
+//!
+//! Run with `cargo run --release -p bench --bin bench_gf_bch`.
+
+use bch::BchCodec;
+use gf::{BackendChoice, Field};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Best-of-`reps` wall-clock time of `f`, in nanoseconds.
+fn best_ns<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        let ns = start.elapsed().as_nanos() as f64;
+        if ns < best {
+            best = ns;
+        }
+    }
+    best
+}
+
+fn mul_pairs(f: &Field, n: u64) -> Vec<(u64, u64)> {
+    (0..n)
+        .map(|i| {
+            let a = (i.wrapping_mul(0x9E3779B97F4A7C15) >> 8) % f.order();
+            let b = (i.wrapping_mul(0xC2B2AE3D27D4EB4F) >> 8) % f.order();
+            (a.max(1), b.max(1))
+        })
+        .collect()
+}
+
+fn distinct_elements(order: u64, n: usize) -> Vec<u64> {
+    let mut out = Vec::with_capacity(n);
+    let mut seen = std::collections::HashSet::with_capacity(n);
+    let mut x = 0x9E37_79B9u64;
+    while out.len() < n {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let e = (x % (order - 1)) + 1;
+        if seen.insert(e) {
+            out.push(e);
+        }
+    }
+    out
+}
+
+struct MulRow {
+    m: u32,
+    backend: &'static str,
+    fast_ns: f64,
+    reference_ns: f64,
+}
+
+fn bench_mul(m: u32) -> MulRow {
+    const PAIRS: u64 = 4096;
+    const LOOPS: usize = 64;
+    let fast = Field::new(m);
+    let reference = Field::with_backend(m, BackendChoice::Reference);
+    let pairs = mul_pairs(&fast, PAIRS);
+    let run = |f: &Field| {
+        best_ns(7, || {
+            let mut acc = 0u64;
+            for _ in 0..LOOPS {
+                for &(a, b) in &pairs {
+                    acc ^= f.mul(a, b);
+                }
+            }
+            black_box(acc);
+        }) / (PAIRS as f64 * LOOPS as f64)
+    };
+    MulRow {
+        m,
+        backend: fast.backend_name(),
+        fast_ns: run(&fast),
+        reference_ns: run(&reference),
+    }
+}
+
+fn main() {
+    let hw = Field::new(32).has_hw_clmul();
+    println!("hardware carry-less multiply (PCLMULQDQ): {hw}");
+
+    // --- single multiplications ------------------------------------------
+    let mul_rows: Vec<MulRow> = [11u32, 16, 32].into_iter().map(bench_mul).collect();
+    for r in &mul_rows {
+        println!(
+            "gf_mul m={:<2} [{}]: {:>7.2} ns/op fast, {:>7.2} ns/op reference, {:>5.1}x",
+            r.m,
+            r.backend,
+            r.fast_ns,
+            r.reference_ns,
+            r.reference_ns / r.fast_ns
+        );
+    }
+
+    // --- sketch_set: n = 1e5, t = 100, m = 32 ----------------------------
+    let (n, t, m) = (100_000usize, 100usize, 32u32);
+    let elements = distinct_elements(1u64 << m, n);
+    let fast_codec = BchCodec::new(m, t);
+    let reference_codec = BchCodec::with_field(
+        Arc::new(Field::with_backend(m, BackendChoice::Reference)),
+        t,
+    );
+    let sketch_fast_ns = best_ns(3, || {
+        black_box(fast_codec.sketch_slice(&elements));
+    });
+    // The seed's encode loop: one serial Horner chain per element.
+    let sketch_reference_ns = best_ns(3, || {
+        let mut s = reference_codec.empty_sketch();
+        for &e in &elements {
+            s.add(e, reference_codec.field());
+        }
+        black_box(s);
+    });
+    println!(
+        "sketch_set n={n} t={t} m={m}: {:.2} ms fast, {:.2} ms reference, {:.1}x",
+        sketch_fast_ns / 1e6,
+        sketch_reference_ns / 1e6,
+        sketch_reference_ns / sketch_fast_ns
+    );
+
+    // --- decode: d = 100, t = 100, m = 32 --------------------------------
+    let d = 100usize;
+    let diff = &elements[..d];
+    let sketch = fast_codec.sketch_slice(diff);
+    let mut expect: Vec<u64> = diff.to_vec();
+    expect.sort_unstable();
+    let decode_fast_ns = best_ns(5, || {
+        let mut out = fast_codec
+            .decode(&sketch)
+            .expect("difference fits capacity");
+        out.sort_unstable();
+        assert_eq!(out, expect, "fast decode must recover the difference");
+    });
+    let decode_reference_ns = best_ns(3, || {
+        let mut out = reference_codec
+            .decode(&sketch)
+            .expect("difference fits capacity");
+        out.sort_unstable();
+        assert_eq!(out, expect, "reference decode must recover the difference");
+    });
+    println!(
+        "decode d={d} t={t} m={m}: {:.2} ms fast, {:.2} ms reference, {:.1}x",
+        decode_fast_ns / 1e6,
+        decode_reference_ns / 1e6,
+        decode_reference_ns / decode_fast_ns
+    );
+
+    // --- report ----------------------------------------------------------
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"gf_bch\",\n");
+    let _ = writeln!(json, "  \"hardware_clmul\": {hw},");
+    json.push_str("  \"gf_mul\": [\n");
+    for (i, r) in mul_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"m\": {}, \"backend\": \"{}\", \"fast_ns_per_op\": {:.3}, \"reference_ns_per_op\": {:.3}, \"speedup\": {:.2}}}",
+            r.m,
+            r.backend,
+            r.fast_ns,
+            r.reference_ns,
+            r.reference_ns / r.fast_ns
+        );
+        json.push_str(if i + 1 < mul_rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"sketch_set\": {{\"n\": {n}, \"t\": {t}, \"m\": {m}, \"fast_ms\": {:.3}, \"reference_ms\": {:.3}, \"speedup\": {:.2}}},",
+        sketch_fast_ns / 1e6,
+        sketch_reference_ns / 1e6,
+        sketch_reference_ns / sketch_fast_ns
+    );
+    let _ = writeln!(
+        json,
+        "  \"decode\": {{\"d\": {d}, \"t\": {t}, \"m\": {m}, \"fast_ms\": {:.3}, \"reference_ms\": {:.3}, \"speedup\": {:.2}}}",
+        decode_fast_ns / 1e6,
+        decode_reference_ns / 1e6,
+        decode_reference_ns / decode_fast_ns
+    );
+    json.push_str("}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gf_bch.json");
+    std::fs::write(path, &json).expect("write BENCH_gf_bch.json");
+    println!("wrote {path}");
+}

@@ -10,7 +10,10 @@ use protocol::{Reconciler, Workload};
 
 fn main() {
     let scale = Scale::default_reduced();
-    print_header("Figure 2: PBS vs Graphene (target success rate 239/240)", &scale);
+    print_header(
+        "Figure 2: PBS vs Graphene (target success rate 239/240)",
+        &scale,
+    );
 
     let pbs = Pbs::new(PbsConfig::paper_default().with_target_success(239.0 / 240.0));
     let graphene = Graphene::default();

@@ -8,7 +8,10 @@ use protocol::{Reconciler, Workload};
 
 fn main() {
     let scale = Scale::default_reduced();
-    print_header("Figure 3: PBS vs PinSketch/WP (target success rate 0.99)", &scale);
+    print_header(
+        "Figure 3: PBS vs PinSketch/WP (target success rate 0.99)",
+        &scale,
+    );
 
     let pbs = Pbs::paper_default();
     let wp = PinSketchWp::default();

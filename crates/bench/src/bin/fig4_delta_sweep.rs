@@ -19,7 +19,10 @@ fn main() {
         .unwrap_or_else(|| vec![3, 5, 8, 12, 16, 21, 30]);
 
     println!("# Figure 4 / §J.2: PBS vs δ (d = {d}, target success rate 0.99, r = 3)");
-    println!("# |A| = {}, trials per point = {}", scale.set_size, scale.trials);
+    println!(
+        "# |A| = {}, trials per point = {}",
+        scale.set_size, scale.trials
+    );
     println!(
         "{:<8} {:>10} {:>12} {:>10} {:>12} {:>12} {:>8}",
         "delta", "success", "comm (KB)", "x-minimum", "encode (s)", "decode (s)", "rounds"

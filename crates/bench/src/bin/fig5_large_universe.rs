@@ -29,7 +29,10 @@ fn main() {
     let scale = Scale::from_env(50_000, 3, &[10, 100, 1_000]);
     let universe_bits = 256u64;
     println!("# Figure 5 / §J.3: communication with 256-bit signatures");
-    println!("# |A| = {}, trials per point = {}", scale.set_size, scale.trials);
+    println!(
+        "# |A| = {}, trials per point = {}",
+        scale.set_size, scale.trials
+    );
     println!(
         "{:<14} {:>8} {:>14} {:>12}",
         "scheme", "d", "comm (KB)", "x-minimum"
@@ -51,7 +54,8 @@ fn main() {
             let pbs_report =
                 Pbs::paper_default().reconcile_with_known_d(&pair.a, &pair.b, d.max(1), trial);
             pbs_total += pbs_comm_bytes(&pbs_report, universe_bits);
-            let wp = PinSketchWp::default().reconcile_with_known_d(&pair.a, &pair.b, d.max(1), trial);
+            let wp =
+                PinSketchWp::default().reconcile_with_known_d(&pair.a, &pair.b, d.max(1), trial);
             // Every PinSketch/WP word is log|U| bits, so the total scales by 256/32.
             wp_total += wp.comm.total_bytes() as f64 * universe_bits as f64 / 32.0;
         }

@@ -10,7 +10,14 @@ fn main() {
         "{:>4} {:>6} {:>12} {:>12} {:>14} {:>18}",
         "d", "n", "ideal", "type I", "type II", "type II undetected"
     );
-    for &(d, n) in &[(5usize, 255usize), (5, 127), (5, 511), (8, 255), (13, 127), (3, 63)] {
+    for &(d, n) in &[
+        (5usize, 255usize),
+        (5, 127),
+        (5, 511),
+        (8, 255),
+        (13, 127),
+        (3, 63),
+    ] {
         let e = exception_probabilities(d, n);
         println!(
             "{:>4} {:>6} {:>12.6} {:>12.6} {:>14.3e} {:>18.3e}",

@@ -25,7 +25,7 @@ fn main() {
         subset_mode: true,
     };
     let pbs = Pbs::new(PbsConfig::paper_default().unlimited_rounds());
-    let mut per_round = vec![0f64; 6];
+    let mut per_round = [0f64; 6];
     for trial in 0..scale.trials {
         let pair = workload.generate(0x5EC5 + trial);
         let report = pbs.reconcile_with_known_d(&pair.a, &pair.b, d, trial);
@@ -34,7 +34,10 @@ fn main() {
         }
     }
     let total: f64 = per_round.iter().sum();
-    println!("measured   (|A| = {}, {} trials):", scale.set_size, scale.trials);
+    println!(
+        "measured   (|A| = {}, {} trials):",
+        scale.set_size, scale.trials
+    );
     for (i, v) in per_round.iter().take(4).enumerate() {
         println!("  round {:>2}: {:.6}", i + 1, v / total.max(1.0));
     }

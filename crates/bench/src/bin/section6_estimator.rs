@@ -2,7 +2,9 @@
 //! Pr[d ≤ 1.38·d̂] coverage guarantee, and the size comparison against the
 //! Strata and min-wise estimators.
 
-use estimator::{Estimator, MinWiseEstimator, StrataEstimator, TowEstimator, RECOMMENDED_INFLATION};
+use estimator::{
+    Estimator, MinWiseEstimator, StrataEstimator, TowEstimator, RECOMMENDED_INFLATION,
+};
 use protocol::Workload;
 
 fn build_pair<E: Estimator + Clone>(proto: &E, a: &[u64], b: &[u64]) -> (E, E) {
@@ -72,9 +74,18 @@ fn main() {
     let (minwise, _) = build_pair(&MinWiseEstimator::new(128, 1), &pair.a, &pair.b);
     println!();
     println!("estimator sizes for |A| = {set_size} (bytes on the wire):");
-    println!("  ToW (128 sketches):     {:>8}", tow.wire_bits().div_ceil(8));
-    println!("  Strata (32 x 80 cells): {:>8}", strata.wire_bits().div_ceil(8));
-    println!("  Min-wise (128 hashes):  {:>8}", minwise.wire_bits().div_ceil(8));
+    println!(
+        "  ToW (128 sketches):     {:>8}",
+        tow.wire_bits().div_ceil(8)
+    );
+    println!(
+        "  Strata (32 x 80 cells): {:>8}",
+        strata.wire_bits().div_ceil(8)
+    );
+    println!(
+        "  Min-wise (128 hashes):  {:>8}",
+        minwise.wire_bits().div_ceil(8)
+    );
     println!();
     println!("Paper reference (§6): 128 ToW sketches cost 336 bytes and guarantee");
     println!("Pr[d <= 1.38 d-hat] >= 99%; the Strata estimator is an order of magnitude larger.");

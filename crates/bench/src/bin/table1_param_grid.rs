@@ -9,7 +9,10 @@ use analysis::{
 
 fn main() {
     let (d, delta, g, r, p0) = (1_000usize, 5usize, 200usize, 3u32, 0.99);
-    for model in [SuccessModel::SplitAware, SuccessModel::PessimisticTruncation] {
+    for model in [
+        SuccessModel::SplitAware,
+        SuccessModel::PessimisticTruncation,
+    ] {
         println!("# Table 1 (Appendix H): success-probability lower bound, model = {model:?}");
         println!("# d = {d}, delta = {delta}, g = {g}, r = {r}; '*' marks cells >= p0 = {p0}");
         print!("{:>4}", "t");

@@ -9,7 +9,10 @@ use protocol::{symmetric_difference, Workload};
 fn main() {
     let scale = Scale::from_env(50_000, 20, &[10, 100, 1_000]);
     println!("# Table 2 / §J.1: PMF of the number of rounds PBS needs (uncapped)");
-    println!("# |A| = {}, trials per point = {}", scale.set_size, scale.trials);
+    println!(
+        "# |A| = {}, trials per point = {}",
+        scale.set_size, scale.trials
+    );
     println!(
         "{:>8} {:>8} {:>8} {:>8} {:>8} {:>10} {:>10}",
         "d", "r=1", "r=2", "r=3", "r>=4", "mean r", "success"

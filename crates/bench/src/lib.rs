@@ -41,7 +41,9 @@ impl Scale {
     /// Resolve the scale from the environment, starting from the given
     /// defaults (see the crate docs for the variables).
     pub fn from_env(default_set_size: usize, default_trials: u64, default_d: &[usize]) -> Self {
-        let full = std::env::var("PBS_BENCH_FULL").map(|v| v == "1").unwrap_or(false);
+        let full = std::env::var("PBS_BENCH_FULL")
+            .map(|v| v == "1")
+            .unwrap_or(false);
         let mut scale = if full {
             Scale {
                 set_size: 1_000_000,
@@ -66,10 +68,7 @@ impl Scale {
             }
         }
         if let Ok(v) = std::env::var("PBS_BENCH_D_VALUES") {
-            let ds: Vec<usize> = v
-                .split(',')
-                .filter_map(|s| s.trim().parse().ok())
-                .collect();
+            let ds: Vec<usize> = v.split(',').filter_map(|s| s.trim().parse().ok()).collect();
             if !ds.is_empty() {
                 scale.d_values = ds;
             }

@@ -41,7 +41,10 @@ impl BloomFilter {
     /// false-positive rate `fpr`, using the standard optimal sizing
     /// `m = -n·ln(fpr)/ln(2)²` and `k = (m/n)·ln(2)`.
     pub fn with_rate(expected_items: usize, fpr: f64, seed: u64) -> Self {
-        assert!(fpr > 0.0 && fpr < 1.0, "false positive rate must be in (0, 1)");
+        assert!(
+            fpr > 0.0 && fpr < 1.0,
+            "false positive rate must be in (0, 1)"
+        );
         let n = expected_items.max(1) as f64;
         let ln2 = std::f64::consts::LN_2;
         let m = (-(n * fpr.ln()) / (ln2 * ln2)).ceil().max(8.0) as u64;

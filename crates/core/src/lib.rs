@@ -198,7 +198,13 @@ impl Pbs {
 
     /// Reconcile when the difference cardinality `d` is known a priori
     /// (the §2/§3 presentation assumes this).
-    pub fn reconcile_with_known_d(&self, alice: &[u64], bob: &[u64], d: usize, seed: u64) -> PbsReport {
+    pub fn reconcile_with_known_d(
+        &self,
+        alice: &[u64],
+        bob: &[u64],
+        d: usize,
+        seed: u64,
+    ) -> PbsReport {
         self.run(alice, bob, d.max(1), None, 0, seed)
     }
 
@@ -341,6 +347,24 @@ mod tests {
         assert!(report.outcome.rounds <= 3);
     }
 
+    /// Duplicate elements in either input (e.g. 32-bit signature collisions
+    /// in a large listing) must be treated as set membership on both sides.
+    /// Regression test: Bob used to keep duplicates, which cancel out of his
+    /// XOR parity bitmap but count twice in the additive group checksum —
+    /// leaving a group that could never verify no matter how it split.
+    #[test]
+    fn duplicate_inputs_reconcile_as_sets() {
+        let (a, b) = random_pair(2_000, 40, 15);
+        let mut a_dup = a.clone();
+        a_dup.extend_from_slice(&a[..25]); // Alice sees 25 duplicates
+        let mut b_dup = b.clone();
+        b_dup.extend_from_slice(&b[..17]); // Bob sees 17 duplicates
+        let cfg = PbsConfig::paper_default().unlimited_rounds();
+        let report = Pbs::new(cfg).reconcile_with_known_d(&a_dup, &b_dup, 40, 7);
+        assert!(report.outcome.claimed_success);
+        assert!(report.outcome.matches(&symmetric_difference(&a, &b)));
+    }
+
     #[test]
     fn reconciles_moderate_difference_with_estimator() {
         let (a, b) = random_pair(5_000, 200, 2);
@@ -391,8 +415,7 @@ mod tests {
         let b: Vec<u64> = pool[10..2_020].to_vec();
         let truth = symmetric_difference(&a, &b);
         assert_eq!(truth.len(), 20);
-        let report = Pbs::paper_default()
-            .reconcile_with_known_d(&a, &b, truth.len(), 13);
+        let report = Pbs::paper_default().reconcile_with_known_d(&a, &b, truth.len(), 13);
         assert!(report.outcome.claimed_success);
         assert!(report.outcome.matches(&truth));
     }

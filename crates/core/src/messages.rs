@@ -165,8 +165,14 @@ mod tests {
             session: 3,
             body: GroupReportBody::Decoded {
                 bins: vec![
-                    BinInfo { position: 5, xor_sum: 0xAA },
-                    BinInfo { position: 9, xor_sum: 0xBB },
+                    BinInfo {
+                        position: 5,
+                        xor_sum: 0xAA,
+                    },
+                    BinInfo {
+                        position: 9,
+                        xor_sum: 0xBB,
+                    },
                 ],
                 checksum: Some(123),
             },
@@ -176,7 +182,10 @@ mod tests {
         let no_checksum = GroupReport {
             session: 3,
             body: GroupReportBody::Decoded {
-                bins: vec![BinInfo { position: 5, xor_sum: 0xAA }],
+                bins: vec![BinInfo {
+                    position: 5,
+                    xor_sum: 0xAA,
+                }],
                 checksum: None,
             },
         };

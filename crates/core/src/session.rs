@@ -187,26 +187,38 @@ impl AliceSession {
 
     /// Begin a new round: re-partition every unverified group with a fresh
     /// hash function and produce the BCH sketches to send to Bob.
+    ///
+    /// Groups are independent, so their sketches are computed with
+    /// [`protocol::par_map`]: worker threads when the `parallel` feature is
+    /// on, a plain serial loop otherwise — identical output either way.
     pub fn start_round(&mut self) -> Vec<GroupSketch> {
         self.round += 1;
         let round = self.round;
-        let mut out = Vec::new();
+        // Assign this round's bin seeds first (mutates the groups), then
+        // sketch over shared references so the map body is pure.
         for group in self.groups.iter_mut().filter(|g| !g.verified) {
-            let seed = bin_seed(self.base_seed, group.id, round);
-            group.current_bin_seed = seed;
-            let hasher = PartitionHasher::new(self.params.n as u64, seed);
-            let mut sketch = self.codec.empty_sketch();
-            for &e in &group.elements {
-                sketch.add(hasher.position(e), self.codec.field());
-            }
-            out.push(GroupSketch {
+            group.current_bin_seed = bin_seed(self.base_seed, group.id, round);
+        }
+        let active: Vec<&AliceGroup> = self.groups.iter().filter(|g| !g.verified).collect();
+        let codec = &self.codec;
+        let n = self.params.n as u64;
+        let sketches = protocol::par_map(&active, |group| {
+            let hasher = PartitionHasher::new(n, group.current_bin_seed);
+            let mut sketch = codec.empty_sketch();
+            let positions: Vec<u64> = group.elements.iter().map(|&e| hasher.position(e)).collect();
+            sketch.add_batch(&positions, codec.field());
+            sketch
+        });
+        active
+            .iter()
+            .zip(sketches)
+            .map(|(group, sketch)| GroupSketch {
                 session: group.id,
                 round,
                 sketch,
                 needs_checksum: group.bob_checksum.is_none(),
-            });
-        }
-        out
+            })
+            .collect()
     }
 
     /// Apply Bob's reports for the current round: recover elements, reject
@@ -237,7 +249,7 @@ impl AliceSession {
         // Perform the three-way splits after the borrow of `self.groups` above.
         // Process from the highest index down so removals do not shift the
         // remaining indices.
-        splits.sort_by(|a, b| b.0.cmp(&a.0));
+        splits.sort_by_key(|&(gi, _)| std::cmp::Reverse(gi));
         for (gi, session) in splits {
             self.split_group(gi, session);
         }
@@ -375,12 +387,21 @@ pub struct BobSession {
 
 impl BobSession {
     /// Create Bob's session state from his set.
+    ///
+    /// Duplicate input elements are dropped (first occurrence wins), exactly
+    /// as [`AliceSession::new`] does via its hash sets. This matters: a
+    /// duplicated element would cancel out of the XOR parity bitmap but
+    /// count twice in the *additive* group checksum, leaving a group that
+    /// can never verify no matter how often it splits.
     pub fn new(cfg: PbsConfig, params: OptimalParams, elements: &[u64], seed: u64) -> Self {
         let codec = BchCodec::new(params.m, params.t);
         let group_hasher = PartitionHasher::new(params.groups as u64, group_seed(seed));
         let mut buckets: Vec<Vec<u64>> = vec![Vec::new(); params.groups];
+        let mut seen = HashSet::with_capacity(elements.len());
         for &e in elements {
-            buckets[group_hasher.bin(e) as usize].push(e);
+            if seen.insert(e) {
+                buckets[group_hasher.bin(e) as usize].push(e);
+            }
         }
         let groups = buckets
             .into_iter()
@@ -564,7 +585,10 @@ mod tests {
             status = a.apply_reports(&reports);
             rounds += 1;
         }
-        assert!(status.all_verified, "did not converge after {rounds} rounds");
+        assert!(
+            status.all_verified,
+            "did not converge after {rounds} rounds"
+        );
         let mut rec = a.into_recovered();
         rec.sort_unstable();
         assert_eq!(rec, (1..=600).collect::<Vec<u64>>());

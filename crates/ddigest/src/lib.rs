@@ -98,7 +98,11 @@ impl DifferenceDigest {
         let encode = encode_start.elapsed();
 
         // Bob ships his IBF to Alice.
-        transcript.send_bits(Direction::BobToAlice, "ibf", table_b.wire_bits(cfg.universe_bits));
+        transcript.send_bits(
+            Direction::BobToAlice,
+            "ibf",
+            table_b.wire_bits(cfg.universe_bits),
+        );
 
         let decode_start = Instant::now();
         let mut diff = table_a;
@@ -182,7 +186,10 @@ mod tests {
                 successes += 1;
             }
         }
-        assert!(successes >= 5, "only {successes}/8 estimator-driven runs decoded");
+        assert!(
+            successes >= 5,
+            "only {successes}/8 estimator-driven runs decoded"
+        );
     }
 
     #[test]

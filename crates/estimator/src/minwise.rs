@@ -122,7 +122,10 @@ mod tests {
         let eb = build(&b, 128, 7);
         assert!(ea.jaccard(&eb) < 0.1);
         let est = ea.estimate(&eb);
-        assert!(est > 400.0, "disjoint sets should estimate near 600, got {est}");
+        assert!(
+            est > 400.0,
+            "disjoint sets should estimate near 600, got {est}"
+        );
     }
 
     #[test]
@@ -140,6 +143,8 @@ mod tests {
 
     #[test]
     fn wire_size_grows_with_hash_count() {
-        assert!(MinWiseEstimator::new(256, 0).wire_bits() > MinWiseEstimator::new(64, 0).wire_bits());
+        assert!(
+            MinWiseEstimator::new(256, 0).wire_bits() > MinWiseEstimator::new(64, 0).wire_bits()
+        );
     }
 }

@@ -39,7 +39,13 @@ impl StrataEstimator {
     pub fn with_shape(strata: usize, cells: usize, universe_bits: u32, seed: u64) -> Self {
         assert!(strata > 0 && strata <= 64, "strata count must be in 1..=64");
         let tables = (0..strata)
-            .map(|i| Iblt::new(cells, HASHES_PER_STRATUM, derive_seed(seed, 0x5712A7A + i as u64)))
+            .map(|i| {
+                Iblt::new(
+                    cells,
+                    HASHES_PER_STRATUM,
+                    derive_seed(seed, 0x5712A7A + i as u64),
+                )
+            })
             .collect();
         StrataEstimator {
             strata: tables,

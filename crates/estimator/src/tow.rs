@@ -191,7 +191,10 @@ mod tests {
                 covered += 1;
             }
         }
-        assert!(covered >= 95, "γ-inflated estimate covered d in only {covered}/100 trials");
+        assert!(
+            covered >= 95,
+            "γ-inflated estimate covered d in only {covered}/100 trials"
+        );
     }
 
     #[test]

@@ -1,4 +1,32 @@
 //! GF(2^m) field arithmetic.
+//!
+//! # Backend selection
+//!
+//! Every [`Field`] resolves its multiplication strategy **once, at
+//! construction** — the hot path never re-detects CPU features or re-derives
+//! constants:
+//!
+//! * **Log/antilog tables** (`m <= 16`): multiplication is two table reads
+//!   and one add; inversion is one subtraction in the exponent domain. The
+//!   tables also expose the generator powers the stepping Chien search in
+//!   the `bch` crate walks.
+//! * **Carry-less multiply + Barrett reduction** (`m > 16`): the 128-bit
+//!   polynomial product comes from PCLMULQDQ when the CPU supports it
+//!   (detected once and cached as a function pointer) or a portable
+//!   shift-and-add loop otherwise. The product is reduced modulo the field
+//!   polynomial with **Barrett reduction**: a per-field precomputed constant
+//!   `mu = floor(x^(2m) / p)` turns reduction into two further carry-less
+//!   multiplications and two shifts, replacing the seed's bit-at-a-time
+//!   reduction loop (up to `2m - 2` iterations) with straight-line code.
+//! * **Reference** ([`BackendChoice::Reference`]): the original
+//!   per-call-feature-detect + shift-loop-reduce path, kept as the ground
+//!   truth for property tests and as the baseline the `BENCH_gf_bch.json`
+//!   speedups are measured against.
+//!
+//! Batched entry points ([`Field::mul_slice`], [`Field::square_slice`],
+//! [`Field::scalar_mul_slice`]) hoist the backend dispatch out of the loop so
+//! callers such as the BCH syndrome accumulator amortize it across a whole
+//! slice.
 
 /// Maximum supported extension degree.
 pub const MAX_M: u32 = 32;
@@ -6,7 +34,8 @@ pub const MAX_M: u32 = 32;
 pub const MIN_M: u32 = 3;
 
 /// Degrees up to this bound use log/antilog tables for multiplication and
-/// inversion; larger degrees use carry-less shift-and-reduce multiplication.
+/// inversion; larger degrees use carry-less multiplication with Barrett
+/// reduction.
 const TABLE_M_LIMIT: u32 = 16;
 
 /// Irreducible (in fact primitive) polynomials of degree `m` over GF(2),
@@ -18,52 +47,60 @@ const TABLE_M_LIMIT: u32 = 16;
 /// falls back to an exhaustive search should an entry ever be wrong, so the
 /// field is always well defined.
 const IRREDUCIBLE: [u64; (MAX_M - MIN_M + 1) as usize] = [
-    0xB,          // m = 3:  x^3 + x + 1
-    0x13,         // m = 4:  x^4 + x + 1
-    0x25,         // m = 5:  x^5 + x^2 + 1
-    0x43,         // m = 6:  x^6 + x + 1
-    0x83,         // m = 7:  x^7 + x + 1
-    0x11D,        // m = 8:  x^8 + x^4 + x^3 + x^2 + 1
-    0x211,        // m = 9:  x^9 + x^4 + 1
-    0x409,        // m = 10: x^10 + x^3 + 1
-    0x805,        // m = 11: x^11 + x^2 + 1
-    0x1053,       // m = 12: x^12 + x^6 + x^4 + x + 1
-    0x201B,       // m = 13: x^13 + x^4 + x^3 + x + 1
-    0x4443,       // m = 14: x^14 + x^10 + x^6 + x + 1
-    0x8003,       // m = 15: x^15 + x + 1
-    0x1100B,      // m = 16: x^16 + x^12 + x^3 + x + 1
-    0x20009,      // m = 17: x^17 + x^3 + 1
-    0x40081,      // m = 18: x^18 + x^7 + 1
-    0x80027,      // m = 19: x^19 + x^5 + x^2 + x + 1
-    0x100009,     // m = 20: x^20 + x^3 + 1
-    0x200005,     // m = 21: x^21 + x^2 + 1
-    0x400003,     // m = 22: x^22 + x + 1
-    0x800021,     // m = 23: x^23 + x^5 + 1
-    0x100001B,    // m = 24: x^24 + x^4 + x^3 + x + 1
-    0x2000009,    // m = 25: x^25 + x^3 + 1
-    0x4000047,    // m = 26: x^26 + x^6 + x^2 + x + 1
-    0x8000027,    // m = 27: x^27 + x^5 + x^2 + x + 1
-    0x10000009,   // m = 28: x^28 + x^3 + 1
-    0x20000005,   // m = 29: x^29 + x^2 + 1
-    0x40000053,   // m = 30: x^30 + x^6 + x^4 + x + 1
-    0x80000009,   // m = 31: x^31 + x^3 + 1
-    0x100400007,  // m = 32: x^32 + x^22 + x^2 + x + 1
+    0xB,         // m = 3:  x^3 + x + 1
+    0x13,        // m = 4:  x^4 + x + 1
+    0x25,        // m = 5:  x^5 + x^2 + 1
+    0x43,        // m = 6:  x^6 + x + 1
+    0x83,        // m = 7:  x^7 + x + 1
+    0x11D,       // m = 8:  x^8 + x^4 + x^3 + x^2 + 1
+    0x211,       // m = 9:  x^9 + x^4 + 1
+    0x409,       // m = 10: x^10 + x^3 + 1
+    0x805,       // m = 11: x^11 + x^2 + 1
+    0x1053,      // m = 12: x^12 + x^6 + x^4 + x + 1
+    0x201B,      // m = 13: x^13 + x^4 + x^3 + x + 1
+    0x4443,      // m = 14: x^14 + x^10 + x^6 + x + 1
+    0x8003,      // m = 15: x^15 + x + 1
+    0x1100B,     // m = 16: x^16 + x^12 + x^3 + x + 1
+    0x20009,     // m = 17: x^17 + x^3 + 1
+    0x40081,     // m = 18: x^18 + x^7 + 1
+    0x80027,     // m = 19: x^19 + x^5 + x^2 + x + 1
+    0x100009,    // m = 20: x^20 + x^3 + 1
+    0x200005,    // m = 21: x^21 + x^2 + 1
+    0x400003,    // m = 22: x^22 + x + 1
+    0x800021,    // m = 23: x^23 + x^5 + 1
+    0x100001B,   // m = 24: x^24 + x^4 + x^3 + x + 1
+    0x2000009,   // m = 25: x^25 + x^3 + 1
+    0x4000047,   // m = 26: x^26 + x^6 + x^2 + x + 1
+    0x8000027,   // m = 27: x^27 + x^5 + x^2 + x + 1
+    0x10000009,  // m = 28: x^28 + x^3 + 1
+    0x20000005,  // m = 29: x^29 + x^2 + 1
+    0x40000053,  // m = 30: x^30 + x^6 + x^4 + x + 1
+    0x80000009,  // m = 31: x^31 + x^3 + 1
+    0x100400007, // m = 32: x^32 + x^22 + x^2 + x + 1
 ];
 
-/// Multiply two polynomials over GF(2) (carry-less multiplication).
-///
-/// `a` and `b` must have degree < 64 combined so the product fits in 128 bits.
-/// Uses the PCLMULQDQ instruction when the CPU supports it (the hot path for
-/// the large fields PinSketch needs), falling back to portable shift-and-add.
-fn clmul(a: u64, b: u64) -> u128 {
+/// Resolved carry-less 64x64 -> 128 multiplication routine.
+type ClmulFn = fn(u64, u64) -> u128;
+
+/// Detect the best carry-less multiply once; the result is installed in the
+/// [`Field`] as a function pointer so the hot path pays no detection cost.
+fn detect_clmul() -> (ClmulFn, bool) {
     #[cfg(target_arch = "x86_64")]
     {
         if std::arch::is_x86_feature_detected!("pclmulqdq") {
-            // SAFETY: feature presence checked at runtime just above.
-            return unsafe { clmul_pclmul(a, b) };
+            return (clmul_pclmul_dispatched, true);
         }
     }
-    clmul_portable(a, b)
+    (clmul_portable, false)
+}
+
+/// Safe front for the PCLMULQDQ path. Only ever installed as a [`Field`]'s
+/// `clmul` pointer after [`detect_clmul`] confirmed hardware support, so the
+/// feature precondition always holds when it is called.
+#[cfg(target_arch = "x86_64")]
+fn clmul_pclmul_dispatched(a: u64, b: u64) -> u128 {
+    // SAFETY: installed only after runtime detection of `pclmulqdq`.
+    unsafe { clmul_pclmul(a, b) }
 }
 
 #[cfg(target_arch = "x86_64")]
@@ -78,6 +115,7 @@ unsafe fn clmul_pclmul(a: u64, b: u64) -> u128 {
     ((hi as u128) << 64) | lo as u128
 }
 
+/// Portable carry-less multiplication (shift-and-add).
 fn clmul_portable(a: u64, b: u64) -> u128 {
     let mut acc: u128 = 0;
     let mut a = a as u128;
@@ -92,9 +130,24 @@ fn clmul_portable(a: u64, b: u64) -> u128 {
     acc
 }
 
+/// Carry-less multiplication with **per-call** feature detection: the seed's
+/// original code path, kept as the reference implementation the fast paths
+/// are benchmarked and property-tested against.
+fn clmul_detect_per_call(a: u64, b: u64) -> u128 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("pclmulqdq") {
+            // SAFETY: feature presence checked at runtime just above.
+            return unsafe { clmul_pclmul(a, b) };
+        }
+    }
+    clmul_portable(a, b)
+}
+
 /// Reduce a GF(2)-polynomial `v` modulo `poly` (degree `m`, with its leading
-/// bit set). The result has degree < m.
-fn reduce(mut v: u128, poly: u64, m: u32) -> u64 {
+/// bit set) one degree at a time. The result has degree < m. This is the
+/// reference reduction; the fast path uses [`Field::barrett_reduce`].
+fn reduce_naive(mut v: u128, poly: u64, m: u32) -> u64 {
     if v == 0 {
         return 0;
     }
@@ -111,6 +164,25 @@ fn reduce(mut v: u128, poly: u64, m: u32) -> u64 {
         }
     }
     v as u64
+}
+
+/// Barrett constant `mu = floor(x^(2m) / poly)`: GF(2)-polynomial long
+/// division of `x^(2m)` by `poly`. `mu` has degree exactly `m`, so it fits a
+/// `u64` for every supported field.
+fn barrett_mu(poly: u64, m: u32) -> u64 {
+    let mut rem: u128 = 1u128 << (2 * m);
+    let mut quot: u64 = 0;
+    let p = poly as u128;
+    while rem != 0 {
+        let deg = 127 - rem.leading_zeros();
+        if deg < m {
+            break;
+        }
+        let shift = deg - m;
+        quot |= 1u64 << shift;
+        rem ^= p << shift;
+    }
+    quot
 }
 
 /// Degree of a nonzero GF(2)-polynomial encoded as a bitmask.
@@ -144,7 +216,7 @@ fn frobenius_iter(poly: u64, m: u32, k: u32) -> u64 {
     for _ in 0..k {
         // Square cur modulo poly. Squaring a GF(2) polynomial spreads bits out.
         let sq = square_bits(cur);
-        cur = reduce(sq, poly, m);
+        cur = reduce_naive(sq, poly, m);
     }
     cur
 }
@@ -185,9 +257,9 @@ pub fn is_irreducible(poly: u64, m: u32) -> bool {
     let mut q = 2;
     let mut primes = Vec::new();
     while q * q <= rest {
-        if rest % q == 0 {
+        if rest.is_multiple_of(q) {
             primes.push(q);
-            while rest % q == 0 {
+            while rest.is_multiple_of(q) {
                 rest /= q;
             }
         }
@@ -232,20 +304,54 @@ pub fn irreducible_poly(m: u32) -> u64 {
     unreachable!("an irreducible polynomial of degree {m} always exists")
 }
 
+/// Requested multiplication backend for [`Field::with_backend`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendChoice {
+    /// Tables for `m <= 16`, carry-less + Barrett otherwise (the default).
+    Auto,
+    /// Force log/antilog tables (panics for `m > 16`).
+    Tables,
+    /// Force carry-less multiplication + Barrett reduction, even for small
+    /// fields where tables would normally win.
+    Barrett,
+    /// The original per-call-detect + shift-loop-reduce path. Slow; exists
+    /// so benchmarks and property tests can compare against it end to end.
+    Reference,
+}
+
+/// Resolved backend a [`Field`] runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Backend {
+    Tables,
+    Barrett,
+    Reference,
+}
+
 /// A binary extension field GF(2^m), `3 <= m <= 32`.
 ///
 /// Elements are `u64` values whose low `m` bits hold the polynomial-basis
 /// coefficients. All operations panic (in debug builds) if an operand has
-/// bits above `m` set.
+/// bits above `m` set. See the module docs for how the multiplication
+/// backend is chosen.
 #[derive(Clone)]
 pub struct Field {
     m: u32,
     poly: u64,
     order: u64,
-    /// antilog table: exp[i] = g^i for a generator g (only for small m)
+    backend: Backend,
+    /// Carry-less multiply resolved once at construction (PCLMUL or portable).
+    clmul: ClmulFn,
+    /// `true` when `clmul` is the hardware PCLMULQDQ path.
+    hw_clmul: bool,
+    /// Barrett constant `floor(x^(2m) / poly)`.
+    mu: u64,
+    /// antilog table: exp[i] = g^i for the generator g (only for small m);
+    /// the cycle is stored twice so exp[la + lb] never needs a modulo.
     exp: Vec<u32>,
     /// log table: log[exp[i]] = i (only for small m; log[0] unused)
     log: Vec<u32>,
+    /// The generator the tables are built on (0 when no tables).
+    generator: u64,
 }
 
 impl std::fmt::Debug for Field {
@@ -253,7 +359,7 @@ impl std::fmt::Debug for Field {
         f.debug_struct("Field")
             .field("m", &self.m)
             .field("poly", &format_args!("{:#x}", self.poly))
-            .field("tables", &!self.exp.is_empty())
+            .field("backend", &self.backend_name())
             .finish()
     }
 }
@@ -270,6 +376,20 @@ impl Field {
     /// # Panics
     /// Panics if `m` is out of range or `poly` is not irreducible of degree `m`.
     pub fn with_poly(m: u32, poly: u64) -> Self {
+        Self::build(m, poly, BackendChoice::Auto)
+    }
+
+    /// Construct GF(2^m) with an explicitly chosen backend, mainly for
+    /// benchmarks and backend-equivalence property tests.
+    ///
+    /// # Panics
+    /// Panics if `m` is out of range, or `BackendChoice::Tables` is requested
+    /// for a field too large to table (`m > 16`).
+    pub fn with_backend(m: u32, choice: BackendChoice) -> Self {
+        Self::build(m, irreducible_poly(m), choice)
+    }
+
+    fn build(m: u32, poly: u64, choice: BackendChoice) -> Self {
         assert!(
             (MIN_M..=MAX_M).contains(&m),
             "field degree m must be in {MIN_M}..={MAX_M}, got {m}"
@@ -278,15 +398,38 @@ impl Field {
             is_irreducible(poly, m),
             "modulus {poly:#x} is not an irreducible polynomial of degree {m}"
         );
-        let order = 1u64 << m;
+        let backend = match choice {
+            BackendChoice::Auto => {
+                if m <= TABLE_M_LIMIT {
+                    Backend::Tables
+                } else {
+                    Backend::Barrett
+                }
+            }
+            BackendChoice::Tables => {
+                assert!(
+                    m <= TABLE_M_LIMIT,
+                    "log/antilog tables are limited to m <= {TABLE_M_LIMIT}, got {m}"
+                );
+                Backend::Tables
+            }
+            BackendChoice::Barrett => Backend::Barrett,
+            BackendChoice::Reference => Backend::Reference,
+        };
+        let (clmul, hw_clmul) = detect_clmul();
         let mut field = Field {
             m,
             poly,
-            order,
+            order: 1u64 << m,
+            backend,
+            clmul,
+            hw_clmul,
+            mu: barrett_mu(poly, m),
             exp: Vec::new(),
             log: Vec::new(),
+            generator: 0,
         };
-        if m <= TABLE_M_LIMIT {
+        if backend == Backend::Tables {
             field.build_tables();
         }
         field
@@ -300,13 +443,13 @@ impl Field {
         let group = self.order - 1;
         // Find a generator by trial: try x, then x+1, ... Most table entries
         // are primitive polynomials so x itself generates.
-        let mut gen = 2u64;
+        let mut generator = 2u64;
         loop {
-            if self.multiplicative_order_slow(gen) == group {
+            if self.multiplicative_order_slow(generator) == group {
                 break;
             }
-            gen += 1;
-            debug_assert!(gen < self.order, "no generator found (impossible)");
+            generator += 1;
+            debug_assert!(generator < self.order, "no generator found (impossible)");
         }
         let mut exp = vec![0u32; 2 * size];
         let mut log = vec![0u32; size];
@@ -314,7 +457,7 @@ impl Field {
         for (i, e) in exp.iter_mut().take(group as usize).enumerate() {
             *e = cur as u32;
             log[cur as usize] = i as u32;
-            cur = self.mul_slow(cur, gen);
+            cur = self.mul_reference(cur, generator);
         }
         // Duplicate the cycle so exp[(la + lb)] never needs a modulo.
         for i in group as usize..2 * size {
@@ -322,6 +465,7 @@ impl Field {
         }
         self.exp = exp;
         self.log = log;
+        self.generator = generator;
     }
 
     fn multiplicative_order_slow(&self, a: u64) -> u64 {
@@ -331,7 +475,7 @@ impl Field {
         let mut cur = a;
         let mut ord = 1;
         while cur != 1 {
-            cur = self.mul_slow(cur, a);
+            cur = self.mul_reference(cur, a);
             ord += 1;
         }
         ord
@@ -361,6 +505,39 @@ impl Field {
         self.order - 1
     }
 
+    /// Name of the resolved multiplication backend, for diagnostics and the
+    /// benchmark reports: `"tables"`, `"clmul-barrett"`, `"portable-barrett"`
+    /// or `"reference"`.
+    pub fn backend_name(&self) -> &'static str {
+        match self.backend {
+            Backend::Tables => "tables",
+            Backend::Barrett => {
+                if self.hw_clmul {
+                    "clmul-barrett"
+                } else {
+                    "portable-barrett"
+                }
+            }
+            Backend::Reference => "reference",
+        }
+    }
+
+    /// `true` when hardware carry-less multiplication (PCLMULQDQ) was
+    /// detected at construction.
+    pub fn has_hw_clmul(&self) -> bool {
+        self.hw_clmul
+    }
+
+    /// The generator whose powers the log/antilog tables enumerate, if this
+    /// field is table-backed. The stepping Chien search walks these powers.
+    pub fn generator(&self) -> Option<u64> {
+        if self.generator == 0 {
+            None
+        } else {
+            Some(self.generator)
+        }
+    }
+
     /// `true` if `a` is a valid element (fits in `m` bits).
     #[inline]
     pub fn contains(&self, a: u64) -> bool {
@@ -369,7 +546,11 @@ impl Field {
 
     #[inline]
     fn check(&self, a: u64) {
-        debug_assert!(self.contains(a), "element {a:#x} out of field GF(2^{})", self.m);
+        debug_assert!(
+            self.contains(a),
+            "element {a:#x} out of field GF(2^{})",
+            self.m
+        );
     }
 
     /// Field addition (XOR).
@@ -386,8 +567,98 @@ impl Field {
         self.add(a, b)
     }
 
-    fn mul_slow(&self, a: u64, b: u64) -> u64 {
-        reduce(clmul(a, b), self.poly, self.m)
+    /// Barrett reduction of a carry-less product (degree <= 2m - 2) modulo
+    /// the field polynomial: two carry-less multiplications by the
+    /// precomputed `mu`, no data-dependent loop.
+    ///
+    /// Exactness: write `c = q·p + r`. With `mu = floor(x^(2m)/p)` one gets
+    /// `floor(floor(c/x^m)·mu / x^m) = q` for every `deg c <= 2m - 1`, so the
+    /// final XOR cancels all bits of degree >= m.
+    #[inline]
+    fn barrett_reduce(&self, c: u128) -> u64 {
+        // deg c <= 2m - 2 <= 62, so c fits in 64 bits.
+        let c = c as u64;
+        let q1 = c >> self.m;
+        let q2 = (self.clmul)(q1, self.mu) as u64;
+        let q = q2 >> self.m;
+        let r = c ^ (self.clmul)(q, self.poly) as u64;
+        debug_assert!(r < self.order, "Barrett reduction out of range");
+        r
+    }
+
+    /// The reference multiplication: per-call feature detection and
+    /// shift-loop reduction, regardless of the field's resolved backend.
+    /// This is the seed implementation, kept as ground truth for the
+    /// property tests and as the benchmark baseline.
+    pub fn mul_reference(&self, a: u64, b: u64) -> u64 {
+        self.check(a);
+        self.check(b);
+        reduce_naive(clmul_detect_per_call(a, b), self.poly, self.m)
+    }
+
+    /// Fused multiply + Barrett reduce on the hardware path: all three
+    /// PCLMULQDQ issues inline into a single `target_feature` function, so a
+    /// Barrett multiplication is one call with no function-pointer hops.
+    ///
+    /// # Safety
+    /// Callers must ensure `self.hw_clmul` is set (PCLMULQDQ detected).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "pclmulqdq")]
+    unsafe fn mul_barrett_hw(&self, a: u64, b: u64) -> u64 {
+        let c = clmul_pclmul(a, b) as u64;
+        let q = (clmul_pclmul(c >> self.m, self.mu) as u64) >> self.m;
+        c ^ clmul_pclmul(q, self.poly) as u64
+    }
+
+    /// Pairwise slice multiply on the hardware Barrett path; the whole loop
+    /// lives inside one `target_feature` region.
+    ///
+    /// # Safety
+    /// Callers must ensure `self.hw_clmul` is set (PCLMULQDQ detected).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "pclmulqdq")]
+    unsafe fn mul_slice_hw(&self, dst: &mut [u64], src: &[u64]) {
+        for (d, &s) in dst.iter_mut().zip(src) {
+            self.check(*d);
+            self.check(s);
+            *d = self.mul_barrett_hw(*d, s);
+        }
+    }
+
+    /// Scalar slice multiply on the hardware Barrett path.
+    ///
+    /// # Safety
+    /// Callers must ensure `self.hw_clmul` is set (PCLMULQDQ detected).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "pclmulqdq")]
+    unsafe fn scalar_mul_slice_hw(&self, dst: &mut [u64], c: u64) {
+        for d in dst.iter_mut() {
+            self.check(*d);
+            *d = self.mul_barrett_hw(*d, c);
+        }
+    }
+
+    /// In-place slice square on the hardware Barrett path.
+    ///
+    /// # Safety
+    /// Callers must ensure `self.hw_clmul` is set (PCLMULQDQ detected).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "pclmulqdq")]
+    unsafe fn square_slice_hw(&self, vals: &mut [u64]) {
+        for v in vals.iter_mut() {
+            self.check(*v);
+            *v = self.mul_barrett_hw(*v, *v);
+        }
+    }
+
+    #[inline]
+    fn mul_tables(&self, a: u64, b: u64) -> u64 {
+        if a == 0 || b == 0 {
+            return 0;
+        }
+        let la = self.log[a as usize] as usize;
+        let lb = self.log[b as usize] as usize;
+        self.exp[la + lb] as u64
     }
 
     /// Field multiplication.
@@ -395,15 +666,19 @@ impl Field {
     pub fn mul(&self, a: u64, b: u64) -> u64 {
         self.check(a);
         self.check(b);
-        if a == 0 || b == 0 {
-            return 0;
-        }
-        if !self.exp.is_empty() {
-            let la = self.log[a as usize] as usize;
-            let lb = self.log[b as usize] as usize;
-            self.exp[la + lb] as u64
-        } else {
-            self.mul_slow(a, b)
+        match self.backend {
+            Backend::Tables => self.mul_tables(a, b),
+            // Barrett handles zero operands for free: the product is zero
+            // and reduces to zero, so no branch is needed.
+            Backend::Barrett => {
+                #[cfg(target_arch = "x86_64")]
+                if self.hw_clmul {
+                    // SAFETY: hw_clmul is only set after runtime detection.
+                    return unsafe { self.mul_barrett_hw(a, b) };
+                }
+                self.barrett_reduce((self.clmul)(a, b))
+            }
+            Backend::Reference => self.mul_reference(a, b),
         }
     }
 
@@ -411,14 +686,122 @@ impl Field {
     #[inline]
     pub fn square(&self, a: u64) -> u64 {
         self.check(a);
-        if a == 0 {
-            return 0;
+        match self.backend {
+            Backend::Tables => {
+                if a == 0 {
+                    return 0;
+                }
+                let la = self.log[a as usize] as usize;
+                self.exp[la + la] as u64
+            }
+            // A carry-less self-product is exactly the GF(2) square.
+            Backend::Barrett => {
+                #[cfg(target_arch = "x86_64")]
+                if self.hw_clmul {
+                    // SAFETY: hw_clmul is only set after runtime detection.
+                    return unsafe { self.mul_barrett_hw(a, a) };
+                }
+                self.barrett_reduce((self.clmul)(a, a))
+            }
+            Backend::Reference => reduce_naive(square_bits(a), self.poly, self.m),
         }
-        if !self.exp.is_empty() {
-            let la = self.log[a as usize] as usize;
-            self.exp[la + la] as u64
-        } else {
-            reduce(square_bits(a), self.poly, self.m)
+    }
+
+    /// Pairwise in-place multiplication: `dst[i] <- dst[i] * src[i]`.
+    ///
+    /// The backend dispatch is hoisted out of the loop, which is what makes
+    /// this the building block for the batched syndrome kernels in `bch`.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    pub fn mul_slice(&self, dst: &mut [u64], src: &[u64]) {
+        assert_eq!(dst.len(), src.len(), "mul_slice length mismatch");
+        match self.backend {
+            Backend::Tables => {
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d = self.mul_tables(*d, s);
+                }
+            }
+            Backend::Barrett => {
+                #[cfg(target_arch = "x86_64")]
+                if self.hw_clmul {
+                    // SAFETY: hw_clmul is only set after runtime detection.
+                    unsafe { self.mul_slice_hw(dst, src) };
+                    return;
+                }
+                let clmul = self.clmul;
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    self.check(*d);
+                    self.check(s);
+                    *d = self.barrett_reduce(clmul(*d, s));
+                }
+            }
+            Backend::Reference => {
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d = self.mul_reference(*d, s);
+                }
+            }
+        }
+    }
+
+    /// Multiply every element of `dst` by the scalar `c` in place.
+    pub fn scalar_mul_slice(&self, dst: &mut [u64], c: u64) {
+        self.check(c);
+        match self.backend {
+            Backend::Tables => {
+                if c == 0 {
+                    dst.fill(0);
+                    return;
+                }
+                let lc = self.log[c as usize] as usize;
+                for d in dst.iter_mut() {
+                    if *d != 0 {
+                        *d = self.exp[self.log[*d as usize] as usize + lc] as u64;
+                    }
+                }
+            }
+            Backend::Barrett => {
+                #[cfg(target_arch = "x86_64")]
+                if self.hw_clmul {
+                    // SAFETY: hw_clmul is only set after runtime detection.
+                    unsafe { self.scalar_mul_slice_hw(dst, c) };
+                    return;
+                }
+                let clmul = self.clmul;
+                for d in dst.iter_mut() {
+                    self.check(*d);
+                    *d = self.barrett_reduce(clmul(*d, c));
+                }
+            }
+            Backend::Reference => {
+                for d in dst.iter_mut() {
+                    *d = self.mul_reference(*d, c);
+                }
+            }
+        }
+    }
+
+    /// Square every element of `vals` in place.
+    pub fn square_slice(&self, vals: &mut [u64]) {
+        match self.backend {
+            Backend::Barrett => {
+                #[cfg(target_arch = "x86_64")]
+                if self.hw_clmul {
+                    // SAFETY: hw_clmul is only set after runtime detection.
+                    unsafe { self.square_slice_hw(vals) };
+                    return;
+                }
+                let clmul = self.clmul;
+                for v in vals.iter_mut() {
+                    self.check(*v);
+                    *v = self.barrett_reduce(clmul(*v, *v));
+                }
+            }
+            _ => {
+                for v in vals.iter_mut() {
+                    *v = self.square(*v);
+                }
+            }
         }
     }
 
@@ -450,7 +833,7 @@ impl Field {
     pub fn inv(&self, a: u64) -> u64 {
         self.check(a);
         assert!(a != 0, "zero has no multiplicative inverse");
-        if !self.exp.is_empty() {
+        if self.backend == Backend::Tables {
             let la = self.log[a as usize] as u64;
             let group = self.order - 1;
             self.exp[((group - la) % group) as usize] as u64
@@ -495,6 +878,55 @@ impl Field {
         cur
     }
 
+    /// Stepping Chien search over a table-backed field: find up to
+    /// `max_roots` roots of the polynomial with ascending coefficients
+    /// `coeffs`, scanning candidates in generator-power order `g^0, g^1, …`.
+    ///
+    /// The classical stepping formulation keeps one running term per nonzero
+    /// coefficient in the *log domain*: evaluating at the next power of `g`
+    /// is one add (+ conditional wrap) and one antilog lookup per
+    /// coefficient, instead of a full Horner chain with two log lookups per
+    /// multiply. Returns `None` when the field has no tables (large fields
+    /// use the Berlekamp trace algorithm instead).
+    pub fn chien_search(&self, coeffs: &[u64], max_roots: usize) -> Option<Vec<u64>> {
+        if self.backend != Backend::Tables {
+            return None;
+        }
+        let group = (self.order - 1) as u32;
+        // One (step, log) pair per nonzero coefficient: the term for x^j
+        // starts at log(c_j) and advances by j per candidate.
+        let mut terms: Vec<(u32, u32)> = coeffs
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c != 0)
+            .map(|(j, &c)| {
+                self.check(c);
+                ((j as u64 % group as u64) as u32, self.log[c as usize])
+            })
+            .collect();
+        let mut roots = Vec::new();
+        if terms.is_empty() || max_roots == 0 {
+            return Some(roots);
+        }
+        for i in 0..group {
+            let mut acc = 0u64;
+            for &(_, lg) in terms.iter() {
+                acc ^= self.exp[lg as usize] as u64;
+            }
+            if acc == 0 {
+                roots.push(self.exp[i as usize] as u64); // the candidate g^i
+                if roots.len() == max_roots {
+                    break;
+                }
+            }
+            for t in terms.iter_mut() {
+                let next = t.1 + t.0;
+                t.1 = if next >= group { next - group } else { next };
+            }
+        }
+        Some(roots)
+    }
+
     /// Iterator over all nonzero field elements (1 ..= 2^m - 1).
     pub fn nonzero_elements(&self) -> impl Iterator<Item = u64> {
         1..self.order
@@ -529,12 +961,31 @@ mod tests {
     }
 
     #[test]
-    fn small_field_mul_matches_slow_path() {
+    fn small_field_mul_matches_reference() {
         let f = Field::new(8);
         for a in 0..256u64 {
             for b in 0..256u64 {
-                assert_eq!(f.mul(a, b), f.mul_slow(a, b), "mismatch at {a} * {b}");
+                assert_eq!(f.mul(a, b), f.mul_reference(a, b), "mismatch at {a} * {b}");
             }
+        }
+    }
+
+    #[test]
+    fn barrett_backend_matches_reference_exhaustively_small() {
+        let f = Field::with_backend(6, BackendChoice::Barrett);
+        for a in 0..64u64 {
+            for b in 0..64u64 {
+                assert_eq!(f.mul(a, b), f.mul_reference(a, b), "mismatch at {a} * {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn barrett_mu_has_degree_m() {
+        for m in MIN_M..=MAX_M {
+            let poly = irreducible_poly(m);
+            let mu = barrett_mu(poly, m);
+            assert_eq!(deg2(mu), m, "mu degree wrong for m={m}");
         }
     }
 
@@ -577,11 +1028,93 @@ mod tests {
     fn square_equals_self_mul() {
         for m in [3u32, 8, 11, 13, 17, 24, 32] {
             let f = Field::new(m);
-            let samples: Vec<u64> = (0..200).map(|i| (i * 2654435761u64 + 12345) % f.order()).collect();
+            let samples: Vec<u64> = (0..200)
+                .map(|i| (i * 2654435761u64 + 12345) % f.order())
+                .collect();
             for a in samples {
-                assert_eq!(f.square(a), f.mul(a, a), "square mismatch for a={a:#x}, m={m}");
+                assert_eq!(
+                    f.square(a),
+                    f.mul(a, a),
+                    "square mismatch for a={a:#x}, m={m}"
+                );
             }
         }
+    }
+
+    #[test]
+    fn slice_ops_match_scalar_ops() {
+        for choice in [
+            BackendChoice::Tables,
+            BackendChoice::Barrett,
+            BackendChoice::Reference,
+        ] {
+            let f = Field::with_backend(11, choice);
+            let xs: Vec<u64> = (0..257u64).map(|i| (i * 48271 + 11) % f.order()).collect();
+            let ys: Vec<u64> = (0..257u64).map(|i| (i * 69621 + 3) % f.order()).collect();
+            let mut prod = xs.clone();
+            f.mul_slice(&mut prod, &ys);
+            for i in 0..xs.len() {
+                assert_eq!(
+                    prod[i],
+                    f.mul(xs[i], ys[i]),
+                    "mul_slice[{i}] backend {choice:?}"
+                );
+            }
+            let mut sq = xs.clone();
+            f.square_slice(&mut sq);
+            for i in 0..xs.len() {
+                assert_eq!(
+                    sq[i],
+                    f.square(xs[i]),
+                    "square_slice[{i}] backend {choice:?}"
+                );
+            }
+            let mut scaled = xs.clone();
+            f.scalar_mul_slice(&mut scaled, 0x2A7);
+            for i in 0..xs.len() {
+                assert_eq!(
+                    scaled[i],
+                    f.mul(xs[i], 0x2A7),
+                    "scalar_mul_slice[{i}] backend {choice:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chien_search_finds_generator_power_roots() {
+        let f = Field::new(11);
+        // Polynomial with roots {3, 500, 1999}: (x+3)(x+500)(x+1999) built by
+        // convolution through the field itself.
+        let roots = [3u64, 500, 1999];
+        let mut coeffs = vec![1u64];
+        for &r in &roots {
+            let mut next = vec![0u64; coeffs.len() + 1];
+            for (i, &c) in coeffs.iter().enumerate() {
+                next[i + 1] ^= c;
+                next[i] ^= f.mul(c, r);
+            }
+            coeffs = next;
+        }
+        let mut found = f.chien_search(&coeffs, 3).unwrap();
+        found.sort_unstable();
+        assert_eq!(found, vec![3, 500, 1999]);
+        // Non-table fields report None so callers fall back.
+        let big = Field::new(32);
+        assert!(big.chien_search(&[1, 1], 1).is_none());
+    }
+
+    #[test]
+    fn backend_names_are_stable() {
+        assert_eq!(Field::new(8).backend_name(), "tables");
+        let barrett = Field::with_backend(8, BackendChoice::Barrett);
+        assert!(barrett.backend_name().ends_with("barrett"));
+        assert_eq!(
+            Field::with_backend(8, BackendChoice::Reference).backend_name(),
+            "reference"
+        );
+        assert!(Field::new(8).generator().is_some());
+        assert!(Field::new(32).generator().is_none());
     }
 
     #[test]
@@ -638,5 +1171,11 @@ mod tests {
     #[should_panic(expected = "field degree m must be in")]
     fn out_of_range_degree_panics() {
         Field::new(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "log/antilog tables are limited")]
+    fn forced_tables_reject_large_fields() {
+        Field::with_backend(20, BackendChoice::Tables);
     }
 }

@@ -5,8 +5,12 @@
 //! and the PinSketch baseline) is decoded with arithmetic from this crate:
 //!
 //! * [`Field`] — a binary extension field GF(2^m) for `3 <= m <= 32`,
-//!   with log/antilog tables for small `m` and carry-less shift-and-reduce
-//!   multiplication for large `m`.
+//!   with log/antilog tables for small `m` and carry-less multiplication
+//!   with Barrett reduction for large `m`. The backend (tables, hardware
+//!   PCLMUL + Barrett, or portable + Barrett) is resolved once at
+//!   construction and cached; see the `field` module docs. Batched entry
+//!   points (`mul_slice`, `square_slice`, `eval_batch`) amortize dispatch
+//!   for the syndrome kernels in `bch`.
 //! * [`Poly`] — dense polynomials over a [`Field`], with the operations a
 //!   Berlekamp–Massey decoder and a Berlekamp-trace root finder need:
 //!   multiplication, remainder, gcd, evaluation, formal derivative and
@@ -33,5 +37,5 @@
 mod field;
 mod poly;
 
-pub use field::{irreducible_poly, is_irreducible, Field};
+pub use field::{irreducible_poly, is_irreducible, BackendChoice, Field};
 pub use poly::Poly;

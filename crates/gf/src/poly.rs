@@ -109,12 +109,15 @@ impl Poly {
         Poly::from_coeffs(out)
     }
 
-    /// Scale every coefficient by `c`.
+    /// Scale every coefficient by `c`, through the batched
+    /// [`Field::scalar_mul_slice`] kernel (one backend dispatch per call).
     pub fn scale(&self, c: u64, f: &Field) -> Poly {
         if c == 0 {
             return Poly::zero();
         }
-        Poly::from_coeffs(self.coeffs.iter().map(|&a| f.mul(a, c)).collect())
+        let mut coeffs = self.coeffs.clone();
+        f.scalar_mul_slice(&mut coeffs, c);
+        Poly::from_coeffs(coeffs)
     }
 
     /// Schoolbook polynomial multiplication, O(deg_a * deg_b).
@@ -210,6 +213,31 @@ impl Poly {
             acc = f.add(f.mul(acc, x), c);
         }
         acc
+    }
+
+    /// Evaluate the polynomial at every point of `xs`.
+    ///
+    /// Runs four interleaved Horner chains so the field multiplications of
+    /// independent points overlap, and amortizes the backend dispatch via
+    /// [`Field::mul_slice`]. Falls back to plain Horner for the remainder.
+    pub fn eval_batch(&self, xs: &[u64], f: &Field) -> Vec<u64> {
+        let mut out = Vec::with_capacity(xs.len());
+        let mut chunks = xs.chunks_exact(4);
+        for chunk in &mut chunks {
+            let pts = [chunk[0], chunk[1], chunk[2], chunk[3]];
+            let mut acc = [0u64; 4];
+            for &c in self.coeffs.iter().rev() {
+                f.mul_slice(&mut acc, &pts);
+                for a in acc.iter_mut() {
+                    *a ^= c;
+                }
+            }
+            out.extend_from_slice(&acc);
+        }
+        for &x in chunks.remainder() {
+            out.push(self.eval(x, f));
+        }
+        out
     }
 
     /// Formal derivative. In characteristic 2 the even-degree terms vanish
@@ -370,6 +398,28 @@ mod tests {
         let p = Poly::from_coeffs(vec![1, 2]);
         assert_eq!(p.shift(2), Poly::from_coeffs(vec![0, 0, 1, 2]));
         assert_eq!(p.shift(2), p.mul(&Poly::monomial(1, 2), &f));
+    }
+
+    #[test]
+    fn eval_batch_matches_pointwise_eval() {
+        for m in [8u32, 11, 32] {
+            let f = Field::new(m);
+            let p = Poly::from_coeffs((1..=9u64).map(|c| c % f.order()).collect());
+            let xs: Vec<u64> = (0..23u64).map(|i| (i * 0x9E37 + 5) % f.order()).collect();
+            let batch = p.eval_batch(&xs, &f);
+            for (i, &x) in xs.iter().enumerate() {
+                assert_eq!(
+                    batch[i],
+                    p.eval(x, &f),
+                    "eval_batch mismatch at x={x}, m={m}"
+                );
+            }
+        }
+        let f = Field::new(8);
+        assert!(Poly::zero()
+            .eval_batch(&[1, 2, 3], &f)
+            .iter()
+            .all(|&v| v == 0));
     }
 
     #[test]

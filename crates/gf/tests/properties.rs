@@ -118,3 +118,139 @@ proptest! {
         prop_assert!(b.rem(&g, &f).is_zero());
     }
 }
+
+/// Backend-equivalence properties: every fast path (Barrett mul, batched
+/// mul/square, table mul, stepping Chien) must agree with the reference
+/// implementation (per-call-detect carry-less multiply + shift-loop
+/// reduction) for every supported degree, on both the table and the
+/// carry-less/Barrett backends.
+mod backend_equivalence {
+    use gf::{BackendChoice, Field, Poly};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn barrett_mul_matches_reference_for_every_m(
+            m in 3u32..=32,
+            a_raw in any::<u64>(),
+            b_raw in any::<u64>(),
+        ) {
+            let f = Field::with_backend(m, BackendChoice::Barrett);
+            let a = a_raw % f.order();
+            let b = b_raw % f.order();
+            prop_assert_eq!(f.mul(a, b), f.mul_reference(a, b));
+            prop_assert_eq!(f.square(a), f.mul_reference(a, a));
+        }
+
+        #[test]
+        fn table_mul_matches_reference_for_every_tabled_m(
+            m in 3u32..=16,
+            a_raw in any::<u64>(),
+            b_raw in any::<u64>(),
+        ) {
+            let f = Field::with_backend(m, BackendChoice::Tables);
+            let a = a_raw % f.order();
+            let b = b_raw % f.order();
+            prop_assert_eq!(f.mul(a, b), f.mul_reference(a, b));
+            prop_assert_eq!(f.square(a), f.mul_reference(a, a));
+        }
+
+        #[test]
+        fn batched_ops_match_reference(
+            m in 3u32..=32,
+            xs_raw in prop::collection::vec(any::<u64>(), 0..24),
+            ys_raw in prop::collection::vec(any::<u64>(), 0..24),
+            c_raw in any::<u64>(),
+        ) {
+            let f = Field::new(m);
+            let n = xs_raw.len().min(ys_raw.len());
+            let xs: Vec<u64> = xs_raw[..n].iter().map(|x| x % f.order()).collect();
+            let ys: Vec<u64> = ys_raw[..n].iter().map(|y| y % f.order()).collect();
+            let c = c_raw % f.order();
+
+            let mut prod = xs.clone();
+            f.mul_slice(&mut prod, &ys);
+            for i in 0..n {
+                prop_assert_eq!(prod[i], f.mul_reference(xs[i], ys[i]));
+            }
+
+            let mut sq = xs.clone();
+            f.square_slice(&mut sq);
+            for i in 0..n {
+                prop_assert_eq!(sq[i], f.mul_reference(xs[i], xs[i]));
+            }
+
+            let mut scaled = xs.clone();
+            f.scalar_mul_slice(&mut scaled, c);
+            for i in 0..n {
+                prop_assert_eq!(scaled[i], f.mul_reference(xs[i], c));
+            }
+        }
+
+        #[test]
+        fn eval_batch_matches_naive_horner(
+            m in 3u32..=32,
+            coeffs_raw in prop::collection::vec(any::<u64>(), 0..10),
+            xs_raw in prop::collection::vec(any::<u64>(), 0..13),
+        ) {
+            let f = Field::new(m);
+            let p = Poly::from_coeffs(coeffs_raw.into_iter().map(|c| c % f.order()).collect());
+            let xs: Vec<u64> = xs_raw.into_iter().map(|x| x % f.order()).collect();
+            let batch = p.eval_batch(&xs, &f);
+            let reference = Field::with_backend(m, BackendChoice::Reference);
+            for (i, &x) in xs.iter().enumerate() {
+                // Naive Horner through the reference backend.
+                let mut acc = 0u64;
+                for &c in p.coeffs().iter().rev() {
+                    acc = reference.mul_reference(acc, x) ^ c;
+                }
+                prop_assert_eq!(batch[i], acc);
+            }
+        }
+
+        #[test]
+        fn stepping_chien_matches_naive_scan(
+            m in 3u32..=11,
+            roots_raw in prop::collection::hash_set(any::<u64>(), 0..6),
+        ) {
+            let f = Field::new(m);
+            let roots: std::collections::HashSet<u64> =
+                roots_raw.into_iter().map(|r| (r % (f.order() - 1)) + 1).collect();
+            let mut p = Poly::one();
+            for &r in &roots {
+                p = p.mul(&Poly::from_coeffs(vec![r, 1]), &f);
+            }
+            let mut stepping = f
+                .chien_search(p.coeffs(), p.degree_or_zero())
+                .expect("small fields are table-backed");
+            stepping.sort_unstable();
+            let mut naive = p.roots_exhaustive(&f);
+            naive.sort_unstable();
+            prop_assert_eq!(stepping, naive);
+        }
+    }
+
+    /// Deterministic exhaustive sweep across every degree and both forced
+    /// backends, so a backend bug cannot hide behind proptest sampling.
+    #[test]
+    fn all_degrees_all_backends_sample_grid() {
+        for m in 3u32..=32 {
+            let barrett = Field::with_backend(m, BackendChoice::Barrett);
+            let auto = Field::new(m);
+            let samples: Vec<u64> = (0..64u64)
+                .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) % barrett.order())
+                .collect();
+            for (k, &a) in samples.iter().enumerate() {
+                let b = samples[(k * 7 + 3) % samples.len()];
+                let expect = barrett.mul_reference(a, b);
+                assert_eq!(barrett.mul(a, b), expect, "barrett m={m} {a:#x}*{b:#x}");
+                assert_eq!(auto.mul(a, b), expect, "auto m={m} {a:#x}*{b:#x}");
+                if a != 0 {
+                    assert_eq!(auto.mul(a, auto.inv(a)), 1, "inv m={m} a={a:#x}");
+                }
+            }
+        }
+    }
+}

@@ -64,18 +64,28 @@ impl PinSketch {
 
     /// Reconcile with a known difference cardinality: the sketch capacity is
     /// set to exactly `t` (no estimator round).
-    pub fn reconcile_with_capacity(&self, alice: &[u64], bob: &[u64], t: usize, _seed: u64) -> ReconcileOutcome {
+    pub fn reconcile_with_capacity(
+        &self,
+        alice: &[u64],
+        bob: &[u64],
+        t: usize,
+        _seed: u64,
+    ) -> ReconcileOutcome {
         let cfg = self.config;
         let t = t.max(1);
         let mut transcript = Transcript::new();
         let codec = BchCodec::new(cfg.universe_bits, t);
 
         let encode_start = Instant::now();
-        let sketch_a = codec.sketch_set(alice.iter().copied());
-        let sketch_b = codec.sketch_set(bob.iter().copied());
+        let sketch_a = codec.sketch_slice(alice);
+        let sketch_b = codec.sketch_slice(bob);
         let encode = encode_start.elapsed();
 
-        transcript.send_bits(Direction::AliceToBob, "pinsketch", sketch_a.wire_bits(cfg.universe_bits));
+        transcript.send_bits(
+            Direction::AliceToBob,
+            "pinsketch",
+            sketch_a.wire_bits(cfg.universe_bits),
+        );
 
         let decode_start = Instant::now();
         let mut diff_sketch: Sketch = sketch_b.clone();
@@ -166,19 +176,30 @@ impl PinSketchWp {
     }
 
     /// Reconcile with a known (or externally estimated) `d`.
-    pub fn reconcile_with_known_d(&self, alice: &[u64], bob: &[u64], d: usize, seed: u64) -> ReconcileOutcome {
+    pub fn reconcile_with_known_d(
+        &self,
+        alice: &[u64],
+        bob: &[u64],
+        d: usize,
+        seed: u64,
+    ) -> ReconcileOutcome {
         let cfg = self.config;
         // Use the same (t, g) as PBS would (§8.3: "we use the same δ and t
         // values as in PBS").
-        let plan = optimize_parameters(d.max(1), self.delta, self.target_rounds, self.target_success)
-            .unwrap_or_else(|_| analysis::OptimalParams {
-                n: 2047,
-                m: 11,
-                t: 4 * self.delta,
-                groups: analysis::group_count(d, self.delta),
-                lower_bound: 0.0,
-                objective_bits: 0.0,
-            });
+        let plan = optimize_parameters(
+            d.max(1),
+            self.delta,
+            self.target_rounds,
+            self.target_success,
+        )
+        .unwrap_or_else(|_| analysis::OptimalParams {
+            n: 2047,
+            m: 11,
+            t: 4 * self.delta,
+            groups: analysis::group_count(d, self.delta),
+            lower_bound: 0.0,
+            objective_bits: 0.0,
+        });
         let g = plan.groups;
         let t = plan.t;
         let mut transcript = Transcript::new();
@@ -197,14 +218,13 @@ impl PinSketchWp {
         let encode_start = Instant::now();
         let alice_groups = bucket(alice);
         let bob_groups = bucket(bob);
-        let alice_sketches: Vec<Sketch> = alice_groups
-            .iter()
-            .map(|grp| codec.sketch_set(grp.iter().copied()))
-            .collect();
-        let bob_sketches: Vec<Sketch> = bob_groups
-            .iter()
-            .map(|grp| codec.sketch_set(grp.iter().copied()))
-            .collect();
+        // Groups are independent: sketch them with `protocol::par_map`
+        // (worker threads behind the `parallel` feature, serial otherwise —
+        // identical sketches either way).
+        let alice_sketches: Vec<Sketch> =
+            protocol::par_map(&alice_groups, |grp| codec.sketch_slice(grp));
+        let bob_sketches: Vec<Sketch> =
+            protocol::par_map(&bob_groups, |grp| codec.sketch_slice(grp));
         let encode = encode_start.elapsed();
 
         let decode_start = Instant::now();
@@ -224,7 +244,13 @@ impl PinSketchWp {
             .into_iter()
             .zip(bob_groups)
             .zip(alice_sketches.into_iter().zip(bob_sketches))
-            .map(|((a, b), (sa, sb))| Item { a, b, sa, sb, depth: 0 })
+            .map(|((a, b), (sa, sb))| Item {
+                a,
+                b,
+                sa,
+                sb,
+                depth: 0,
+            })
             .collect();
 
         for item in &work {

@@ -27,6 +27,56 @@ pub use workload::{SetPair, Workload};
 use std::collections::HashSet;
 use std::time::Duration;
 
+/// Order-preserving map over a slice, run on worker threads when the
+/// `parallel` feature is enabled and serially otherwise.
+///
+/// The group sketching loops of PBS and PinSketch/WP are embarrassingly
+/// parallel — each group's BCH sketch depends only on that group's elements
+/// — so this is safe to parallelize without changing any result: the output
+/// is `items.iter().map(f)` in order either way, keeping transcripts and
+/// decode outcomes deterministic. Implemented with `std::thread::scope`
+/// (the registry mirror that would serve rayon is unreachable in this
+/// build environment, and chunked scoped threads are all these loops need).
+#[cfg(feature = "parallel")]
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items.len().max(1));
+    if workers <= 1 || items.len() < 2 {
+        return items.iter().map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(workers);
+    let mut out: Vec<Option<U>> = Vec::new();
+    out.resize_with(items.len(), || None);
+    std::thread::scope(|scope| {
+        for (chunk, slot) in items.chunks(chunk_len).zip(out.chunks_mut(chunk_len)) {
+            scope.spawn(|| {
+                for (item, s) in chunk.iter().zip(slot.iter_mut()) {
+                    *s = Some(f(item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|v| v.expect("worker filled every slot"))
+        .collect()
+}
+
+/// Serial fallback of [`par_map`] when the `parallel` feature is off.
+#[cfg(not(feature = "parallel"))]
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    F: Fn(&T) -> U,
+{
+    items.iter().map(f).collect()
+}
+
 /// Wall-clock timing of the two sides of a reconciliation run.
 ///
 /// Following the paper's convention (§8), *encoding time* is the time spent

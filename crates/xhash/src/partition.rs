@@ -106,7 +106,10 @@ mod tests {
         let expected = (n / bins) as f64;
         for (b, &c) in counts.iter().enumerate() {
             let dev = (c as f64 - expected).abs() / expected;
-            assert!(dev < 0.15, "bin {b} count {c} deviates {dev:.3} from {expected}");
+            assert!(
+                dev < 0.15,
+                "bin {b} count {c} deviates {dev:.3} from {expected}"
+            );
         }
     }
 

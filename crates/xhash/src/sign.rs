@@ -171,7 +171,11 @@ mod tests {
 
     #[test]
     fn mersenne_reduction_is_correct() {
-        for &(a, b) in &[(MERSENNE_P - 1, MERSENNE_P - 1), (123456789, 987654321), (0, 5)] {
+        for &(a, b) in &[
+            (MERSENNE_P - 1, MERSENNE_P - 1),
+            (123456789, 987654321),
+            (0, 5),
+        ] {
             let expect = ((a as u128 * b as u128) % MERSENNE_P as u128) as u64;
             assert_eq!(mul_mod(a, b), expect);
         }

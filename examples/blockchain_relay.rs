@@ -44,7 +44,6 @@ impl Transaction {
 
 /// A peer's mempool, indexed by short id.
 struct Mempool {
-    salt: u64,
     by_short_id: HashMap<u64, Transaction>,
 }
 
@@ -54,7 +53,7 @@ impl Mempool {
         for tx in txs {
             by_short_id.insert(tx.short_id(salt), tx);
         }
-        Mempool { salt, by_short_id }
+        Mempool { by_short_id }
     }
 
     fn short_ids(&self) -> Vec<u64> {
@@ -70,12 +69,20 @@ fn main() {
     let only_peer_b: Vec<Transaction> = (200_000..200_170).map(Transaction::new).collect();
     let salt = 0x5a17;
 
-    let peer_a = Mempool::new(salt, shared.iter().cloned().chain(only_peer_a.iter().cloned()));
-    let peer_b = Mempool::new(salt, shared.iter().cloned().chain(only_peer_b.iter().cloned()));
+    let peer_a = Mempool::new(
+        salt,
+        shared.iter().cloned().chain(only_peer_a.iter().cloned()),
+    );
+    let peer_b = Mempool::new(
+        salt,
+        shared.iter().cloned().chain(only_peer_b.iter().cloned()),
+    );
 
     // Reconcile the short-id sets with the explicit two-party API. 64-bit
     // short ids -> universe_bits = 64.
-    let cfg = PbsConfig::paper_default().with_universe_bits(64).unlimited_rounds();
+    let cfg = PbsConfig::paper_default()
+        .with_universe_bits(64)
+        .unlimited_rounds();
     let true_d = only_peer_a.len() + only_peer_b.len();
     let params = Pbs::new(cfg).plan(true_d + true_d / 3); // peer-estimated d with slack
     let ids_a = peer_a.short_ids();
@@ -91,7 +98,10 @@ fn main() {
         let sketches = alice.start_round();
         wire_bits += sketches.iter().map(|s| s.wire_bits(params.m)).sum::<u64>();
         let reports = bob.handle_sketches(&sketches);
-        wire_bits += reports.iter().map(|r| r.wire_bits(params.m, 64)).sum::<u64>();
+        wire_bits += reports
+            .iter()
+            .map(|r| r.wire_bits(params.m, 64))
+            .sum::<u64>();
         let status = alice.apply_reports(&reports);
         println!(
             "round {round}: recovered {} short ids, {} sessions still open",

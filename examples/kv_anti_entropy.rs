@@ -97,12 +97,26 @@ fn main() {
     }
 
     println!("anti-entropy report:");
-    println!("  replica sizes:         {} / {}", primary.data.len(), follower.data.len());
-    println!("  estimated divergence:  {:.1}", report.estimated_d.unwrap_or(0.0));
-    println!("  diverging signatures:  {}", report.outcome.recovered.len());
+    println!(
+        "  replica sizes:         {} / {}",
+        primary.data.len(),
+        follower.data.len()
+    );
+    println!(
+        "  estimated divergence:  {:.1}",
+        report.estimated_d.unwrap_or(0.0)
+    );
+    println!(
+        "  diverging signatures:  {}",
+        report.outcome.recovered.len()
+    );
     println!("  entries to push:       {}", push_to_follower.len());
     println!("  entries to pull:       {}", pull_from_follower.len());
-    println!("  rounds / bytes:        {} / {}", report.outcome.rounds, report.outcome.comm.total_bytes());
+    println!(
+        "  rounds / bytes:        {} / {}",
+        report.outcome.rounds,
+        report.outcome.comm.total_bytes()
+    );
 
     // Apply the repair and verify convergence.
     for key in &push_to_follower {
@@ -114,6 +128,9 @@ fn main() {
         primary.data.insert(key.clone(), entry);
     }
     assert_eq!(primary.data.len(), follower.data.len());
-    assert!(primary.data.iter().all(|(k, v)| follower.data.get(k) == Some(v)));
+    assert!(primary
+        .data
+        .iter()
+        .all(|(k, v)| follower.data.get(k) == Some(v)));
     println!("replicas converged ✓");
 }

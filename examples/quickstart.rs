@@ -20,9 +20,15 @@ fn main() {
 
     let mut diff = report.outcome.recovered.clone();
     diff.sort_unstable();
-    println!("reconciliation succeeded: {}", report.outcome.claimed_success);
+    println!(
+        "reconciliation succeeded: {}",
+        report.outcome.claimed_success
+    );
     println!("estimated d:   {:.1}", report.estimated_d.unwrap_or(0.0));
-    println!("parameters:    n = {}, t = {}, {} groups", report.params.n, report.params.t, report.groups);
+    println!(
+        "parameters:    n = {}, t = {}, {} groups",
+        report.params.n, report.params.t, report.groups
+    );
     println!("rounds used:   {}", report.outcome.rounds);
     println!("bytes on wire: {}", report.outcome.comm.total_bytes());
     println!(
@@ -31,7 +37,11 @@ fn main() {
             / protocol::theoretical_minimum_bytes(diff.len(), 32),
         protocol::theoretical_minimum_bytes(diff.len(), 32)
     );
-    println!("difference ({} elements): {:?} ...", diff.len(), &diff[..8.min(diff.len())]);
+    println!(
+        "difference ({} elements): {:?} ...",
+        diff.len(),
+        &diff[..8.min(diff.len())]
+    );
 
     // Sanity-check against the ground truth.
     let truth = symmetric_difference(&alice, &bob);

@@ -75,8 +75,16 @@ fn every_scheme_handles_identical_sets() {
     let pair = workload.generate(5);
     for scheme in all_schemes() {
         let out = scheme.reconcile(&pair.a, &pair.b, 3);
-        assert!(out.claimed_success, "{} failed on identical sets", scheme.name());
-        assert!(out.recovered.is_empty(), "{} invented differences", scheme.name());
+        assert!(
+            out.claimed_success,
+            "{} failed on identical sets",
+            scheme.name()
+        );
+        assert!(
+            out.recovered.is_empty(),
+            "{} invented differences",
+            scheme.name()
+        );
     }
 }
 

@@ -83,7 +83,10 @@ fn tow_estimate_feeds_optimizer_consistently() {
     }
     let d_param = ea.conservative_estimate(&eb);
     assert!(d_param >= 400, "γ-inflated estimate {d_param} too low");
-    for model in [SuccessModel::SplitAware, SuccessModel::PessimisticTruncation] {
+    for model in [
+        SuccessModel::SplitAware,
+        SuccessModel::PessimisticTruncation,
+    ] {
         let opt = analysis::optimize_parameters_with_model(d_param, 5, 3, 0.99, model)
             .or_else(|_| optimize_parameters(d_param, 5, 3, 0.99));
         if let Ok(opt) = opt {
