@@ -27,37 +27,53 @@ pub fn berlekamp_massey(syndromes: &[u64], field: &Field) -> Poly {
     let mut m: usize = 1; // steps since last length change
     let mut b_disc: u64 = 1; // discrepancy at the last length change
 
+    // Scratch buffers reused across iterations: `rev` holds the syndrome
+    // window reversed so the discrepancy dot-product and the C(x) update
+    // both run through the batched field kernels (one backend dispatch per
+    // row instead of one per coefficient).
+    let mut rev = vec![0u64; n];
+    let mut prod = vec![0u64; n + 1];
+
     for i in 0..n {
-        // Compute the discrepancy d = S_i + Σ_{j=1..L} C_j S_{i-j}.
+        // Discrepancy d = S_i + Σ_{j=1..L} C_j S_{i-j}: copy C_1..C_L
+        // against the reversed window S_{i-1}..S_{i-L}, multiply through
+        // `mul_slice`, XOR-fold.
         let mut d = syndromes[i];
-        for j in 1..=l {
-            if c[j] != 0 && syndromes[i - j] != 0 {
-                d ^= field.mul(c[j], syndromes[i - j]);
+        if l > 0 {
+            for j in 0..l {
+                rev[j] = syndromes[i - 1 - j];
+            }
+            prod[..l].copy_from_slice(&c[1..=l]);
+            field.mul_slice(&mut prod[..l], &rev[..l]);
+            for &p in &prod[..l] {
+                d ^= p;
             }
         }
         if d == 0 {
             m += 1;
-        } else if 2 * l <= i {
-            // Length change: C(x) <- C(x) - (d/b) x^m B(x), L <- i + 1 - L.
-            let t_prev = c.clone();
-            let coef = field.div(d, b_disc);
-            for j in 0..=(n - m) {
-                if b[j] != 0 {
-                    c[j + m] ^= field.mul(coef, b[j]);
-                }
+            continue;
+        }
+        // C(x) <- C(x) - (d/b) x^m B(x): one `scalar_mul_slice` row over
+        // B's coefficients, XORed into C at offset m.
+        let coef = field.div(d, b_disc);
+        let span = n - m + 1; // j in 0..=(n - m)
+        let update = |c: &mut [u64], prod: &mut [u64], b: &[u64]| {
+            prod[..span].copy_from_slice(&b[..span]);
+            field.scalar_mul_slice(&mut prod[..span], coef);
+            for (dst, &p) in c[m..m + span].iter_mut().zip(&prod[..span]) {
+                *dst ^= p;
             }
+        };
+        if 2 * l <= i {
+            // Length change: L <- i + 1 - L, B <- old C.
+            let t_prev = c.clone();
+            update(&mut c, &mut prod, &b);
             l = i + 1 - l;
             b = t_prev;
             b_disc = d;
             m = 1;
         } else {
-            // No length change: C(x) <- C(x) - (d/b) x^m B(x).
-            let coef = field.div(d, b_disc);
-            for j in 0..=(n - m) {
-                if b[j] != 0 {
-                    c[j + m] ^= field.mul(coef, b[j]);
-                }
-            }
+            update(&mut c, &mut prod, &b);
             m += 1;
         }
     }
@@ -69,6 +85,80 @@ pub fn berlekamp_massey(syndromes: &[u64], field: &Field) -> Poly {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The seed's per-coefficient implementation, kept verbatim as ground
+    /// truth for the slice-kernel rewrite above.
+    fn berlekamp_massey_reference(syndromes: &[u64], field: &Field) -> Poly {
+        let n = syndromes.len();
+        let mut c = vec![0u64; n + 1];
+        let mut b = vec![0u64; n + 1];
+        c[0] = 1;
+        b[0] = 1;
+        let mut l: usize = 0;
+        let mut m: usize = 1;
+        let mut b_disc: u64 = 1;
+        for i in 0..n {
+            let mut d = syndromes[i];
+            for j in 1..=l {
+                if c[j] != 0 && syndromes[i - j] != 0 {
+                    d ^= field.mul(c[j], syndromes[i - j]);
+                }
+            }
+            if d == 0 {
+                m += 1;
+            } else if 2 * l <= i {
+                let t_prev = c.clone();
+                let coef = field.div(d, b_disc);
+                for j in 0..=(n - m) {
+                    if b[j] != 0 {
+                        c[j + m] ^= field.mul(coef, b[j]);
+                    }
+                }
+                l = i + 1 - l;
+                b = t_prev;
+                b_disc = d;
+                m = 1;
+            } else {
+                let coef = field.div(d, b_disc);
+                for j in 0..=(n - m) {
+                    if b[j] != 0 {
+                        c[j + m] ^= field.mul(coef, b[j]);
+                    }
+                }
+                m += 1;
+            }
+        }
+        c.truncate(l + 1);
+        Poly::from_coeffs(c)
+    }
+
+    #[test]
+    fn slice_kernels_match_reference_implementation() {
+        // Random syndrome sequences (both realizable and arbitrary ones)
+        // must produce bit-identical connection polynomials.
+        for m in [8u32, 11, 32] {
+            let f = Field::new(m);
+            let mut x = 0x0123_4567_89AB_CDEFu64;
+            for t in 1..=24usize {
+                let s: Vec<u64> = (0..2 * t)
+                    .map(|_| {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(7);
+                        // Mix in zero syndromes so the d == 0 branch is hit.
+                        if x & 7 == 0 {
+                            0
+                        } else {
+                            (x >> 16) % f.order()
+                        }
+                    })
+                    .collect();
+                assert_eq!(
+                    berlekamp_massey(&s, &f),
+                    berlekamp_massey_reference(&s, &f),
+                    "BM divergence at m={m} t={t}"
+                );
+            }
+        }
+    }
 
     /// Build the syndromes S_1..S_2t of a difference set and check BM
     /// recovers the locator polynomial with the set's inverses as roots.

@@ -1,0 +1,306 @@
+//! Regenerates `BENCH_decode_path.json`: the decode/estimate-path speedup
+//! report, the PR-2 counterpart of `BENCH_gf_bch.json`.
+//!
+//! Measures the batched kernels against the seed's per-element scalar path
+//! (kept in-tree as `*_reference` entry points) on the workloads that
+//! dominate the non-sketching half of a reconciliation round trip:
+//!
+//! * IBLT insert and peel of an n = 10^5 difference (the D.Digest decode),
+//! * the three estimator insert paths over 10^5 elements,
+//! * `Poly::mul` at BCH-locator-like degrees (Karatsuba vs schoolbook),
+//! * Bob's per-group PBS decode for a d = 100 difference over |A| = 10^5
+//!   (batched syndrome build + dense bin accumulation + `par_map` groups vs
+//!   the seed's serial scalar loop).
+//!
+//! Run with `cargo run --release -p bench --bin bench_decode_path`.
+//! The CI bench gate (`check_bench`) compares every `fast_*` metric of the
+//! freshly emitted report against the committed baseline.
+
+use estimator::{Estimator, MinWiseEstimator, StrataEstimator, TowEstimator};
+use gf::{Field, Poly};
+use iblt::Iblt;
+use pbs_core::{AliceSession, BobSession, Pbs, PbsConfig};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Best-of-`reps` wall-clock time of `f`, in nanoseconds.
+fn best_ns<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        let ns = start.elapsed().as_nanos() as f64;
+        if ns < best {
+            best = ns;
+        }
+    }
+    best
+}
+
+fn keys(n: usize, salt: u64) -> Vec<u64> {
+    let mut x = salt | 1;
+    (0..n)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            x | 1 // keep keys nonzero
+        })
+        .collect()
+}
+
+struct Row {
+    name: String,
+    detail: String,
+    fast_ms: f64,
+    reference_ms: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.reference_ms / self.fast_ms
+    }
+    fn print(&self) {
+        println!(
+            "{:<18} {:<26} {:>9.2} ms fast, {:>9.2} ms reference, {:>5.1}x",
+            self.name,
+            self.detail,
+            self.fast_ms,
+            self.reference_ms,
+            self.speedup()
+        );
+    }
+}
+
+fn bench_iblt(n: usize) -> (Row, Row) {
+    let cells = 2 * n;
+    let hashes = 4u32;
+    let ks = keys(n, 0xB10C);
+
+    let fast_insert_ns = best_ns(3, || {
+        let mut t = Iblt::new(cells, hashes, 7);
+        t.insert_batch(&ks);
+        black_box(&t);
+    });
+    let reference_insert_ns = best_ns(3, || {
+        let mut t = Iblt::new(cells, hashes, 7);
+        for &k in &ks {
+            t.insert_reference(k);
+        }
+        black_box(&t);
+    });
+
+    // The peel input: a difference table holding all n keys.
+    let mut table = Iblt::new(cells, hashes, 7);
+    table.insert_batch(&ks);
+    let expected = table.peel_reference();
+    let fast_peel_ns = best_ns(3, || {
+        let r = table.peel();
+        assert_eq!(r.complete, expected.complete, "peel completeness diverged");
+        assert_eq!(r.len(), expected.len(), "peel recovery diverged");
+        black_box(r);
+    });
+    let reference_peel_ns = best_ns(3, || {
+        black_box(table.peel_reference());
+    });
+
+    (
+        Row {
+            name: "iblt_insert".into(),
+            detail: format!("n={n} cells={cells} k={hashes}"),
+            fast_ms: fast_insert_ns / 1e6,
+            reference_ms: reference_insert_ns / 1e6,
+        },
+        Row {
+            name: "iblt_peel".into(),
+            detail: format!("n={n} cells={cells} k={hashes}"),
+            fast_ms: fast_peel_ns / 1e6,
+            reference_ms: reference_peel_ns / 1e6,
+        },
+    )
+}
+
+fn bench_estimators(n: usize) -> Vec<Row> {
+    let elems = keys(n, 0xE571);
+    let mut rows = Vec::new();
+
+    let tow_fast = best_ns(3, || {
+        let mut e = TowEstimator::new(128, 3);
+        e.insert_slice(&elems);
+        black_box(e.sketches().len());
+    });
+    let tow_ref = best_ns(3, || {
+        let mut e = TowEstimator::new(128, 3);
+        for &x in &elems {
+            e.insert(x);
+        }
+        black_box(e.sketches().len());
+    });
+    rows.push(Row {
+        name: "tow_insert".into(),
+        detail: format!("n={n} sketches=128"),
+        fast_ms: tow_fast / 1e6,
+        reference_ms: tow_ref / 1e6,
+    });
+
+    let strata_fast = best_ns(3, || {
+        let mut e = StrataEstimator::new(32, 3);
+        e.insert_slice(&elems);
+        black_box(e.strata_count());
+    });
+    let strata_ref = best_ns(3, || {
+        let mut e = StrataEstimator::new(32, 3);
+        for &x in &elems {
+            e.insert(x);
+        }
+        black_box(e.strata_count());
+    });
+    rows.push(Row {
+        name: "strata_insert".into(),
+        detail: format!("n={n} strata=32"),
+        fast_ms: strata_fast / 1e6,
+        reference_ms: strata_ref / 1e6,
+    });
+
+    let mw_fast = best_ns(3, || {
+        let mut e = MinWiseEstimator::new(128, 3);
+        e.insert_slice(&elems);
+        black_box(e.hash_count());
+    });
+    let mw_ref = best_ns(3, || {
+        let mut e = MinWiseEstimator::new(128, 3);
+        for &x in &elems {
+            e.insert(x);
+        }
+        black_box(e.hash_count());
+    });
+    rows.push(Row {
+        name: "minwise_insert".into(),
+        detail: format!("n={n} hashes=128"),
+        fast_ms: mw_fast / 1e6,
+        reference_ms: mw_ref / 1e6,
+    });
+
+    rows
+}
+
+fn bench_poly_mul(len: usize) -> Row {
+    let f = Field::new(32);
+    let coeffs =
+        |salt: u64| Poly::from_coeffs(keys(len, salt).into_iter().map(|k| k % f.order()).collect());
+    let a = coeffs(0x90);
+    let b = coeffs(0x91);
+    assert_eq!(
+        a.mul(&b, &f),
+        a.mul_schoolbook(&b, &f),
+        "Karatsuba product diverged from schoolbook"
+    );
+    let fast = best_ns(5, || {
+        black_box(a.mul(&b, &f));
+    });
+    let reference = best_ns(5, || {
+        black_box(a.mul_schoolbook(&b, &f));
+    });
+    Row {
+        name: "poly_mul".into(),
+        detail: format!("deg={} m=32", len - 1),
+        fast_ms: fast / 1e6,
+        reference_ms: reference / 1e6,
+    }
+}
+
+fn bench_bob_decode(set_size: usize, d: usize) -> Row {
+    let cfg = PbsConfig::default();
+    let params = Pbs::new(cfg).plan(d);
+    let alice: Vec<u64> = keys(set_size, 0xA11CE);
+    let bob: Vec<u64> = alice[d..].to_vec();
+    let seed = 42u64;
+
+    let mut a = AliceSession::new(cfg, params, &alice, seed);
+    let sketches = a.start_round();
+
+    // Bob's state is only mutated on decode failures; at this d the sketches
+    // decode cleanly, so one session per path can be timed repeatedly.
+    let mut bob_fast = BobSession::new(cfg, params, &bob, seed);
+    let mut bob_ref = BobSession::new(cfg, params, &bob, seed);
+    let expect = bob_ref.handle_sketches_reference(&sketches);
+    let fast = best_ns(5, || {
+        let reports = bob_fast.handle_sketches(&sketches);
+        assert_eq!(reports, expect, "batched reports diverged from reference");
+        black_box(reports);
+    });
+    let reference = best_ns(3, || {
+        black_box(bob_ref.handle_sketches_reference(&sketches));
+    });
+    assert_eq!(bob_fast.decode_failures(), 0, "unexpected decode failure");
+
+    Row {
+        name: "bob_decode".into(),
+        detail: format!("|A|={set_size} d={d} g={} t={}", params.groups, params.t),
+        fast_ms: fast / 1e6,
+        reference_ms: reference / 1e6,
+    }
+}
+
+fn main() {
+    let n = 100_000usize;
+    let (iblt_insert, iblt_peel) = bench_iblt(n);
+    iblt_insert.print();
+    iblt_peel.print();
+    let estimators = bench_estimators(n);
+    for r in &estimators {
+        r.print();
+    }
+    let poly = bench_poly_mul(512);
+    poly.print();
+    let bob = bench_bob_decode(n, 100);
+    bob.print();
+
+    let threads = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1);
+    let parallel = cfg!(feature = "parallel");
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"decode_path\",\n");
+    let _ = writeln!(json, "  \"parallel_feature\": {parallel},");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let emit = |json: &mut String, key: &str, row: &Row, tail: &str| {
+        let _ = writeln!(
+            json,
+            "  \"{key}\": {{\"detail\": \"{}\", \"fast_ms\": {:.3}, \"reference_ms\": {:.3}, \"speedup\": {:.2}}}{tail}",
+            row.detail,
+            row.fast_ms,
+            row.reference_ms,
+            row.speedup()
+        );
+    };
+    emit(&mut json, "iblt_insert", &iblt_insert, ",");
+    emit(&mut json, "iblt_peel", &iblt_peel, ",");
+    json.push_str("  \"estimator_insert\": [\n");
+    for (i, r) in estimators.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"detail\": \"{}\", \"fast_ms\": {:.3}, \"reference_ms\": {:.3}, \"speedup\": {:.2}}}",
+            r.name,
+            r.detail,
+            r.fast_ms,
+            r.reference_ms,
+            r.speedup()
+        );
+        json.push_str(if i + 1 < estimators.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ],\n");
+    emit(&mut json, "poly_mul", &poly, ",");
+    emit(&mut json, "bob_decode", &bob, "");
+    json.push_str("}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_decode_path.json");
+    std::fs::write(path, &json).expect("write BENCH_decode_path.json");
+    println!("wrote {path}");
+}

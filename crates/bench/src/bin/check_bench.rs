@@ -1,0 +1,86 @@
+//! CI bench-regression gate.
+//!
+//! Usage:
+//!
+//! ```text
+//! check_bench <baseline.json> <current.json> [<baseline2.json> <current2.json> ...]
+//! ```
+//!
+//! Each pair is a committed baseline report and the freshly emitted report
+//! of the same benchmark binary (`bench_gf_bch` → `BENCH_gf_bch.json`,
+//! `bench_decode_path` → `BENCH_decode_path.json`). Two metric classes are
+//! compared by structural path: the wall-clock cost of the optimized path
+//! (`fast_ns_per_op` / `fast_ms`, lower is better — meaningful on the
+//! machine the baseline was recorded on) and the same-run fast-vs-reference
+//! `speedup` ratios (higher is better — robust across machines, since both
+//! sides are measured in the same process). Any metric degrading beyond
+//! the tolerance fails the gate.
+//!
+//! The tolerance is 25% by default and can be widened for noisy runners via
+//! `BENCH_GATE_TOLERANCE` (fractional: `0.40` allows 40% slowdown).
+//! Exit code: 0 when every metric passes, 1 on any regression or report
+//! mismatch.
+
+use bench::gate;
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || !args.len().is_multiple_of(2) {
+        return Err("usage: check_bench <baseline.json> <current.json> [...more pairs]".into());
+    }
+    let tolerance = gate::tolerance_from_env();
+    // Absolute times are only comparable on the machine that recorded the
+    // baselines; BENCH_GATE_TIME_METRICS=off demotes them to informational
+    // rows (CI sets this — shared runners gate on the same-run speedup
+    // ratios alone).
+    let gate_times = std::env::var("BENCH_GATE_TIME_METRICS")
+        .map(|v| v != "off")
+        .unwrap_or(true);
+    println!(
+        "bench gate: tolerance {:.0}% degradation, absolute-time metrics {}",
+        tolerance * 100.0,
+        if gate_times { "gated" } else { "informational" }
+    );
+
+    let mut ok = true;
+    for pair in args.chunks(2) {
+        let (base_path, cur_path) = (&pair[0], &pair[1]);
+        let read =
+            |p: &String| std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"));
+        let baseline = gate::parse(&read(base_path)?).map_err(|e| format!("{base_path}: {e}"))?;
+        let current = gate::parse(&read(cur_path)?).map_err(|e| format!("{cur_path}: {e}"))?;
+        println!("\n{base_path} vs {cur_path}:");
+        let comparisons = gate::compare(&baseline, &current, tolerance)?;
+        for c in &comparisons {
+            let gated = gate_times || c.kind != gate::MetricKind::Time;
+            let status = match (c.regressed, gated) {
+                (true, true) => "REGRESSED",
+                (true, false) => "info-only",
+                _ => "ok",
+            };
+            println!(
+                "  {status:>9}  {:<40} baseline {:>10.3}  current {:>10.3}  ({:+.1}% worse)",
+                c.path,
+                c.baseline,
+                c.current,
+                (c.ratio - 1.0) * 100.0
+            );
+            ok &= !(c.regressed && gated);
+        }
+    }
+    Ok(ok)
+}
+
+fn main() {
+    match run() {
+        Ok(true) => println!("\nbench gate: PASS"),
+        Ok(false) => {
+            println!("\nbench gate: FAIL (metric slower than baseline beyond tolerance)");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("bench gate error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,6 +1,6 @@
 //! A standard Bloom filter, built as the substrate for the Graphene baseline.
 //!
-//! Graphene (§7, [32]) couples an IBLT with a Bloom filter of Bob's set so
+//! Graphene (§7, \[32\]) couples an IBLT with a Bloom filter of Bob's set so
 //! that Alice can first weed out the elements the filter says Bob already
 //! has, and only the (few) remaining ones need to be covered by the IBLT.
 //! The filter here is the textbook construction: `k` hash functions over an

@@ -439,72 +439,168 @@ impl BobSession {
     }
 
     /// Process one batch of sketches from Alice and produce the reports.
+    ///
+    /// The per-group work — rebuilding Bob's parity-bitmap sketch (through
+    /// the batched [`bch::Sketch::add_batch`] kernel), combining with
+    /// Alice's, and BCH-decoding the difference — depends only on that
+    /// group's elements, so it runs through [`protocol::par_map`]: worker
+    /// threads when the `parallel` feature is on, a serial loop otherwise,
+    /// with identical reports either way. The mutations a decoding failure
+    /// triggers (failure counter, §3.2 three-way split) are applied in a
+    /// serial pass afterwards; a split only touches the failed session and
+    /// its fresh children, never another session in the batch, so deferring
+    /// it cannot change any other report.
     pub fn handle_sketches(&mut self, sketches: &[GroupSketch]) -> Vec<GroupReport> {
-        let mut out = Vec::with_capacity(sketches.len());
-        for msg in sketches {
-            out.push(self.handle_one(msg));
+        let this = &*self;
+        let reports = protocol::par_map(sketches, |msg| this.compute_report(msg));
+        for report in &reports {
+            if matches!(report.body, GroupReportBody::DecodeFailed) {
+                self.decode_failures += 1;
+                self.split_group(report.session);
+            }
         }
-        out
+        reports
     }
 
-    fn handle_one(&mut self, msg: &GroupSketch) -> GroupReport {
-        let Some(group) = self.groups.get(&msg.session) else {
-            // Unknown session: treat as empty (can only happen if Alice has a
-            // group Bob's partition left empty — the decode still works).
-            return self.respond_for_elements(msg, &[], 0);
+    /// Pure per-group response computation (no session mutation).
+    ///
+    /// For the small parity bitmaps PBS uses (`n` bins, typically 2047,
+    /// versus thousands of group elements), Bob's sketch is *not* built by
+    /// running one syndrome ladder per element: adding a bin position twice
+    /// XOR-cancels, so `sketch(positions multiset) = sketch(odd-parity
+    /// bins)`. One pass over the elements maintains a dense parity bitset
+    /// and per-bin XOR accumulator; the batched syndrome kernel then runs
+    /// over at most `min(n, |group|)` odd bins — exactly the parity bitmap
+    /// the scheme is named for. Very large `n` falls back to the
+    /// positions-vector path.
+    fn compute_report(&self, msg: &GroupSketch) -> GroupReport {
+        /// Largest bitmap length handled with dense accumulators
+        /// (`n/8 + 8n` bytes of scratch).
+        const DENSE_LIMIT: u64 = 1 << 22;
+        // Unknown session: treat as empty (can only happen if Alice has a
+        // group Bob's partition left empty — the decode still works).
+        let (elements, checksum) = match self.groups.get(&msg.session) {
+            Some(group) => (group.elements.as_slice(), group.checksum),
+            None => (&[][..], 0),
         };
-        let elements = group.elements.clone();
-        let checksum = group.checksum;
-        self.respond_for_elements(msg, &elements, checksum)
-    }
-
-    fn respond_for_elements(
-        &mut self,
-        msg: &GroupSketch,
-        elements: &[u64],
-        checksum: u64,
-    ) -> GroupReport {
         let n = self.params.n as u64;
         let hasher = PartitionHasher::new(n, bin_seed(self.base_seed, msg.session, msg.round));
 
-        // Bob's parity-bitmap sketch plus per-bin XOR sums in one pass.
         let mut sketch = self.codec.empty_sketch();
-        let mut xor_by_bin: HashMap<u64, u64> = HashMap::new();
-        for &e in elements {
-            let p = hasher.position(e);
-            sketch.add(p, self.codec.field());
-            *xor_by_bin.entry(p).or_insert(0) ^= e;
-        }
-
-        // Combine with Alice's sketch: the result is the sketch of the
-        // positions where the two parity bitmaps differ.
-        sketch.combine(&msg.sketch);
-        match self.codec.decode(&sketch) {
-            Ok(positions) => {
-                let bins = positions
+        let decoded = if n <= DENSE_LIMIT {
+            let mut xor_by_bin = vec![0u64; n as usize + 1];
+            let mut parity = vec![0u64; (n as usize + 1).div_ceil(64)];
+            for &e in elements {
+                let p = hasher.position(e) as usize;
+                xor_by_bin[p] ^= e;
+                parity[p / 64] ^= 1u64 << (p % 64);
+            }
+            let mut odd_bins = Vec::new();
+            for (w, &bits) in parity.iter().enumerate() {
+                let mut b = bits;
+                while b != 0 {
+                    odd_bins.push((w * 64) as u64 + b.trailing_zeros() as u64);
+                    b &= b - 1;
+                }
+            }
+            sketch.add_batch(&odd_bins, self.codec.field());
+            // Combine with Alice's sketch: the result is the sketch of the
+            // positions where the two parity bitmaps differ.
+            sketch.combine(&msg.sketch);
+            self.codec.decode(&sketch).map(|positions| {
+                positions
                     .into_iter()
                     .map(|p| BinInfo {
                         position: p,
-                        xor_sum: xor_by_bin.get(&p).copied().unwrap_or(0),
+                        xor_sum: xor_by_bin.get(p as usize).copied().unwrap_or(0),
                     })
-                    .collect();
-                GroupReport {
+                    .collect::<Vec<BinInfo>>()
+            })
+        } else {
+            let positions: Vec<u64> = elements.iter().map(|&e| hasher.position(e)).collect();
+            sketch.add_batch(&positions, self.codec.field());
+            sketch.combine(&msg.sketch);
+            self.codec.decode(&sketch).map(|decoded| {
+                let mut wanted: HashMap<u64, u64> = decoded.iter().map(|&p| (p, 0)).collect();
+                for (&e, &p) in elements.iter().zip(&positions) {
+                    if let Some(slot) = wanted.get_mut(&p) {
+                        *slot ^= e;
+                    }
+                }
+                decoded
+                    .into_iter()
+                    .map(|p| BinInfo {
+                        position: p,
+                        xor_sum: wanted.get(&p).copied().unwrap_or(0),
+                    })
+                    .collect::<Vec<BinInfo>>()
+            })
+        };
+        match decoded {
+            Ok(bins) => GroupReport {
+                session: msg.session,
+                body: GroupReportBody::Decoded {
+                    bins,
+                    checksum: msg.needs_checksum.then_some(checksum),
+                },
+            },
+            Err(_) => GroupReport {
+                session: msg.session,
+                body: GroupReportBody::DecodeFailed,
+            },
+        }
+    }
+
+    /// The seed's serial per-element decode path: one scalar
+    /// [`bch::Sketch::add`] per element, hash-map XOR accumulation over
+    /// every occupied bin, groups processed strictly in order on the calling
+    /// thread. Produces exactly the same reports and session-state changes
+    /// as [`BobSession::handle_sketches`]; kept as the baseline the
+    /// `BENCH_decode_path.json` Bob-decode speedup is measured against and
+    /// as ground truth for the parallel-vs-serial transcript tests.
+    pub fn handle_sketches_reference(&mut self, sketches: &[GroupSketch]) -> Vec<GroupReport> {
+        let mut out = Vec::with_capacity(sketches.len());
+        for msg in sketches {
+            let (elements, checksum) = match self.groups.get(&msg.session) {
+                Some(group) => (group.elements.clone(), group.checksum),
+                None => (Vec::new(), 0),
+            };
+            let n = self.params.n as u64;
+            let hasher = PartitionHasher::new(n, bin_seed(self.base_seed, msg.session, msg.round));
+            let mut sketch = self.codec.empty_sketch();
+            let mut xor_by_bin: HashMap<u64, u64> = HashMap::new();
+            for &e in &elements {
+                let p = hasher.position(e);
+                sketch.add(p, self.codec.field());
+                *xor_by_bin.entry(p).or_insert(0) ^= e;
+            }
+            sketch.combine(&msg.sketch);
+            let report = match self.codec.decode(&sketch) {
+                Ok(positions) => GroupReport {
                     session: msg.session,
                     body: GroupReportBody::Decoded {
-                        bins,
+                        bins: positions
+                            .into_iter()
+                            .map(|p| BinInfo {
+                                position: p,
+                                xor_sum: xor_by_bin.get(&p).copied().unwrap_or(0),
+                            })
+                            .collect(),
                         checksum: msg.needs_checksum.then_some(checksum),
                     },
+                },
+                Err(_) => {
+                    self.decode_failures += 1;
+                    self.split_group(msg.session);
+                    GroupReport {
+                        session: msg.session,
+                        body: GroupReportBody::DecodeFailed,
+                    }
                 }
-            }
-            Err(_) => {
-                self.decode_failures += 1;
-                self.split_group(msg.session);
-                GroupReport {
-                    session: msg.session,
-                    body: GroupReportBody::DecodeFailed,
-                }
-            }
+            };
+            out.push(report);
         }
+        out
     }
 
     /// Split a group into three sub-groups after a decoding failure (§3.2).
@@ -609,6 +705,42 @@ mod tests {
         for g in a.groups.iter().filter(|g| g.id > params.groups as u64) {
             assert_eq!(g.membership.len(), parent_membership + 1);
         }
+    }
+
+    #[test]
+    fn batched_decode_matches_reference_transcripts() {
+        // Drive two Bobs — the batched/parallel path and the seed's serial
+        // reference — through a multi-round run with forced decode failures
+        // and splits; every report batch and the final state must agree.
+        let (cfg, params) = params_for(5);
+        let alice: Vec<u64> = (1..=1000).collect();
+        let bob: Vec<u64> = (301..=1000).collect();
+        let mut a_fast = AliceSession::new(cfg, params, &alice, 21);
+        let mut a_ref = AliceSession::new(cfg, params, &alice, 21);
+        let mut b_fast = BobSession::new(cfg, params, &bob, 21);
+        let mut b_ref = BobSession::new(cfg, params, &bob, 21);
+        for round in 0..20 {
+            let sketches_fast = a_fast.start_round();
+            let sketches_ref = a_ref.start_round();
+            assert_eq!(sketches_fast, sketches_ref, "sketch divergence r{round}");
+            let reports_fast = b_fast.handle_sketches(&sketches_fast);
+            let reports_ref = b_ref.handle_sketches_reference(&sketches_ref);
+            assert_eq!(reports_fast, reports_ref, "report divergence r{round}");
+            assert_eq!(b_fast.decode_failures(), b_ref.decode_failures());
+            assert_eq!(b_fast.session_count(), b_ref.session_count());
+            let status = a_fast.apply_reports(&reports_fast);
+            a_ref.apply_reports(&reports_ref);
+            if status.all_verified {
+                break;
+            }
+        }
+        assert!(a_fast.all_verified(), "run did not converge");
+        let mut fast = a_fast.into_recovered();
+        let mut reference = a_ref.into_recovered();
+        fast.sort_unstable();
+        reference.sort_unstable();
+        assert_eq!(fast, (1..=300).collect::<Vec<u64>>());
+        assert_eq!(fast, reference);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The Difference Digest (D.Digest) baseline of Eppstein et al. [15].
+//! The Difference Digest (D.Digest) baseline of Eppstein et al. \[15\].
 //!
 //! D.Digest is the canonical IBF-based set-reconciliation scheme the paper
 //! compares against (§7, §8.1): Bob sends an invertible Bloom filter of his
@@ -28,7 +28,7 @@ pub struct DdigestConfig {
     /// Element signature width `log|U|` (only used for wire accounting; keys
     /// are stored as `u64` internally).
     pub universe_bits: u32,
-    /// Cells per estimated difference element (2.0 per [15]).
+    /// Cells per estimated difference element (2.0 per \[15\]).
     pub cells_per_diff: f64,
     /// Number of ToW sketches for the estimator round.
     pub estimator_sketches: usize,
@@ -131,12 +131,8 @@ impl Reconciler for DifferenceDigest {
         let est_seed = derive_seed(seed, 0xE57);
         let mut ea = TowEstimator::new(cfg.estimator_sketches, est_seed);
         let mut eb = TowEstimator::new(cfg.estimator_sketches, est_seed);
-        for &x in a {
-            ea.insert(x);
-        }
-        for &x in b {
-            eb.insert(x);
-        }
+        ea.insert_slice(a);
+        eb.insert_slice(b);
         let d_hat = ((ea.estimate(&eb) * cfg.inflation).ceil() as usize).max(1);
         self.reconcile_with_estimate(a, b, d_hat, seed)
     }

@@ -27,6 +27,12 @@
 //! [`Field::scalar_mul_slice`]) hoist the backend dispatch out of the loop so
 //! callers such as the BCH syndrome accumulator amortize it across a whole
 //! slice.
+//!
+//! The `PBS_FORCE_BACKEND` environment variable (`tables` / `barrett` /
+//! `reference`) overrides the automatic choice for every [`Field::new`]
+//! construction in the process — the CI matrix uses it to run the full test
+//! suite against the reference path. Explicit [`Field::with_backend`]
+//! requests are never overridden.
 
 /// Maximum supported extension degree.
 pub const MAX_M: u32 = 32;
@@ -327,6 +333,25 @@ enum Backend {
     Reference,
 }
 
+/// Backend override requested through the `PBS_FORCE_BACKEND` environment
+/// variable (`tables`, `barrett`, `reference`, or `auto`/unset for none),
+/// read once per process. Only [`BackendChoice::Auto`] constructions honour
+/// it — explicit `with_backend` requests (property tests, benchmarks) are
+/// never overridden — so the CI backend matrix can run the whole test suite
+/// on the reference path without touching any call site.
+fn forced_backend() -> Option<BackendChoice> {
+    static FORCED: std::sync::OnceLock<Option<BackendChoice>> = std::sync::OnceLock::new();
+    *FORCED.get_or_init(|| match std::env::var("PBS_FORCE_BACKEND") {
+        Ok(v) => match v.to_ascii_lowercase().as_str() {
+            "tables" => Some(BackendChoice::Tables),
+            "barrett" => Some(BackendChoice::Barrett),
+            "reference" => Some(BackendChoice::Reference),
+            _ => None,
+        },
+        Err(_) => None,
+    })
+}
+
 /// A binary extension field GF(2^m), `3 <= m <= 32`.
 ///
 /// Elements are `u64` values whose low `m` bits hold the polynomial-basis
@@ -398,6 +423,16 @@ impl Field {
             is_irreducible(poly, m),
             "modulus {poly:#x} is not an irreducible polynomial of degree {m}"
         );
+        let choice = match choice {
+            // `tables` forced onto a large field falls back to the auto rule
+            // instead of panicking, so one env setting fits every m.
+            BackendChoice::Auto => match forced_backend() {
+                Some(BackendChoice::Tables) if m > TABLE_M_LIMIT => BackendChoice::Auto,
+                Some(forced) => forced,
+                None => BackendChoice::Auto,
+            },
+            explicit => explicit,
+        };
         let backend = match choice {
             BackendChoice::Auto => {
                 if m <= TABLE_M_LIMIT {
@@ -1083,7 +1118,9 @@ mod tests {
 
     #[test]
     fn chien_search_finds_generator_power_roots() {
-        let f = Field::new(11);
+        // Pin the tables backend: the Chien walk needs the log/antilog
+        // tables, and `Field::new` may be redirected by PBS_FORCE_BACKEND.
+        let f = Field::with_backend(11, BackendChoice::Tables);
         // Polynomial with roots {3, 500, 1999}: (x+3)(x+500)(x+1999) built by
         // convolution through the field itself.
         let roots = [3u64, 500, 1999];
@@ -1106,15 +1143,18 @@ mod tests {
 
     #[test]
     fn backend_names_are_stable() {
-        assert_eq!(Field::new(8).backend_name(), "tables");
+        // Explicit choices are never overridden by PBS_FORCE_BACKEND, so
+        // these hold in every CI matrix cell.
+        let tables = Field::with_backend(8, BackendChoice::Tables);
+        assert_eq!(tables.backend_name(), "tables");
         let barrett = Field::with_backend(8, BackendChoice::Barrett);
         assert!(barrett.backend_name().ends_with("barrett"));
         assert_eq!(
             Field::with_backend(8, BackendChoice::Reference).backend_name(),
             "reference"
         );
-        assert!(Field::new(8).generator().is_some());
-        assert!(Field::new(32).generator().is_none());
+        assert!(tables.generator().is_some());
+        assert!(barrett.generator().is_none());
     }
 
     #[test]

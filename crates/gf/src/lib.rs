@@ -38,4 +38,4 @@ mod field;
 mod poly;
 
 pub use field::{irreducible_poly, is_irreducible, BackendChoice, Field};
-pub use poly::Poly;
+pub use poly::{Poly, KARATSUBA_CUTOFF};

@@ -6,6 +6,88 @@
 
 use crate::Field;
 
+/// Operand length below which [`Poly::mul`] stays on the row-batched
+/// schoolbook kernel; Karatsuba's extra passes only pay off above it.
+pub const KARATSUBA_CUTOFF: usize = 32;
+
+/// Row-batched schoolbook product of two non-empty coefficient slices:
+/// `scratch = b · a_i` via one [`Field::scalar_mul_slice`] per nonzero row,
+/// XORed into the output at offset `i`.
+fn schoolbook_coeffs(a: &[u64], b: &[u64], f: &Field) -> Vec<u64> {
+    debug_assert!(!a.is_empty() && !b.is_empty());
+    // Keep the shorter operand as the row index so the slice kernel runs
+    // over the longer one.
+    let (rows, cols) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut out = vec![0u64; a.len() + b.len() - 1];
+    let mut scratch = vec![0u64; cols.len()];
+    for (i, &r) in rows.iter().enumerate() {
+        if r == 0 {
+            continue;
+        }
+        scratch.copy_from_slice(cols);
+        f.scalar_mul_slice(&mut scratch, r);
+        for (o, &s) in out[i..].iter_mut().zip(&scratch) {
+            *o ^= s;
+        }
+    }
+    out
+}
+
+/// Size-dispatched product of two non-empty coefficient slices (ascending
+/// degree order). The result has length `a.len() + b.len() - 1` and may
+/// carry high zero coefficients; callers normalize.
+fn mul_coeffs(a: &[u64], b: &[u64], f: &Field) -> Vec<u64> {
+    if a.len().min(b.len()) <= KARATSUBA_CUTOFF {
+        return schoolbook_coeffs(a, b, f);
+    }
+    // Split both operands at half the longer length: a = a0 + x^h·a1,
+    // b = b0 + x^h·b1. In characteristic 2,
+    //   a·b = z0 + x^h·(z1 − z0 − z2) + x^2h·z2
+    // with z0 = a0·b0, z2 = a1·b1, z1 = (a0+a1)(b0+b1) and every ± an XOR.
+    let h = a.len().max(b.len()).div_ceil(2);
+    let (a0, a1) = a.split_at(a.len().min(h));
+    let (b0, b1) = b.split_at(b.len().min(h));
+
+    let z0 = mul_coeffs(a0, b0, f);
+    let z2 = if a1.is_empty() || b1.is_empty() {
+        Vec::new()
+    } else {
+        mul_coeffs(a1, b1, f)
+    };
+
+    let xor_halves = |lo: &[u64], hi: &[u64]| -> Vec<u64> {
+        let mut s = vec![0u64; lo.len().max(hi.len())];
+        s[..lo.len()].copy_from_slice(lo);
+        for (d, &v) in s.iter_mut().zip(hi) {
+            *d ^= v;
+        }
+        s
+    };
+    let asum = xor_halves(a0, a1);
+    let bsum = xor_halves(b0, b1);
+    let mut z1 = mul_coeffs(&asum, &bsum, f);
+    for (d, &v) in z1.iter_mut().zip(&z0) {
+        *d ^= v;
+    }
+    for (d, &v) in z1.iter_mut().zip(&z2) {
+        *d ^= v;
+    }
+
+    let mut out = vec![0u64; a.len() + b.len() - 1];
+    for (d, &v) in out.iter_mut().zip(&z0) {
+        *d ^= v;
+    }
+    for (d, &v) in out[h..].iter_mut().zip(&z1) {
+        *d ^= v;
+    }
+    if !z2.is_empty() {
+        for (d, &v) in out[2 * h..].iter_mut().zip(&z2) {
+            *d ^= v;
+        }
+    }
+    out
+}
+
 /// A polynomial over a [`Field`].
 ///
 /// All operations take the field explicitly so a `Poly` stays a plain value
@@ -120,8 +202,28 @@ impl Poly {
         Poly::from_coeffs(coeffs)
     }
 
-    /// Schoolbook polynomial multiplication, O(deg_a * deg_b).
+    /// Polynomial multiplication.
+    ///
+    /// Dispatches on size: operands below [`KARATSUBA_CUTOFF`] use the
+    /// row-batched schoolbook kernel (each row is one
+    /// [`Field::scalar_mul_slice`] call, so the backend dispatch is paid per
+    /// row, not per coefficient pair); larger operands recurse through
+    /// Karatsuba, which in characteristic 2 needs only XORs besides its
+    /// three half-size products — O(n^1.585) instead of O(n²).
     pub fn mul(&self, other: &Poly, f: &Field) -> Poly {
+        if self.is_zero() || other.is_zero() {
+            return Poly::zero();
+        }
+        Poly::from_coeffs(mul_coeffs(&self.coeffs, &other.coeffs, f))
+    }
+
+    /// Schoolbook polynomial multiplication, O(deg_a · deg_b).
+    ///
+    /// Kept public as the ground truth for the Karatsuba-vs-schoolbook
+    /// property tests and as the baseline the `BENCH_decode_path.json`
+    /// `poly_mul` speedup is measured against (this is the seed's exact
+    /// per-coefficient-pair loop).
+    pub fn mul_schoolbook(&self, other: &Poly, f: &Field) -> Poly {
         if self.is_zero() || other.is_zero() {
             return Poly::zero();
         }
@@ -163,6 +265,9 @@ impl Poly {
         let lead_inv = f.inv(divisor.leading());
         let mut rem = self.coeffs.clone();
         let mut quot = vec![0u64; rem.len() - dd];
+        // One reusable row buffer: each elimination step is `divisor · q`
+        // through the batched scalar kernel, XORed into the remainder window.
+        let mut scratch = vec![0u64; divisor.coeffs.len()];
         for i in (dd..rem.len()).rev() {
             let c = rem[i];
             if c == 0 {
@@ -170,8 +275,10 @@ impl Poly {
             }
             let q = f.mul(c, lead_inv);
             quot[i - dd] = q;
-            for (j, &dc) in divisor.coeffs.iter().enumerate() {
-                rem[i - dd + j] ^= f.mul(q, dc);
+            scratch.copy_from_slice(&divisor.coeffs);
+            f.scalar_mul_slice(&mut scratch, q);
+            for (r, &s) in rem[i - dd..].iter_mut().zip(&scratch) {
+                *r ^= s;
             }
         }
         (Poly::from_coeffs(quot), Poly::from_coeffs(rem))

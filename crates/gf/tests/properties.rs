@@ -71,6 +71,20 @@ proptest! {
     }
 
     #[test]
+    fn karatsuba_mul_matches_schoolbook(
+        f in field_strategy(),
+        a in prop::collection::vec(any::<u64>(), 0..200),
+        b in prop::collection::vec(any::<u64>(), 0..200),
+    ) {
+        // Degrees straddle the Karatsuba cutoff from both sides, so the
+        // dispatch, the recursion, and the unbalanced-split paths are all
+        // exercised against the seed's schoolbook product.
+        let reduce = |v: Vec<u64>| Poly::from_coeffs(v.into_iter().map(|x| x % f.order()).collect());
+        let (a, b) = (reduce(a), reduce(b));
+        prop_assert_eq!(a.mul(&b, &f), a.mul_schoolbook(&b, &f));
+    }
+
+    #[test]
     fn poly_div_rem_reconstruction(
         f in field_strategy(),
         a in prop::collection::vec(any::<u64>(), 0..12),
@@ -215,7 +229,9 @@ mod backend_equivalence {
             m in 3u32..=11,
             roots_raw in prop::collection::hash_set(any::<u64>(), 0..6),
         ) {
-            let f = Field::new(m);
+            // Pin the tables backend: the stepping Chien walk needs the
+            // antilog table, and PBS_FORCE_BACKEND may redirect Field::new.
+            let f = Field::with_backend(m, BackendChoice::Tables);
             let roots: std::collections::HashSet<u64> =
                 roots_raw.into_iter().map(|r| (r % (f.order() - 1)) + 1).collect();
             let mut p = Poly::one();

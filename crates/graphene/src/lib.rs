@@ -1,4 +1,4 @@
-//! The Graphene baseline [32] (Protocol I), as evaluated in §8.2.
+//! The Graphene baseline \[32\] (Protocol I), as evaluated in §8.2.
 //!
 //! Graphene couples a Bloom filter with an IBLT. In the paper's evaluation
 //! setting — `B ⊂ A`, Alice learns `A△B = A\B`, Graphene's best case — Bob
@@ -30,7 +30,7 @@ pub struct GrapheneConfig {
     /// Element signature width `log|U|` used for wire accounting of IBLT cells.
     pub universe_bits: u32,
     /// Multiplier of IBLT cells per expected difference element (the decoder
-    /// needs some slack to peel with the 239/240 target of [32]).
+    /// needs some slack to peel with the 239/240 target of \[32\]).
     pub cells_per_diff: f64,
     /// Additive IBLT cell slack (keeps tiny differences decodable).
     pub extra_cells: usize,
@@ -90,7 +90,7 @@ impl Graphene {
     }
 
     /// Pick the false-positive rate minimizing the total transmission for
-    /// `|B| = set_size` and difference `d` (the [32] optimization; 1.0 means
+    /// `|B| = set_size` and difference `d` (the \[32\] optimization; 1.0 means
     /// the Bloom filter is dropped).
     pub fn optimal_fpr(&self, set_size: usize, d: usize) -> f64 {
         let mut best = (f64::INFINITY, 1.0);

@@ -1,7 +1,7 @@
 //! Invertible Bloom Lookup Tables (IBLT / "invertible Bloom filter").
 //!
 //! The IBF is the substrate of the paper's two IBF-based baselines:
-//! Difference Digest [15] and Graphene [32] (§7). Each cell carries three
+//! Difference Digest \[15\] and Graphene \[32\] (§7). Each cell carries three
 //! fields — `count`, `keySum`, `hashSum` — each one machine word of
 //! `log|U|` bits, which is why IBF-based reconciliation costs roughly
 //! `3 · (#cells) · log|U|` bits on the wire and why, with the ~2d cells the
@@ -10,14 +10,33 @@
 //!
 //! Supported operations:
 //!
-//! * [`Iblt::insert`] / [`Iblt::remove`] an element,
-//! * [`Iblt::subtract`] another IBLT cell-wise (the "difference" IBF),
-//! * [`Iblt::peel`] the difference into the two one-sided difference sets
-//!   using the standard peeling decoder (find a pure cell, extract, repeat).
+//! * [`Iblt::insert`] / [`Iblt::remove`] an element, or a whole slice at a
+//!   time through the batched kernels [`Iblt::insert_batch`] /
+//!   [`Iblt::remove_batch`] (four keys hashed per step, no per-key
+//!   allocations, per-table-precomputed hash seeds),
+//! * [`Iblt::subtract`] another IBLT cell-wise (the "difference" IBF), or
+//!   several at once in one fused pass with [`Iblt::subtract_batch`],
+//! * [`Iblt::peel`] / [`Iblt::try_peel`] the difference into the two
+//!   one-sided difference sets using a worklist peeling decoder (find a pure
+//!   cell, extract, push newly pure cells — no full-table rescans).
+//!   [`Iblt::try_peel`] reports a stuck decoder (no pure cell left but the
+//!   table is not empty) as an explicit [`PeelError::Stuck`] carrying the
+//!   partial result, instead of silently truncating.
+//!
+//! The seed's per-element scalar path (per-call seed derivation, per-key
+//! index allocation, final full-table emptiness rescan) is kept verbatim as
+//! [`Iblt::insert_reference`] / [`Iblt::peel_reference`]: it is the ground
+//! truth for the batched-vs-scalar property tests and the baseline the
+//! `BENCH_decode_path.json` speedups are measured against.
 
 #![warn(missing_docs)]
 
-use xhash::{derive_seed, xxhash64};
+use xhash::{derive_seed, xxhash64, xxhash64_u64};
+
+/// Seed-derivation label of the check-hash function.
+const CHECK_SALT: u64 = 0xC0FFEE;
+/// Seed-derivation label base of the cell-index hash functions.
+const INDEX_SALT: u64 = 0x1D11;
 
 /// One IBLT cell: `count`, `keySum`, `hashSum`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -70,12 +89,68 @@ impl PeelResult {
     }
 }
 
+/// Why [`Iblt::try_peel`] could not fully decode a difference table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PeelError {
+    /// The decoder got stuck: no pure cell remains but the table is not
+    /// empty (the difference exceeds the peeling threshold for this table
+    /// size, or a hash collision produced an unpeelable 2-core). The
+    /// elements recovered before the decoder stalled are returned so callers
+    /// can still use the partial decode — but they must treat it as such.
+    Stuck {
+        /// Everything peeled before the decoder stalled (`complete == false`).
+        partial: PeelResult,
+        /// Number of nonempty cells left un-decoded.
+        stuck_cells: usize,
+    },
+}
+
+impl std::fmt::Display for PeelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PeelError::Stuck {
+                partial,
+                stuck_cells,
+            } => write!(
+                f,
+                "IBLT peeling stuck: {} cells undecodable after recovering {} elements",
+                stuck_cells,
+                partial.len()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PeelError {}
+
 /// An invertible Bloom lookup table.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Iblt {
     cells: Vec<Cell>,
     hash_count: u32,
     seed: u64,
+    /// Per-hash-function index seeds, derived once at construction so the
+    /// hot paths pay one hash per (key, function) instead of a seed
+    /// derivation (itself a hash) plus a hash. Deterministic in `seed`.
+    index_seeds: Vec<u64>,
+    /// Check-hash seed, likewise derived once.
+    check_seed: u64,
+}
+
+/// Apply `(key, delta)` to every cell the key maps to. Free function over
+/// the split-out fields so the batched and scalar paths share it without
+/// re-borrowing the whole table.
+#[inline]
+fn apply_one(cells: &mut [Cell], index_seeds: &[u64], check_seed: u64, key: u64, delta: i64) {
+    let n = cells.len() as u64;
+    let check = xxhash64_u64(key, check_seed);
+    for &s in index_seeds {
+        let j = (xxhash64_u64(key, s) % n) as usize;
+        let cell = &mut cells[j];
+        cell.count += delta;
+        cell.key_sum ^= key;
+        cell.hash_sum ^= check;
+    }
 }
 
 impl Iblt {
@@ -85,10 +160,15 @@ impl Iblt {
     pub fn new(cells: usize, hash_count: u32, seed: u64) -> Self {
         assert!(cells > 0, "IBLT needs at least one cell");
         assert!(hash_count > 0, "IBLT needs at least one hash function");
+        let index_seeds = (0..hash_count as u64)
+            .map(|i| derive_seed(seed, INDEX_SALT + i))
+            .collect();
         Iblt {
             cells: vec![Cell::default(); cells],
             hash_count,
             seed,
+            index_seeds,
+            check_seed: derive_seed(seed, CHECK_SALT),
         }
     }
 
@@ -113,49 +193,74 @@ impl Iblt {
         3 * universe_bits as u64 * self.cells.len() as u64
     }
 
-    /// The check-hash used to recognize pure cells.
-    fn check_hash(&self, key: u64) -> u64 {
-        xxhash64(&key.to_le_bytes(), derive_seed(self.seed, 0xC0FFEE))
-    }
-
-    /// Cell indices for a key: `hash_count` independently seeded hashes.
-    /// Independent hashes (rather than double hashing) keep the peeling
-    /// threshold at its textbook value, which matters for the small tables
-    /// the Difference Digest sizing rule produces.
-    fn indices(&self, key: u64) -> impl Iterator<Item = usize> + '_ {
-        let n = self.cells.len() as u64;
-        (0..self.hash_count as u64).map(move |i| {
-            (xxhash64(&key.to_le_bytes(), derive_seed(self.seed, 0x1D11 + i)) % n) as usize
-        })
-    }
-
-    fn apply(&mut self, key: u64, delta: i64) {
-        let check = self.check_hash(key);
-        let idx: Vec<usize> = self.indices(key).collect();
-        for i in idx {
-            let cell = &mut self.cells[i];
-            cell.count += delta;
-            cell.key_sum ^= key;
-            cell.hash_sum ^= check;
-        }
-    }
-
     /// Insert an element.
     pub fn insert(&mut self, key: u64) {
-        self.apply(key, 1);
+        apply_one(&mut self.cells, &self.index_seeds, self.check_seed, key, 1);
     }
 
     /// Remove an element (the table tolerates removals of absent elements;
     /// the cell counts simply go negative, as required for difference IBLTs).
     pub fn remove(&mut self, key: u64) {
-        self.apply(key, -1);
+        apply_one(&mut self.cells, &self.index_seeds, self.check_seed, key, -1);
     }
 
-    /// Insert a whole set.
-    pub fn insert_all(&mut self, keys: impl IntoIterator<Item = u64>) {
-        for k in keys {
-            self.insert(k);
+    /// Toggle a whole slice of keys by `delta`: the 4-wide batched kernel.
+    ///
+    /// Four keys advance together — their four check-hashes are computed
+    /// up front, then each hash function's four cell indices are resolved
+    /// and applied in one step — so the four index hashes per function are
+    /// independent and overlap in the pipeline. Cell updates commute
+    /// (`+=`/`^=`), so the final table state is identical to applying the
+    /// keys one at a time.
+    fn apply_batch(&mut self, keys: &[u64], delta: i64) {
+        let n = self.cells.len() as u64;
+        let cells = &mut self.cells;
+        let index_seeds = &self.index_seeds;
+        let check_seed = self.check_seed;
+        let mut chunks = keys.chunks_exact(4);
+        for quad in &mut chunks {
+            let keys4 = [quad[0], quad[1], quad[2], quad[3]];
+            let checks = keys4.map(|k| xxhash64_u64(k, check_seed));
+            for &s in index_seeds {
+                let idx = keys4.map(|k| (xxhash64_u64(k, s) % n) as usize);
+                for k in 0..4 {
+                    let cell = &mut cells[idx[k]];
+                    cell.count += delta;
+                    cell.key_sum ^= keys4[k];
+                    cell.hash_sum ^= checks[k];
+                }
+            }
         }
+        for &key in chunks.remainder() {
+            apply_one(cells, index_seeds, check_seed, key, delta);
+        }
+    }
+
+    /// Insert a slice of keys through the batched kernel. Equivalent to
+    /// calling [`Iblt::insert`] per key.
+    pub fn insert_batch(&mut self, keys: &[u64]) {
+        self.apply_batch(keys, 1);
+    }
+
+    /// Remove a slice of keys through the batched kernel. Equivalent to
+    /// calling [`Iblt::remove`] per key.
+    pub fn remove_batch(&mut self, keys: &[u64]) {
+        self.apply_batch(keys, -1);
+    }
+
+    /// Insert a whole set (buffered into the batched kernel).
+    pub fn insert_all(&mut self, keys: impl IntoIterator<Item = u64>) {
+        let mut buf = [0u64; 64];
+        let mut n = 0;
+        for k in keys {
+            buf[n] = k;
+            n += 1;
+            if n == buf.len() {
+                self.insert_batch(&buf);
+                n = 0;
+            }
+        }
+        self.insert_batch(&buf[..n]);
     }
 
     /// Cell-wise subtraction: after `a.subtract(&b)`, `a` encodes the
@@ -164,36 +269,275 @@ impl Iblt {
     /// # Panics
     /// Panics if the two tables have different sizes, hash counts or seeds.
     pub fn subtract(&mut self, other: &Iblt) {
-        assert_eq!(self.cells.len(), other.cells.len(), "cell count mismatch");
-        assert_eq!(self.hash_count, other.hash_count, "hash count mismatch");
-        assert_eq!(self.seed, other.seed, "seed mismatch");
-        for (a, b) in self.cells.iter_mut().zip(&other.cells) {
-            a.count -= b.count;
-            a.key_sum ^= b.key_sum;
-            a.hash_sum ^= b.hash_sum;
+        self.subtract_batch(&[other]);
+    }
+
+    /// Subtract several tables in one fused pass over the cells: each cell
+    /// of `self` is loaded once and every subtrahend's matching cell is
+    /// applied to it, instead of streaming the whole table through the cache
+    /// once per subtrahend.
+    ///
+    /// # Panics
+    /// Panics if any table has a different size, hash count or seed.
+    pub fn subtract_batch(&mut self, others: &[&Iblt]) {
+        for other in others {
+            assert_eq!(self.cells.len(), other.cells.len(), "cell count mismatch");
+            assert_eq!(self.hash_count, other.hash_count, "hash count mismatch");
+            assert_eq!(self.seed, other.seed, "seed mismatch");
+        }
+        for (i, a) in self.cells.iter_mut().enumerate() {
+            for other in others {
+                let b = &other.cells[i];
+                a.count -= b.count;
+                a.key_sum ^= b.key_sum;
+                a.hash_sum ^= b.hash_sum;
+            }
         }
     }
 
-    /// Is this cell "pure": exactly one (signed) element and a matching
-    /// check-hash?
-    fn is_pure(&self, i: usize) -> bool {
-        let c = &self.cells[i];
-        (c.count == 1 || c.count == -1) && self.check_hash(c.key_sum) == c.hash_sum
+    /// Indices of every cell with a ±1 count — the peeler's initial
+    /// candidate list (full purity, including the check hash, is
+    /// established when a candidate is popped), in ascending order. With the
+    /// `parallel` feature the per-cell scan fans out over worker threads
+    /// through [`protocol::par_map`]; output order is identical.
+    fn candidate_cells(&self) -> Vec<usize> {
+        let candidate = |i: &usize| matches!(self.cells[*i].count, 1 | -1);
+        #[cfg(feature = "parallel")]
+        {
+            const CHUNK: usize = 8192;
+            if self.cells.len() >= 2 * CHUNK {
+                let ranges: Vec<(usize, usize)> = (0..self.cells.len())
+                    .step_by(CHUNK)
+                    .map(|s| (s, (s + CHUNK).min(self.cells.len())))
+                    .collect();
+                let lists = protocol::par_map(&ranges, |&(s, e)| {
+                    (s..e).filter(candidate).collect::<Vec<usize>>()
+                });
+                return lists.concat();
+            }
+        }
+        (0..self.cells.len()).filter(candidate).collect()
+    }
+
+    /// Peel a difference IBLT into its two sides, reporting a stuck decoder
+    /// as an error.
+    ///
+    /// Worklist peeling: seed the queue with every pure cell, then
+    /// repeatedly pop one, report its key on the side given by the count's
+    /// sign, remove the key from all its cells and push any cell that just
+    /// became pure — no rescans of the full table. The number of nonempty
+    /// cells is maintained incrementally, so completion is detected the
+    /// moment the last cell empties rather than by a final O(#cells) sweep.
+    ///
+    /// Returns [`PeelError::Stuck`] — carrying the partial decode — when the
+    /// worklist drains while nonempty cells remain (the difference exceeds
+    /// the peeling threshold, §8.1.1).
+    pub fn try_peel(&self) -> Result<PeelResult, PeelError> {
+        /// Keys extracted per wave. Extractions of *distinct* pure keys
+        /// commute (every cell update is a `+=`/`^=`), so a whole wave's
+        /// index hashes can be computed and its cell lines prefetched before
+        /// any update lands — the random-access misses of up to
+        /// `WAVE · hash_count` cells overlap instead of serializing key by
+        /// key, which is where a peel over a larger-than-L2 table spends
+        /// most of its time.
+        const WAVE: usize = 32;
+
+        let mut work = self.clone();
+        let mut queue = work.candidate_cells();
+        let mut result = PeelResult {
+            only_in_self: Vec::with_capacity(queue.len()),
+            only_in_other: Vec::new(),
+            complete: false,
+        };
+
+        let n = work.cells.len() as u64;
+        let check_seed = work.check_seed;
+        let hash_count = work.index_seeds.len();
+        let cells = &mut work.cells;
+        let index_seeds = &work.index_seeds;
+        let prefetch = |cells: &[Cell], i: usize| {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `i` is in bounds (always `hash % cells.len()`);
+            // prefetch has no architectural effect beyond the cache.
+            unsafe {
+                use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+                _mm_prefetch(cells.as_ptr().add(i) as *const i8, _MM_HINT_T0);
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            {
+                let _ = (cells, i);
+            }
+        };
+
+        let mut wave: Vec<(u64, i64, u64)> = Vec::with_capacity(WAVE); // (key, sign, check)
+        let mut wave_idx: Vec<usize> = Vec::with_capacity(WAVE * hash_count);
+        loop {
+            // Fill a wave with currently-pure cells. The queue holds lazy
+            // candidates (pushed on a count of ±1 alone), so full purity —
+            // including the check hash, computed once and reused as the
+            // removal mask — is established here. A key pure in two cells at
+            // once must not be extracted twice, so a repeat within the wave
+            // closes the wave (the duplicate cell goes back on the queue;
+            // applying the wave empties it, and the re-check at the next
+            // fill skips it).
+            wave.clear();
+            while wave.len() < WAVE {
+                let Some(i) = queue.pop() else { break };
+                let c = &cells[i];
+                if c.count != 1 && c.count != -1 {
+                    continue;
+                }
+                let check = xxhash64_u64(c.key_sum, check_seed);
+                if check != c.hash_sum {
+                    continue;
+                }
+                if wave.iter().any(|&(k, _, _)| k == c.key_sum) {
+                    queue.push(i);
+                    break;
+                }
+                wave.push((c.key_sum, c.count, check));
+            }
+            if wave.is_empty() {
+                break;
+            }
+            // Start pulling the next wave's fill candidates in now: the
+            // whole apply phase below overlaps their (random, usually cold)
+            // loads, which a prefetch issued right before the fill loop
+            // could not.
+            for &i in queue.iter().rev().take(WAVE) {
+                prefetch(cells, i);
+            }
+
+            // Hash every wave key's cell indices (independent chains), then
+            // one prefetch sweep so the random cell lines are pulled in
+            // concurrently instead of one miss at a time.
+            wave_idx.clear();
+            for &(key, _, _) in &wave {
+                for &s in index_seeds {
+                    wave_idx.push((xxhash64_u64(key, s) % n) as usize);
+                }
+            }
+            for &j in &wave_idx {
+                prefetch(cells, j);
+            }
+
+            // Apply the wave: toggle each key out of its cells; any cell
+            // left with a ±1 count is a new lazy candidate.
+            for (w, &(key, sign, check)) in wave.iter().enumerate() {
+                if sign == 1 {
+                    result.only_in_self.push(key);
+                } else {
+                    result.only_in_other.push(key);
+                }
+                for &j in &wave_idx[w * hash_count..(w + 1) * hash_count] {
+                    let cell = &mut cells[j];
+                    cell.count -= sign;
+                    cell.key_sum ^= key;
+                    cell.hash_sum ^= check;
+                    if cell.count == 1 || cell.count == -1 {
+                        queue.push(j);
+                    }
+                }
+            }
+        }
+
+        // One sequential sweep decides the outcome (the hardware prefetcher
+        // makes this far cheaper than tracking emptiness on every random
+        // update).
+        let stuck_cells = cells.iter().filter(|c| !c.is_empty()).count();
+        if stuck_cells == 0 {
+            result.complete = true;
+            Ok(result)
+        } else {
+            Err(PeelError::Stuck {
+                partial: result,
+                stuck_cells,
+            })
+        }
     }
 
     /// Peel a difference IBLT into its two sides.
     ///
-    /// Standard peeling: repeatedly find a pure cell, report its key on the
-    /// side given by the count's sign, and remove the key from all its cells.
-    /// Fails (`complete == false`) when no pure cell remains but the table is
-    /// not empty.
+    /// Convenience wrapper over [`Iblt::try_peel`] for callers that fold the
+    /// stuck state into the [`PeelResult::complete`] flag.
     pub fn peel(&self) -> PeelResult {
+        match self.try_peel() {
+            Ok(result) => result,
+            Err(PeelError::Stuck { partial, .. }) => partial,
+        }
+    }
+
+    /// Convenience for the reconciliation protocols: build the difference of
+    /// two sets' IBLTs and peel it.
+    pub fn diff_and_peel(a: &Iblt, b: &Iblt) -> PeelResult {
+        let mut d = a.clone();
+        d.subtract(b);
+        d.peel()
+    }
+
+    // -----------------------------------------------------------------------
+    // Reference path (the seed's per-element scalar implementation)
+    // -----------------------------------------------------------------------
+
+    /// The seed's scalar insert: per-call seed derivation and a per-key
+    /// index allocation. Kept as the baseline the `BENCH_decode_path.json`
+    /// speedups are measured against and as ground truth for the
+    /// batched-vs-scalar property tests. Produces exactly the same table
+    /// state as [`Iblt::insert`].
+    pub fn insert_reference(&mut self, key: u64) {
+        self.apply_reference(key, 1);
+    }
+
+    /// Reference counterpart of [`Iblt::remove`]; see
+    /// [`Iblt::insert_reference`].
+    pub fn remove_reference(&mut self, key: u64) {
+        self.apply_reference(key, -1);
+    }
+
+    fn apply_reference(&mut self, key: u64, delta: i64) {
+        let n = self.cells.len() as u64;
+        let check = xxhash64(&key.to_le_bytes(), derive_seed(self.seed, CHECK_SALT));
+        let idx: Vec<usize> = (0..self.hash_count as u64)
+            .map(|i| {
+                (xxhash64(&key.to_le_bytes(), derive_seed(self.seed, INDEX_SALT + i)) % n) as usize
+            })
+            .collect();
+        for i in idx {
+            let cell = &mut self.cells[i];
+            cell.count += delta;
+            cell.key_sum ^= key;
+            cell.hash_sum ^= check;
+        }
+    }
+
+    /// The seed's peeling decoder: per-key index allocations, per-call seed
+    /// derivations and a final full-table emptiness sweep. Same recovered
+    /// sets and `complete` flag as [`Iblt::peel`]; kept as the
+    /// `BENCH_decode_path.json` baseline.
+    pub fn peel_reference(&self) -> PeelResult {
+        let reference_check =
+            |t: &Iblt, key: u64| xxhash64(&key.to_le_bytes(), derive_seed(t.seed, CHECK_SALT));
+        let reference_indices = |t: &Iblt, key: u64| -> Vec<usize> {
+            let n = t.cells.len() as u64;
+            (0..t.hash_count as u64)
+                .map(|i| {
+                    (xxhash64(&key.to_le_bytes(), derive_seed(t.seed, INDEX_SALT + i)) % n) as usize
+                })
+                .collect()
+        };
+        let reference_pure = |t: &Iblt, i: usize| {
+            let c = &t.cells[i];
+            (c.count == 1 || c.count == -1) && reference_check(t, c.key_sum) == c.hash_sum
+        };
+
         let mut work = self.clone();
         let mut result = PeelResult::default();
-        let mut queue: Vec<usize> = (0..work.cells.len()).filter(|&i| work.is_pure(i)).collect();
+        let mut queue: Vec<usize> = (0..work.cells.len())
+            .filter(|&i| reference_pure(&work, i))
+            .collect();
 
         while let Some(i) = queue.pop() {
-            if !work.is_pure(i) {
+            if !reference_pure(&work, i) {
                 continue;
             }
             let key = work.cells[i].key_sum;
@@ -203,15 +547,14 @@ impl Iblt {
             } else {
                 result.only_in_other.push(key);
             }
-            // Remove the key from every cell it maps to.
-            let check = work.check_hash(key);
-            let idx: Vec<usize> = work.indices(key).collect();
+            let check = reference_check(&work, key);
+            let idx = reference_indices(&work, key);
             for j in idx {
                 let cell = &mut work.cells[j];
                 cell.count -= sign;
                 cell.key_sum ^= key;
                 cell.hash_sum ^= check;
-                if work.is_pure(j) {
+                if reference_pure(&work, j) {
                     queue.push(j);
                 }
             }
@@ -219,14 +562,6 @@ impl Iblt {
 
         result.complete = work.cells.iter().all(Cell::is_empty);
         result
-    }
-
-    /// Convenience for the reconciliation protocols: build the difference of
-    /// two sets' IBLTs and peel it.
-    pub fn diff_and_peel(a: &Iblt, b: &Iblt) -> PeelResult {
-        let mut d = a.clone();
-        d.subtract(b);
-        d.peel()
     }
 }
 
@@ -288,6 +623,37 @@ mod tests {
     }
 
     #[test]
+    fn try_peel_reports_stuck_state_with_partial_decode() {
+        let a: Vec<u64> = (1..=200).collect();
+        let ta = build(&a, 12, 3, 3);
+        match ta.try_peel() {
+            Ok(r) => panic!("200 keys in 12 cells must not decode, got {} keys", r.len()),
+            Err(PeelError::Stuck {
+                partial,
+                stuck_cells,
+            }) => {
+                assert!(stuck_cells > 0 && stuck_cells <= 12);
+                assert!(!partial.complete);
+                // Whatever was peeled must be genuine keys.
+                for k in partial.all() {
+                    assert!((1..=200).contains(&k), "fake key {k} peeled");
+                }
+                // The error folds into the legacy `complete` flag.
+                assert_eq!(ta.peel(), partial);
+            }
+        }
+    }
+
+    #[test]
+    fn try_peel_succeeds_on_decodable_table() {
+        let a: Vec<u64> = (1..=10).collect();
+        let ta = build(&a, 40, 3, 9);
+        let result = ta.try_peel().expect("10 keys in 40 cells decode");
+        assert!(result.complete);
+        assert_eq!(result.len(), 10);
+    }
+
+    #[test]
     fn decode_rate_with_recommended_sizing() {
         // With ~2d cells and 4 hash functions (the §8.1.1 D.Digest
         // parameterization for d ≤ 200), the decoder succeeds in the vast
@@ -326,6 +692,46 @@ mod tests {
         let ba_other: HashSet<u64> = ba.only_in_other.iter().copied().collect();
         assert_eq!(ab_self, ba_other);
         assert_eq!(ab_self, HashSet::from([1, 2]));
+    }
+
+    #[test]
+    fn batched_kernels_match_reference_path() {
+        let keys: Vec<u64> = (0..137u64)
+            .map(|i| i.wrapping_mul(0x9E3779B9) | 1)
+            .collect();
+        let mut batched = Iblt::new(97, 4, 11);
+        batched.insert_batch(&keys);
+        let mut scalar = Iblt::new(97, 4, 11);
+        for &k in &keys {
+            scalar.insert_reference(k);
+        }
+        assert_eq!(batched, scalar);
+        batched.remove_batch(&keys[..40]);
+        for &k in &keys[..40] {
+            scalar.remove_reference(k);
+        }
+        assert_eq!(batched, scalar);
+        // The wave peeler extracts in a different order than the seed's
+        // peeler, but peeling is confluent: same sets, same completeness.
+        let fast = batched.peel();
+        let reference = batched.peel_reference();
+        assert_eq!(fast.complete, reference.complete);
+        let set = |v: &[u64]| v.iter().copied().collect::<HashSet<u64>>();
+        assert_eq!(set(&fast.only_in_self), set(&reference.only_in_self));
+        assert_eq!(set(&fast.only_in_other), set(&reference.only_in_other));
+    }
+
+    #[test]
+    fn subtract_batch_matches_repeated_subtract() {
+        let ta = build(&(1..=50).collect::<Vec<u64>>(), 40, 3, 5);
+        let tb = build(&(20..=60).collect::<Vec<u64>>(), 40, 3, 5);
+        let tc = build(&(55..=70).collect::<Vec<u64>>(), 40, 3, 5);
+        let mut fused = ta.clone();
+        fused.subtract_batch(&[&tb, &tc]);
+        let mut serial = ta.clone();
+        serial.subtract(&tb);
+        serial.subtract(&tc);
+        assert_eq!(fused, serial);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The PinSketch baseline [13] and its partitioned variant PinSketch/WP (§8.3).
+//! The PinSketch baseline \[13\] and its partitioned variant PinSketch/WP (§8.3).
 //!
 //! PinSketch views a set `S ⊆ U` as a `|U|`-bit characteristic bitmap and
 //! sends a BCH syndrome sketch of that bitmap: `t` syndromes over
@@ -125,12 +125,8 @@ impl Reconciler for PinSketch {
         let est_seed = derive_seed(seed, 0xE57);
         let mut ea = TowEstimator::new(cfg.estimator_sketches, est_seed);
         let mut eb = TowEstimator::new(cfg.estimator_sketches, est_seed);
-        for &x in a {
-            ea.insert(x);
-        }
-        for &x in b {
-            eb.insert(x);
-        }
+        ea.insert_slice(a);
+        eb.insert_slice(b);
         let d_hat = ea.estimate(&eb);
         let t = ((d_hat * cfg.inflation).ceil() as usize).max(1);
         self.reconcile_with_capacity(a, b, t, seed)
@@ -261,56 +257,69 @@ impl PinSketchWp {
             );
         }
 
-        while let Some(item) = work.pop() {
-            let mut diff = item.sb.clone();
-            diff.combine(&item.sa);
-            match codec.decode(&diff) {
-                Ok(elements) => {
-                    transcript.send_bits(
-                        Direction::BobToAlice,
-                        "difference",
-                        elements.len() as u64 * cfg.universe_bits as u64,
-                    );
-                    for e in elements {
-                        if !recovered.insert(e) {
-                            recovered.remove(&e);
+        // Decode wave by wave: every pending group pair's combine + BCH
+        // decode is independent, so each wave fans out through
+        // `protocol::par_map` (worker threads behind the `parallel` feature,
+        // serial otherwise — identical decodes either way); splits are then
+        // applied serially and feed the next wave.
+        while !work.is_empty() {
+            let decoded = protocol::par_map(&work, |item| {
+                let mut diff = item.sb.clone();
+                diff.combine(&item.sa);
+                codec.decode(&diff)
+            });
+            let wave = std::mem::take(&mut work);
+            for (item, outcome) in wave.into_iter().zip(decoded) {
+                match outcome {
+                    Ok(elements) => {
+                        transcript.send_bits(
+                            Direction::BobToAlice,
+                            "difference",
+                            elements.len() as u64 * cfg.universe_bits as u64,
+                        );
+                        for e in elements {
+                            if !recovered.insert(e) {
+                                recovered.remove(&e);
+                            }
                         }
                     }
-                }
-                Err(_) => {
-                    // Split three ways, like PBS (§3.2); this costs another
-                    // round of sketches for the sub-groups.
-                    if item.depth >= self.max_rounds {
-                        claimed_success = false;
-                        continue;
-                    }
-                    rounds = rounds.max(item.depth + 2);
-                    transcript.send_bits(Direction::BobToAlice, "decode-failed", 8);
-                    let split_hasher =
-                        PartitionHasher::new(3, derive_seed(seed, 0x3_5711 + item.depth as u64));
-                    let mut parts_a: [Vec<u64>; 3] = Default::default();
-                    let mut parts_b: [Vec<u64>; 3] = Default::default();
-                    for &e in &item.a {
-                        parts_a[split_hasher.bin(e) as usize].push(e);
-                    }
-                    for &e in &item.b {
-                        parts_b[split_hasher.bin(e) as usize].push(e);
-                    }
-                    for k in 0..3 {
-                        let sa = codec.sketch_set(parts_a[k].iter().copied());
-                        let sb = codec.sketch_set(parts_b[k].iter().copied());
-                        transcript.send_bits(
-                            Direction::AliceToBob,
-                            "pinsketch-wp",
-                            sa.wire_bits(cfg.universe_bits),
+                    Err(_) => {
+                        // Split three ways, like PBS (§3.2); this costs another
+                        // round of sketches for the sub-groups.
+                        if item.depth >= self.max_rounds {
+                            claimed_success = false;
+                            continue;
+                        }
+                        rounds = rounds.max(item.depth + 2);
+                        transcript.send_bits(Direction::BobToAlice, "decode-failed", 8);
+                        let split_hasher = PartitionHasher::new(
+                            3,
+                            derive_seed(seed, 0x3_5711 + item.depth as u64),
                         );
-                        work.push(Item {
-                            a: std::mem::take(&mut parts_a[k]),
-                            b: std::mem::take(&mut parts_b[k]),
-                            sa,
-                            sb,
-                            depth: item.depth + 1,
-                        });
+                        let mut parts_a: [Vec<u64>; 3] = Default::default();
+                        let mut parts_b: [Vec<u64>; 3] = Default::default();
+                        for &e in &item.a {
+                            parts_a[split_hasher.bin(e) as usize].push(e);
+                        }
+                        for &e in &item.b {
+                            parts_b[split_hasher.bin(e) as usize].push(e);
+                        }
+                        for k in 0..3 {
+                            let sa = codec.sketch_slice(&parts_a[k]);
+                            let sb = codec.sketch_slice(&parts_b[k]);
+                            transcript.send_bits(
+                                Direction::AliceToBob,
+                                "pinsketch-wp",
+                                sa.wire_bits(cfg.universe_bits),
+                            );
+                            work.push(Item {
+                                a: std::mem::take(&mut parts_a[k]),
+                                b: std::mem::take(&mut parts_b[k]),
+                                sa,
+                                sb,
+                                depth: item.depth + 1,
+                            });
+                        }
                     }
                 }
             }
@@ -337,12 +346,8 @@ impl Reconciler for PinSketchWp {
         let est_seed = derive_seed(seed, 0xE57);
         let mut ea = TowEstimator::new(cfg.estimator_sketches, est_seed);
         let mut eb = TowEstimator::new(cfg.estimator_sketches, est_seed);
-        for &x in a {
-            ea.insert(x);
-        }
-        for &x in b {
-            eb.insert(x);
-        }
+        ea.insert_slice(a);
+        eb.insert_slice(b);
         let d = ((ea.estimate(&eb) * cfg.inflation).ceil() as usize).max(1);
         self.reconcile_with_known_d(a, b, d, seed)
     }

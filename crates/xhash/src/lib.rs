@@ -23,7 +23,7 @@ mod xx;
 
 pub use partition::PartitionHasher;
 pub use sign::SignHasher;
-pub use xx::{xxhash64, XxHash64};
+pub use xx::{xxhash64, xxhash64_u64, XxHash64};
 
 /// The set checksum `c(S)` of §2.2.3: the sum of all elements viewed as
 /// integers, modulo `2^universe_bits` (i.e. modulo `|U|`).
