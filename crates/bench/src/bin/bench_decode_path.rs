@@ -10,7 +10,11 @@
 //! * `Poly::mul` at BCH-locator-like degrees (Karatsuba vs schoolbook),
 //! * Bob's per-group PBS decode for a d = 100 difference over |A| = 10^5
 //!   (batched syndrome build + dense bin accumulation + `par_map` groups vs
-//!   the seed's serial scalar loop).
+//!   the seed's serial scalar loop),
+//! * the network frame codec round trip of one full d = 1000 protocol round
+//!   (one batched sketches frame + one reports frame, CRC verified, vs a
+//!   naive frame-per-message transport) — this is the `net_roundtrip`
+//!   metric `check_bench` gates serialization regressions with.
 //!
 //! Run with `cargo run --release -p bench --bin bench_decode_path`.
 //! The CI bench gate (`check_bench`) compares every `fast_*` metric of the
@@ -243,6 +247,66 @@ fn bench_bob_decode(set_size: usize, d: usize) -> Row {
     }
 }
 
+fn bench_net_roundtrip(set_size: usize, d: usize) -> Row {
+    use pbs_net::frame::{read_frame, write_frame, Frame, DEFAULT_MAX_FRAME};
+
+    let cfg = PbsConfig::default();
+    let params = Pbs::new(cfg).plan(d);
+    let alice: Vec<u64> = keys(set_size, 0xF4A3);
+    let bob: Vec<u64> = alice[d..].to_vec();
+    let seed = 9u64;
+    let mut a = AliceSession::new(cfg, params, &alice, seed);
+    let batch = a.start_round();
+    let mut b = BobSession::new(cfg, params, &bob, seed);
+    let reports = b.handle_sketches(&batch);
+
+    // Fast path: the deployed transport — one frame per message *batch*,
+    // length-prefixed and CRC-checked, decoded back through the same codec.
+    let sketches_frame = Frame::Sketches {
+        m: params.m,
+        batch: batch.clone(),
+    };
+    let reports_frame = Frame::Reports(reports.clone());
+    let mut wire = Vec::new();
+    let fast = best_ns(5, || {
+        wire.clear();
+        write_frame(&mut wire, &sketches_frame, DEFAULT_MAX_FRAME).expect("write sketches");
+        write_frame(&mut wire, &reports_frame, DEFAULT_MAX_FRAME).expect("write reports");
+        let mut cursor = wire.as_slice();
+        let (s, _) = read_frame(&mut cursor, DEFAULT_MAX_FRAME).expect("read sketches");
+        let (r, _) = read_frame(&mut cursor, DEFAULT_MAX_FRAME).expect("read reports");
+        black_box((s, r));
+    });
+
+    // Reference: the naive transport that frames every group message
+    // individually (per-message headers, CRCs and payload preambles).
+    let per_message: Vec<Frame> = batch
+        .iter()
+        .map(|s| Frame::Sketches {
+            m: params.m,
+            batch: vec![s.clone()],
+        })
+        .chain(reports.iter().map(|r| Frame::Reports(vec![r.clone()])))
+        .collect();
+    let reference = best_ns(5, || {
+        wire.clear();
+        for f in &per_message {
+            write_frame(&mut wire, f, DEFAULT_MAX_FRAME).expect("write message");
+        }
+        let mut cursor = wire.as_slice();
+        for _ in 0..per_message.len() {
+            black_box(read_frame(&mut cursor, DEFAULT_MAX_FRAME).expect("read message"));
+        }
+    });
+
+    Row {
+        name: "net_roundtrip".into(),
+        detail: format!("|A|={set_size} d={d} groups={}", params.groups),
+        fast_ms: fast / 1e6,
+        reference_ms: reference / 1e6,
+    }
+}
+
 fn main() {
     let n = 100_000usize;
     let (iblt_insert, iblt_peel) = bench_iblt(n);
@@ -256,6 +320,8 @@ fn main() {
     poly.print();
     let bob = bench_bob_decode(n, 100);
     bob.print();
+    let net = bench_net_roundtrip(n / 2, 1000);
+    net.print();
 
     let threads = std::thread::available_parallelism()
         .map(|v| v.get())
@@ -297,7 +363,8 @@ fn main() {
     }
     json.push_str("  ],\n");
     emit(&mut json, "poly_mul", &poly, ",");
-    emit(&mut json, "bob_decode", &bob, "");
+    emit(&mut json, "bob_decode", &bob, ",");
+    emit(&mut json, "net_roundtrip", &net, "");
     json.push_str("}\n");
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_decode_path.json");

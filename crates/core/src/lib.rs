@@ -56,9 +56,15 @@ pub use messages::RoundStatus;
 pub use session::{AliceSession, BobSession};
 
 use analysis::{optimize_parameters, OptimalParams, DEFAULT_DELTA, DEFAULT_TARGET_ROUNDS};
-use estimator::{Estimator, TowEstimator, RECOMMENDED_INFLATION};
+use estimator::{Estimator, TowEstimator};
 use protocol::{CommStats, Direction, ReconcileOutcome, Reconciler, TimingStats, Transcript};
 use std::time::Instant;
+
+/// Salt used to derive the cardinality-estimator seed from the protocol
+/// seed, so the estimator's hash functions are independent of every
+/// partition hash. Shared with the networked client/server (`pbs_net`),
+/// which must derive the same estimator from the handshake seed.
+pub const ESTIMATOR_SEED_SALT: u64 = 0xE57;
 
 /// Configuration of the PBS scheme.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -212,7 +218,7 @@ impl Pbs {
     /// the estimate by γ = 1.38, then run PBS with the derived parameters.
     pub fn reconcile(&self, alice: &[u64], bob: &[u64], seed: u64) -> PbsReport {
         let cfg = &self.config;
-        let est_seed = xhash::derive_seed(seed, 0xE57);
+        let est_seed = xhash::derive_seed(seed, ESTIMATOR_SEED_SALT);
         let mut ea = TowEstimator::new(cfg.estimator_sketches, est_seed);
         let mut eb = TowEstimator::new(cfg.estimator_sketches, est_seed);
         for &x in alice {
@@ -222,7 +228,7 @@ impl Pbs {
             eb.insert(x);
         }
         let d_hat = ea.estimate(&eb);
-        let d_param = ((d_hat * RECOMMENDED_INFLATION).ceil() as usize).max(1);
+        let d_param = estimator::inflate_estimate(d_hat);
         // Alice sends her sketches; Bob returns the estimate (one word).
         let estimator_bits = ea.wire_bits() + u64::from(cfg.universe_bits);
         self.run(alice, bob, d_param, Some(d_hat), estimator_bits, seed)

@@ -37,6 +37,11 @@ const SPLIT_SALT: u64 = 0x3_5711;
 /// explains why a three-way split is preferred over a two-way split).
 const SPLIT_WAYS: u64 = 3;
 
+/// Largest parity-bitmap length handled with dense per-bin accumulators on
+/// the decode paths of *both* parties (`n/8 + 8n` bytes of scratch); larger
+/// `n` falls back to hash-map accumulation.
+const DENSE_LIMIT: u64 = 1 << 22;
+
 fn bin_seed(base: u64, session: SessionId, round: u32) -> u64 {
     derive_seed(derive_seed(base, session), ROUND_SALT + round as u64)
 }
@@ -274,22 +279,52 @@ impl AliceSession {
             group.bob_checksum = Some(c);
         }
 
-        // One pass over the group's current elements: XOR sum per bin.
-        let hasher = PartitionHasher::new(self.params.n as u64, group.current_bin_seed);
-        let mut alice_xor: HashMap<u64, u64> = HashMap::with_capacity(bins.len());
-        for b in bins {
-            alice_xor.insert(b.position, 0);
-        }
-        for &e in &group.elements {
-            let p = hasher.position(e);
-            if let Some(slot) = alice_xor.get_mut(&p) {
-                *slot ^= e;
+        // One pass over the group's current elements: XOR sum per reported
+        // bin. This mirrors the parity-bitset trick of Bob's sketch build
+        // (`BobSession::compute_report`): for the bitmap lengths PBS uses, a
+        // dense per-bin XOR accumulator plus a reported-bin membership bitset
+        // replaces the hash map, so the per-element re-hash pass costs one
+        // partition hash and two array probes, and reading the sums back is
+        // O(bins). Bins outside `1..=n` (impossible from an honest decode,
+        // reachable through the wire format) accumulate nothing, exactly as
+        // the map did. Very large `n` keeps the map.
+        let n = self.params.n as u64;
+        let hasher = PartitionHasher::new(n, group.current_bin_seed);
+        let alice_xor: Vec<u64> = if n <= DENSE_LIMIT {
+            let mut xor_by_bin = vec![0u64; n as usize + 1];
+            let mut wanted = vec![0u64; (n as usize + 1).div_ceil(64)];
+            for b in bins {
+                if b.position <= n {
+                    wanted[b.position as usize / 64] |= 1u64 << (b.position % 64);
+                }
             }
-        }
+            for &e in &group.elements {
+                let p = hasher.position(e) as usize;
+                if wanted[p / 64] >> (p % 64) & 1 == 1 {
+                    xor_by_bin[p] ^= e;
+                }
+            }
+            bins.iter()
+                .map(|b| xor_by_bin.get(b.position as usize).copied().unwrap_or(0))
+                .collect()
+        } else {
+            let mut by_bin: HashMap<u64, u64> = HashMap::with_capacity(bins.len());
+            for b in bins {
+                by_bin.insert(b.position, 0);
+            }
+            for &e in &group.elements {
+                let p = hasher.position(e);
+                if let Some(slot) = by_bin.get_mut(&p) {
+                    *slot ^= e;
+                }
+            }
+            bins.iter()
+                .map(|b| by_bin.get(&b.position).copied().unwrap_or(0))
+                .collect()
+        };
 
         let mut applied = 0usize;
-        for b in bins {
-            let xor_a = alice_xor.get(&b.position).copied().unwrap_or(0);
+        for (b, &xor_a) in bins.iter().zip(&alice_xor) {
             let s = xor_a ^ b.xor_sum;
             if s == 0 {
                 // Procedure 1, case (I): the bin pair holds no recoverable
@@ -474,9 +509,6 @@ impl BobSession {
     /// the scheme is named for. Very large `n` falls back to the
     /// positions-vector path.
     fn compute_report(&self, msg: &GroupSketch) -> GroupReport {
-        /// Largest bitmap length handled with dense accumulators
-        /// (`n/8 + 8n` bytes of scratch).
-        const DENSE_LIMIT: u64 = 1 << 22;
         // Unknown session: treat as empty (can only happen if Alice has a
         // group Bob's partition left empty — the decode still works).
         let (elements, checksum) = match self.groups.get(&msg.session) {

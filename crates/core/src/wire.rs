@@ -73,6 +73,20 @@ impl<'a> Reader<'a> {
     fn done(&self) -> bool {
         self.pos == self.buf.len()
     }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+/// Clamp a wire-declared element count before it is used as a `Vec`
+/// pre-allocation: a record of the given kind cannot be smaller than
+/// `min_record_bytes`, so a hostile count beyond `remaining /
+/// min_record_bytes` would fail with [`WireError::Truncated`] anyway — by
+/// capping the reservation first, it fails *before* the allocator is asked
+/// for gigabytes.
+fn clamp_alloc(count: usize, remaining: usize, min_record_bytes: usize) -> usize {
+    count.min(remaining / min_record_bytes)
 }
 
 fn put_u16(out: &mut Vec<u8>, v: u16) {
@@ -108,11 +122,20 @@ pub fn encode_sketches(batch: &[GroupSketch], m: u32) -> Vec<u8> {
 
 /// Decode a batch of sketches produced by [`encode_sketches`].
 pub fn decode_sketches(buf: &[u8]) -> Result<Vec<GroupSketch>, WireError> {
+    decode_sketches_with_m(buf).map(|(_, batch)| batch)
+}
+
+/// Decode a sketch batch and also return the field degree `m` it was packed
+/// with — transports that must echo or validate `m` (the framed protocol's
+/// `Sketches` frame) get it from the decoder itself instead of re-deriving
+/// the payload layout.
+pub fn decode_sketches_with_m(buf: &[u8]) -> Result<(u32, Vec<GroupSketch>), WireError> {
     let mut r = Reader::new(buf);
     let count = r.u32()? as usize;
     let m = r.u8()? as u32;
     let width = m.div_ceil(8) as usize;
-    let mut out = Vec::with_capacity(count);
+    // Fixed header per sketch: session + round + checksum flag + capacity.
+    let mut out = Vec::with_capacity(clamp_alloc(count, r.remaining(), 8 + 4 + 1 + 2));
     for _ in 0..count {
         let session = r.u64()?;
         let round = r.u32()?;
@@ -132,7 +155,7 @@ pub fn decode_sketches(buf: &[u8]) -> Result<Vec<GroupSketch>, WireError> {
         });
     }
     if r.done() {
-        Ok(out)
+        Ok((m, out))
     } else {
         Err(WireError::Truncated)
     }
@@ -173,7 +196,8 @@ pub fn encode_reports(batch: &[GroupReport]) -> Vec<u8> {
 pub fn decode_reports(buf: &[u8]) -> Result<Vec<GroupReport>, WireError> {
     let mut r = Reader::new(buf);
     let count = r.u32()? as usize;
-    let mut out = Vec::with_capacity(count);
+    // Smallest report: session + failure tag.
+    let mut out = Vec::with_capacity(clamp_alloc(count, r.remaining(), 8 + 1));
     for _ in 0..count {
         let session = r.u64()?;
         let tag = r.u8()?;
@@ -186,7 +210,8 @@ pub fn decode_reports(buf: &[u8]) -> Result<Vec<GroupReport>, WireError> {
                     None
                 };
                 let bins_len = r.u32()? as usize;
-                let mut bins = Vec::with_capacity(bins_len);
+                // Each bin is a position word plus an XOR sum.
+                let mut bins = Vec::with_capacity(clamp_alloc(bins_len, r.remaining(), 4 + 8));
                 for _ in 0..bins_len {
                     let position = r.u32()? as u64;
                     let xor_sum = r.u64()?;

@@ -18,7 +18,7 @@ mod tow;
 
 pub use minwise::MinWiseEstimator;
 pub use strata::StrataEstimator;
-pub use tow::{TowEstimator, DEFAULT_SKETCH_COUNT, RECOMMENDED_INFLATION};
+pub use tow::{inflate_estimate, TowEstimator, DEFAULT_SKETCH_COUNT, RECOMMENDED_INFLATION};
 
 /// A set-difference cardinality estimator.
 ///

@@ -17,6 +17,15 @@ pub const DEFAULT_SKETCH_COUNT: usize = 128;
 /// protocol parameters (§6.2).
 pub const RECOMMENDED_INFLATION: f64 = 1.38;
 
+/// The §6.2 parameterization rule: inflate a raw estimate `d̂` by γ and
+/// round up to at least 1. Every consumer of a ToW estimate — the
+/// in-process `Pbs::reconcile`, [`TowEstimator::conservative_estimate`],
+/// and the networked server's estimator exchange — must use this one
+/// helper so the client and server always derive the same `d`.
+pub fn inflate_estimate(d_hat: f64) -> usize {
+    (d_hat * RECOMMENDED_INFLATION).ceil().max(1.0) as usize
+}
+
 /// A bank of ℓ ToW sketches of one set.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TowEstimator {
@@ -65,8 +74,49 @@ impl TowEstimator {
     /// Estimate `d` and apply the γ inflation, returning the value PBS
     /// should be parameterized with (rounded up, at least 1).
     pub fn conservative_estimate(&self, other: &Self) -> usize {
-        let d = self.estimate(other);
-        (d * RECOMMENDED_INFLATION).ceil().max(1.0) as usize
+        inflate_estimate(self.estimate(other))
+    }
+
+    /// The construction seed. A peer must build its estimator from the same
+    /// seed for [`Estimator::estimate`] to combine the two banks.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Serialize the bank for a transport-level estimator exchange (the
+    /// `EstimatorExchange` frame of the networked protocol): sketch count,
+    /// item count, seed, then the raw sketch values, all little-endian
+    /// fixed-width. The deserialized bank re-derives its hashers from the
+    /// seed, so the ±1 hash functions are never on the wire.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + 8 + 8 + 8 * self.sketches.len());
+        out.extend_from_slice(&(self.sketches.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.items.to_le_bytes());
+        out.extend_from_slice(&self.seed.to_le_bytes());
+        for &v in &self.sketches {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserialize a bank produced by [`TowEstimator::to_bytes`]. Returns
+    /// `None` for truncated, oversized or count-inconsistent input (the
+    /// declared sketch count must match the bytes actually present, so a
+    /// hostile length field cannot trigger a huge allocation).
+    pub fn from_bytes(buf: &[u8]) -> Option<Self> {
+        let count = u32::from_le_bytes(buf.get(..4)?.try_into().ok()?) as usize;
+        if count == 0 || buf.len() != 4 + 8 + 8 + 8 * count {
+            return None;
+        }
+        let items = u64::from_le_bytes(buf[4..12].try_into().ok()?);
+        let seed = u64::from_le_bytes(buf[12..20].try_into().ok()?);
+        let mut bank = TowEstimator::new(count, seed);
+        bank.items = items;
+        for (i, sk) in bank.sketches.iter_mut().enumerate() {
+            let at = 20 + 8 * i;
+            *sk = i64::from_le_bytes(buf[at..at + 8].try_into().ok()?);
+        }
+        Some(bank)
     }
 }
 
@@ -227,6 +277,35 @@ mod tests {
         e.items = 1_000_000;
         assert_eq!(e.wire_bits(), 128 * 21);
         assert_eq!(e.wire_bits().div_ceil(8), 336);
+    }
+
+    #[test]
+    fn wire_round_trip_preserves_estimates() {
+        let (a, b) = random_pair(800, 40, 6);
+        let ea = build(&a, 64, 11);
+        let eb = build(&b, 64, 11);
+        let bytes = ea.to_bytes();
+        let back = TowEstimator::from_bytes(&bytes).expect("round trip");
+        assert_eq!(back, ea);
+        assert_eq!(back.seed(), ea.seed());
+        assert_eq!(back.items(), ea.items());
+        assert_eq!(back.estimate(&eb), ea.estimate(&eb));
+    }
+
+    #[test]
+    fn malformed_estimator_bytes_rejected() {
+        let e = build(&[1, 2, 3], 8, 5);
+        let bytes = e.to_bytes();
+        assert!(TowEstimator::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+        assert!(TowEstimator::from_bytes(&[]).is_none());
+        // A huge declared count with no backing bytes must not allocate.
+        let mut hostile = bytes.clone();
+        hostile[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(TowEstimator::from_bytes(&hostile).is_none());
+        // Zero sketches is not a valid bank.
+        let mut zero = bytes;
+        zero[..4].copy_from_slice(&0u32.to_le_bytes());
+        assert!(TowEstimator::from_bytes(&zero[..20]).is_none());
     }
 
     #[test]

@@ -333,6 +333,16 @@ impl Iblt {
     /// worklist drains while nonempty cells remain (the difference exceeds
     /// the peeling threshold, §8.1.1).
     pub fn try_peel(&self) -> Result<PeelResult, PeelError> {
+        self.clone().try_peel_mut()
+    }
+
+    /// Destructive counterpart of [`Iblt::try_peel`]: peels *this* table
+    /// in place instead of cloning it first. On success every cell is left
+    /// empty; on [`PeelError::Stuck`] the unpeelable cells remain. Callers
+    /// that already own a scratch difference table (see
+    /// [`Iblt::diff_and_peel_batch`]) use this to skip the extra full-table
+    /// copy [`Iblt::try_peel`] pays.
+    pub fn try_peel_mut(&mut self) -> Result<PeelResult, PeelError> {
         /// Keys extracted per wave. Extractions of *distinct* pure keys
         /// commute (every cell update is a `+=`/`^=`), so a whole wave's
         /// index hashes can be computed and its cell lines prefetched before
@@ -342,19 +352,18 @@ impl Iblt {
         /// most of its time.
         const WAVE: usize = 32;
 
-        let mut work = self.clone();
-        let mut queue = work.candidate_cells();
+        let mut queue = self.candidate_cells();
         let mut result = PeelResult {
             only_in_self: Vec::with_capacity(queue.len()),
             only_in_other: Vec::new(),
             complete: false,
         };
 
-        let n = work.cells.len() as u64;
-        let check_seed = work.check_seed;
-        let hash_count = work.index_seeds.len();
-        let cells = &mut work.cells;
-        let index_seeds = &work.index_seeds;
+        let n = self.cells.len() as u64;
+        let check_seed = self.check_seed;
+        let hash_count = self.index_seeds.len();
+        let cells = &mut self.cells;
+        let index_seeds = &self.index_seeds;
         let prefetch = |cells: &[Cell], i: usize| {
             #[cfg(target_arch = "x86_64")]
             // SAFETY: `i` is in bounds (always `hash % cells.len()`);
@@ -467,12 +476,41 @@ impl Iblt {
         }
     }
 
+    /// Destructive counterpart of [`Iblt::peel`]; see [`Iblt::try_peel_mut`].
+    pub fn peel_mut(&mut self) -> PeelResult {
+        match self.try_peel_mut() {
+            Ok(result) => result,
+            Err(PeelError::Stuck { partial, .. }) => partial,
+        }
+    }
+
     /// Convenience for the reconciliation protocols: build the difference of
     /// two sets' IBLTs and peel it.
     pub fn diff_and_peel(a: &Iblt, b: &Iblt) -> PeelResult {
         let mut d = a.clone();
-        d.subtract(b);
-        d.peel()
+        d.subtract_batch(&[b]);
+        d.peel_mut()
+    }
+
+    /// Decode several independent `(minuend, subtrahend)` pairs in one call:
+    /// for each pair the difference table is built through the fused
+    /// [`Iblt::subtract_batch`] kernel directly into the scratch copy that
+    /// the in-place peeler ([`Iblt::peel_mut`]) then consumes, so every pair
+    /// costs exactly one table copy instead of the two that `clone` +
+    /// `subtract` + borrowing [`Iblt::peel`] used to pay. Results are
+    /// positionally identical to calling [`Iblt::diff_and_peel`] per pair.
+    ///
+    /// This is the decode path of the Strata estimator, whose 32 strata are
+    /// subtracted and peeled pairwise in a single batch.
+    pub fn diff_and_peel_batch(pairs: &[(&Iblt, &Iblt)]) -> Vec<PeelResult> {
+        pairs
+            .iter()
+            .map(|&(a, b)| {
+                let mut d = a.clone();
+                d.subtract_batch(&[b]);
+                d.peel_mut()
+            })
+            .collect()
     }
 
     // -----------------------------------------------------------------------
@@ -719,6 +757,30 @@ mod tests {
         let set = |v: &[u64]| v.iter().copied().collect::<HashSet<u64>>();
         assert_eq!(set(&fast.only_in_self), set(&reference.only_in_self));
         assert_eq!(set(&fast.only_in_other), set(&reference.only_in_other));
+    }
+
+    #[test]
+    fn diff_and_peel_batch_matches_pairwise_calls() {
+        let shapes: Vec<(Iblt, Iblt)> = (0..8u64)
+            .map(|i| {
+                let a: Vec<u64> = (1..=40 + 5 * i).collect();
+                let b: Vec<u64> = (3 * i + 1..=60).collect();
+                (build(&a, 50, 3, 100 + i), build(&b, 50, 3, 100 + i))
+            })
+            .collect();
+        let pairs: Vec<(&Iblt, &Iblt)> = shapes.iter().map(|(a, b)| (a, b)).collect();
+        let batch = Iblt::diff_and_peel_batch(&pairs);
+        for (k, &(a, b)) in pairs.iter().enumerate() {
+            assert_eq!(batch[k], Iblt::diff_and_peel(a, b), "pair {k} diverged");
+        }
+        // The in-place peeler drains the table it decodes.
+        let mut d = pairs[0].0.clone();
+        d.subtract(pairs[0].1);
+        let direct = d.peel_mut();
+        assert_eq!(direct, batch[0]);
+        if direct.complete {
+            assert!(d.cells().iter().all(|c| c.is_empty()));
+        }
     }
 
     #[test]

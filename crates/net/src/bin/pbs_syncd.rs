@@ -1,0 +1,106 @@
+//! `pbs-syncd` — the PBS reconciliation session server.
+//!
+//! ```text
+//! pbs-syncd [--listen ADDR] (--set-file PATH | --range N) [--workers W]
+//!           [--round-cap R] [--stats-every SECS]
+//! ```
+//!
+//! Serves the `docs/WIRE.md` protocol: each connection reconciles one
+//! client set against the served set and ingests the client's final
+//! element transfer. Stats are printed periodically and the process runs
+//! until killed.
+
+use pbs_net::server::{InMemoryStore, Server, ServerConfig};
+use pbs_net::setio;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Args {
+    listen: String,
+    set_file: Option<PathBuf>,
+    range: Option<usize>,
+    workers: Option<usize>,
+    round_cap: Option<u32>,
+    stats_every: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pbs-syncd [--listen ADDR] (--set-file PATH | --range N) \
+         [--workers W] [--round-cap R] [--stats-every SECS]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        listen: "127.0.0.1:7171".into(),
+        set_file: None,
+        range: None,
+        workers: None,
+        round_cap: None,
+        stats_every: 30,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--listen" => args.listen = value(),
+            "--set-file" => args.set_file = Some(PathBuf::from(value())),
+            "--range" => args.range = value().parse().ok(),
+            "--workers" => args.workers = value().parse().ok(),
+            "--round-cap" => args.round_cap = value().parse().ok(),
+            "--stats-every" => args.stats_every = value().parse().unwrap_or(30),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let elements = match (&args.set_file, args.range) {
+        (Some(path), None) => setio::load_set(path).unwrap_or_else(|e| {
+            eprintln!("pbs-syncd: cannot load {}: {e}", path.display());
+            std::process::exit(1);
+        }),
+        (None, Some(n)) => setio::demo_set(n, 0xB0B),
+        _ => usage(),
+    };
+    let store = Arc::new(InMemoryStore::new(elements));
+    println!("pbs-syncd: serving a set of {} elements", store.len());
+
+    let mut config = ServerConfig::default();
+    if let Some(w) = args.workers {
+        config.workers = w.max(1);
+    }
+    if let Some(r) = args.round_cap {
+        config.round_cap = r.max(1);
+    }
+
+    let server = Server::bind(&args.listen, store.clone() as Arc<_>, config).unwrap_or_else(|e| {
+        eprintln!("pbs-syncd: cannot bind {}: {e}", args.listen);
+        std::process::exit(1);
+    });
+    println!("pbs-syncd: listening on {}", server.local_addr());
+
+    let stats = server.stats();
+    loop {
+        std::thread::sleep(Duration::from_secs(args.stats_every.max(1)));
+        let s = stats.snapshot();
+        println!(
+            "pbs-syncd: sessions {}/{} ok (failed {}), rounds {}, \
+             bytes in/out {}/{}, decode failures {}, elements ingested {}, set size {}",
+            s.sessions_completed,
+            s.sessions_started,
+            s.sessions_failed,
+            s.rounds,
+            s.bytes_in,
+            s.bytes_out,
+            s.decode_failures,
+            s.elements_received,
+            store.len(),
+        );
+    }
+}

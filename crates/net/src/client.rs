@@ -1,0 +1,241 @@
+//! The sync client: drives an [`AliceSession`] against a reconciliation
+//! server and returns the reconciled difference with full transport
+//! accounting.
+
+use crate::frame::{EstimatorMsg, Frame, Hello, PROTOCOL_VERSION};
+use crate::{FramedStream, NetError, TransportConfig};
+use estimator::{Estimator, TowEstimator};
+use pbs_core::{AliceSession, Pbs, PbsConfig, ESTIMATOR_SEED_SALT};
+use std::collections::HashSet;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side configuration of one sync.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientConfig {
+    /// Socket/framing knobs.
+    pub transport: TransportConfig,
+    /// The PBS configuration proposed in the handshake.
+    pub pbs: PbsConfig,
+    /// Difference cardinality known a priori; `None` runs the ToW
+    /// estimator exchange.
+    pub known_d: Option<u64>,
+    /// Base seed for every hash function of the session. Two syncs with
+    /// the same seed and sets are byte-identical on the wire.
+    pub seed: u64,
+    /// Client-side cap on sketch/report rounds before giving up (the
+    /// server enforces its own cap too). The default comfortably covers
+    /// the ≤ 3 rounds the paper's parameterization targets plus splits.
+    pub round_cap: u32,
+    /// Largest difference parameterization the client will accept —
+    /// whether from its own `known_d` or from the server's estimate reply
+    /// (a hostile server must not be able to demand per-group state for a
+    /// gigantic `d`). Mirrors `ServerConfig::max_d`; see that knob's
+    /// documentation for the relationship to the frame-size cap.
+    pub max_d: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            transport: TransportConfig::default(),
+            pbs: PbsConfig::default().unlimited_rounds(),
+            known_d: None,
+            seed: 0x9E37_79B9,
+            round_cap: 32,
+            max_d: 1 << 18,
+        }
+    }
+}
+
+/// What a completed (or round-capped) sync observed.
+#[derive(Debug, Clone)]
+pub struct SyncReport {
+    /// The symmetric difference `A△B` as the client recovered it.
+    pub recovered: Vec<u64>,
+    /// The subset of [`SyncReport::recovered`] the client held and the
+    /// server lacked (`A \ B`) — shipped to the server in the final
+    /// transfer.
+    pub pushed: Vec<u64>,
+    /// `true` when every group checksum verified — the recovery is exact.
+    pub verified: bool,
+    /// Sketch/report rounds executed.
+    pub rounds: u32,
+    /// The difference cardinality the session was parameterized with.
+    pub d_param: u64,
+    /// The raw ToW estimate, when the estimator exchange ran.
+    pub estimated_d: Option<f64>,
+    /// The protocol version the server negotiated.
+    pub negotiated_version: u16,
+    /// Wire bytes sent, framing included.
+    pub bytes_sent: u64,
+    /// Wire bytes received, framing included.
+    pub bytes_received: u64,
+    /// Frames sent.
+    pub frames_sent: u64,
+    /// Frames received.
+    pub frames_received: u64,
+}
+
+/// Reconcile `set` with the server at `addr`.
+///
+/// On success the returned [`SyncReport`] carries `A△B`; the elements of
+/// `A \ B` were pushed to the server, so afterwards both parties can hold
+/// `A ∪ B` (the client by inserting `recovered ∖ pushed`, the server by
+/// ingesting the transfer). `verified == false` means the round cap fired
+/// before every group checksum passed — the recovery is best-effort and the
+/// caller should retry with a fresh seed.
+pub fn sync(
+    addr: impl ToSocketAddrs,
+    set: &[u64],
+    config: &ClientConfig,
+) -> Result<SyncReport, NetError> {
+    // Out-of-universe elements can never verify (Alice's sub-universe check
+    // rejects them as fakes), so a session would burn its whole round cap
+    // discovering a configuration mistake. Fail fast instead.
+    let universe_mask = if config.pbs.universe_bits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << config.pbs.universe_bits) - 1
+    };
+    if let Some(&bad) = set.iter().find(|&&e| e == 0 || e > universe_mask) {
+        return Err(NetError::Protocol(format!(
+            "element {bad:#x} outside the {}-bit universe",
+            config.pbs.universe_bits
+        )));
+    }
+
+    // `known_d == 0` means "estimate" on the wire, so a caller's
+    // `Some(0)` must not desynchronize the two state machines: normalize
+    // it to the same `max(1)` every other `d` path applies.
+    let known_d = config.known_d.map(|d| d.max(1));
+    if let Some(d) = known_d {
+        if d > config.max_d {
+            return Err(NetError::Protocol(format!(
+                "known_d = {d} exceeds the client cap {}",
+                config.max_d
+            )));
+        }
+    }
+
+    let stream = TcpStream::connect(addr)?;
+    let mut framed = FramedStream::from_tcp(stream, &config.transport)?;
+
+    // ---- Handshake ----
+    let hello = Hello::from_config(&config.pbs, config.seed, known_d.unwrap_or(0));
+    framed.send(&Frame::Hello(hello))?;
+    let negotiated = match framed.recv()? {
+        Frame::Hello(h) => h,
+        other => {
+            return Err(NetError::Protocol(format!(
+                "expected Hello reply, got frame type {}",
+                other.type_byte()
+            )))
+        }
+    };
+    if negotiated.version == 0 || negotiated.version > PROTOCOL_VERSION {
+        return Err(NetError::Protocol(format!(
+            "server negotiated unsupported version {}",
+            negotiated.version
+        )));
+    }
+
+    // ---- Difference parameterization ----
+    let mut estimated_d = None;
+    let d_param = match known_d {
+        Some(d) => d,
+        None => {
+            let est_seed = xhash::derive_seed(config.seed, ESTIMATOR_SEED_SALT);
+            let mut bank = TowEstimator::new(config.pbs.estimator_sketches, est_seed);
+            bank.insert_slice(set);
+            framed.send(&Frame::EstimatorExchange(EstimatorMsg::TowBank(
+                bank.to_bytes(),
+            )))?;
+            match framed.recv()? {
+                Frame::EstimatorExchange(EstimatorMsg::Estimate { d_param, d_hat }) => {
+                    estimated_d = Some(d_hat);
+                    d_param.max(1)
+                }
+                other => {
+                    return Err(NetError::Protocol(format!(
+                        "expected estimate reply, got frame type {}",
+                        other.type_byte()
+                    )))
+                }
+            }
+        }
+    };
+    if d_param > config.max_d {
+        return Err(NetError::Protocol(format!(
+            "server demanded d = {d_param}, above the client cap {}",
+            config.max_d
+        )));
+    }
+
+    // ---- Round loop ----
+    let params = Pbs::new(config.pbs).plan(d_param as usize);
+    let mut alice = AliceSession::new(config.pbs, params, set, config.seed);
+    let mut verified = false;
+    while alice.round() < config.round_cap {
+        let batch = alice.start_round();
+        framed.send(&Frame::Sketches { m: params.m, batch })?;
+        let reports = match framed.recv()? {
+            Frame::Reports(reports) => reports,
+            other => {
+                return Err(NetError::Protocol(format!(
+                    "expected Reports, got frame type {}",
+                    other.type_byte()
+                )))
+            }
+        };
+        let status = alice.apply_reports(&reports);
+        if status.all_verified {
+            verified = true;
+            break;
+        }
+    }
+
+    // ---- Final transfer: ship A \ B so the server can converge ----
+    let rounds = alice.round();
+    let holdings: HashSet<u64> = set.iter().copied().collect();
+    let recovered: Vec<u64> = alice.into_recovered();
+    let pushed: Vec<u64> = recovered
+        .iter()
+        .copied()
+        .filter(|e| holdings.contains(e))
+        .collect();
+    // The transfer is a single frame (body: type + count + 8 bytes per
+    // element); give an actionable error rather than a bare size failure.
+    let done_capacity = (config.transport.max_frame as u64).saturating_sub(5) / 8;
+    if pushed.len() as u64 > done_capacity {
+        return Err(NetError::Protocol(format!(
+            "final transfer of {} elements exceeds the {}-byte frame cap \
+             (max {done_capacity} elements); raise transport.max_frame",
+            pushed.len(),
+            config.transport.max_frame
+        )));
+    }
+    framed.send(&Frame::Done(pushed.clone()))?;
+    match framed.recv()? {
+        Frame::Done(_) => {}
+        other => {
+            return Err(NetError::Protocol(format!(
+                "expected Done ack, got frame type {}",
+                other.type_byte()
+            )))
+        }
+    }
+
+    Ok(SyncReport {
+        recovered,
+        pushed,
+        verified,
+        rounds,
+        d_param,
+        estimated_d,
+        negotiated_version: negotiated.version,
+        bytes_sent: framed.bytes_out(),
+        bytes_received: framed.bytes_in(),
+        frames_sent: framed.frames_out(),
+        frames_received: framed.frames_in(),
+    })
+}

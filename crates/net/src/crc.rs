@@ -1,0 +1,67 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) — the per-frame
+//! integrity check of the wire protocol (see `docs/WIRE.md`).
+//!
+//! TCP's own checksum is weak (16-bit ones' complement) and ends at the
+//! socket; the frame CRC catches corruption introduced anywhere between the
+//! two state machines — a truncated proxy buffer, a bad length prefix, a
+//! miscounted payload — before the payload decoder runs. The table is built
+//! at compile time; the byte-at-a-time loop is plenty for frames that top
+//! out at a few hundred kilobytes per round.
+
+/// The 256-entry lookup table for the reflected IEEE polynomial.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 of `bytes` (initial value `!0`, final complement — the standard
+/// "CRC-32/ISO-HDLC" parameterization, matching zlib's `crc32()`).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value of CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(&[0u8; 32]), 0x190A_55AD);
+    }
+
+    #[test]
+    fn sensitive_to_any_single_byte_change() {
+        let base: Vec<u8> = (0..=255u8).collect();
+        let reference = crc32(&base);
+        for i in 0..base.len() {
+            let mut corrupted = base.clone();
+            corrupted[i] ^= 0x40;
+            assert_ne!(crc32(&corrupted), reference, "flip at byte {i} undetected");
+        }
+    }
+}

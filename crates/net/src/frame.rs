@@ -1,0 +1,544 @@
+//! The framed wire protocol: length-prefixed, CRC-checked, versioned frames
+//! layered over the payload encoders of [`pbs_core::wire`].
+//!
+//! On the wire every frame is
+//!
+//! ```text
+//! | len: u32 LE | crc: u32 LE | type: u8 | payload: (len - 1) bytes |
+//! ```
+//!
+//! where `len` counts the type byte plus the payload, `crc` is the CRC-32
+//! of exactly those `len` bytes, and `len` is bounded by the receiver's
+//! configured maximum frame size — checked *before* any allocation, so a
+//! hostile length prefix cannot reserve memory. The full format, handshake
+//! and error semantics are specified in `docs/WIRE.md`.
+
+use crate::crc::crc32;
+use crate::{FrameError, NetError};
+use pbs_core::messages::{GroupReport, GroupSketch};
+use pbs_core::wire::{self, WireError};
+use pbs_core::PbsConfig;
+use std::io::{Read, Write};
+
+/// Protocol version this build speaks. The handshake negotiates down to
+/// `min(client, server)`; version 0 is invalid.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Magic number opening every `Hello` payload (`"PBS1"` little-endian).
+pub const HELLO_MAGIC: u32 = 0x3153_4250;
+
+/// Default cap on `len` (type byte + payload): 16 MiB. Generous — the
+/// largest routine frame is one round's sketch batch, tens of kilobytes at
+/// `d = 1000` — while still bounding what a hostile peer can make the
+/// receiver buffer.
+pub const DEFAULT_MAX_FRAME: u32 = 1 << 24;
+
+/// Bytes of framing added around every frame body: length prefix + CRC.
+pub const FRAME_OVERHEAD: u64 = 8;
+
+/// Machine-readable cause carried by an [`Frame::Error`] frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The `Hello` magic was wrong — not this protocol.
+    BadMagic,
+    /// No mutually supported protocol version.
+    Version,
+    /// A handshake or estimator parameter was rejected.
+    BadConfig,
+    /// A frame arrived that the peer's state machine cannot accept here.
+    Protocol,
+    /// The server's per-connection round cap was exceeded.
+    RoundLimit,
+    /// A payload failed to decode.
+    Decode,
+    /// The sender hit an internal failure (deadline, resource limits, …).
+    Internal,
+}
+
+impl ErrorCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrorCode::BadMagic => 1,
+            ErrorCode::Version => 2,
+            ErrorCode::BadConfig => 3,
+            ErrorCode::Protocol => 4,
+            ErrorCode::RoundLimit => 5,
+            ErrorCode::Decode => 6,
+            ErrorCode::Internal => 7,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            1 => ErrorCode::BadMagic,
+            2 => ErrorCode::Version,
+            3 => ErrorCode::BadConfig,
+            4 => ErrorCode::Protocol,
+            5 => ErrorCode::RoundLimit,
+            6 => ErrorCode::Decode,
+            7 => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ErrorCode::BadMagic => "bad-magic",
+            ErrorCode::Version => "version-unsupported",
+            ErrorCode::BadConfig => "bad-config",
+            ErrorCode::Protocol => "protocol-violation",
+            ErrorCode::RoundLimit => "round-limit",
+            ErrorCode::Decode => "decode-failure",
+            ErrorCode::Internal => "internal",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The handshake frame both parties open with. The client proposes its
+/// protocol version and the full reconciliation configuration; the server
+/// echoes the configuration with the negotiated version (or answers with
+/// [`Frame::Error`]). Carrying the whole [`PbsConfig`] plus the seed means
+/// the two state machines derive every hash function identically without
+/// any further agreement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hello {
+    /// Proposed (client) or negotiated (server) protocol version.
+    pub version: u16,
+    /// `log|U|`, the element signature width.
+    pub universe_bits: u8,
+    /// δ, average distinct elements per group.
+    pub delta: u32,
+    /// Target round count for the parameter optimizer.
+    pub target_rounds: u32,
+    /// Hard cap on executed rounds the client intends to respect.
+    pub max_rounds: u32,
+    /// Target overall success probability `p0`.
+    pub target_success: f64,
+    /// Number of ToW sketches used when `d` must be estimated.
+    pub estimator_sketches: u32,
+    /// Base seed every hash function on both sides derives from.
+    pub seed: u64,
+    /// Difference cardinality known a priori; `0` means unknown, and an
+    /// estimator exchange follows the handshake.
+    pub known_d: u64,
+}
+
+impl Hello {
+    /// Build the client's opening `Hello` from a [`PbsConfig`].
+    pub fn from_config(cfg: &PbsConfig, seed: u64, known_d: u64) -> Self {
+        Hello {
+            version: PROTOCOL_VERSION,
+            universe_bits: cfg.universe_bits as u8,
+            delta: cfg.delta as u32,
+            target_rounds: cfg.target_rounds,
+            max_rounds: cfg.max_rounds,
+            target_success: cfg.target_success,
+            estimator_sketches: cfg.estimator_sketches as u32,
+            seed,
+            known_d,
+        }
+    }
+
+    /// Reconstruct the [`PbsConfig`] both parties must instantiate.
+    /// Rejects values outside the ranges [`PbsConfig`]'s setters enforce,
+    /// so a hostile handshake cannot reach the panicking constructors.
+    pub fn config(&self) -> Result<PbsConfig, String> {
+        if !(8..=64).contains(&(self.universe_bits as u32)) {
+            return Err(format!(
+                "universe_bits {} outside 8..=64",
+                self.universe_bits
+            ));
+        }
+        if self.delta == 0 {
+            return Err("delta must be at least 1".into());
+        }
+        // The estimator exchange costs O(|B| · sketches) hashing on the
+        // server, inside one request — an unbounded count would let a
+        // single cheap connection pin a worker for minutes. The paper uses
+        // 128 sketches; 4096 is far beyond any useful accuracy.
+        if !(1..=4096).contains(&self.estimator_sketches) {
+            return Err(format!(
+                "estimator_sketches {} outside 1..=4096",
+                self.estimator_sketches
+            ));
+        }
+        if !(self.target_success.is_finite() && (0.0..1.0).contains(&self.target_success)) {
+            return Err(format!(
+                "target_success {} not in [0, 1)",
+                self.target_success
+            ));
+        }
+        if self.target_rounds == 0 || self.max_rounds == 0 {
+            return Err("round counts must be at least 1".into());
+        }
+        Ok(PbsConfig {
+            universe_bits: self.universe_bits as u32,
+            delta: self.delta as usize,
+            target_rounds: self.target_rounds,
+            target_success: self.target_success,
+            max_rounds: self.max_rounds,
+            estimator_sketches: self.estimator_sketches as usize,
+        })
+    }
+}
+
+/// The two halves of the estimator exchange.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EstimatorMsg {
+    /// Client → server: the serialized ToW bank
+    /// ([`estimator::TowEstimator::to_bytes`]) of the client's set.
+    TowBank(Vec<u8>),
+    /// Server → client: the difference cardinality the server derived (the
+    /// γ-inflated parameterization `d_param` plus the raw estimate `d_hat`).
+    Estimate {
+        /// `⌈γ · d̂⌉`, what both sides parameterize PBS with.
+        d_param: u64,
+        /// The raw ToW estimate, for reporting.
+        d_hat: f64,
+    },
+}
+
+/// One protocol frame. See the module docs for the byte layout and
+/// `docs/WIRE.md` for the full state machine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Handshake (both directions).
+    Hello(Hello),
+    /// Cardinality-estimator exchange (either half).
+    EstimatorExchange(EstimatorMsg),
+    /// Alice → Bob: one round's sketch batch. `m` is the field degree the
+    /// syndrome words are packed with.
+    Sketches {
+        /// Field degree `log₂(n+1)` used to pack the syndromes.
+        m: u32,
+        /// The per-group sketches of this round.
+        batch: Vec<GroupSketch>,
+    },
+    /// Bob → Alice: the round's reports.
+    Reports(Vec<GroupReport>),
+    /// Final transfer / acknowledgement. From the client: the elements the
+    /// server's set is missing (`A \ B`). From the server: an empty ack.
+    Done(Vec<u64>),
+    /// Fatal error; the sender closes the connection after this frame.
+    Error {
+        /// Machine-readable cause.
+        code: ErrorCode,
+        /// Human-readable detail (may be empty; capped at 64 KiB on decode).
+        message: String,
+    },
+}
+
+const TYPE_HELLO: u8 = 1;
+const TYPE_ESTIMATOR: u8 = 2;
+const TYPE_SKETCHES: u8 = 3;
+const TYPE_REPORTS: u8 = 4;
+const TYPE_DONE: u8 = 5;
+const TYPE_ERROR: u8 = 6;
+
+const EST_KIND_BANK: u8 = 1;
+const EST_KIND_ESTIMATE: u8 = 2;
+
+fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], FrameError> {
+    if buf.len() < n {
+        return Err(FrameError::Payload(WireError::Truncated));
+    }
+    let (head, tail) = buf.split_at(n);
+    *buf = tail;
+    Ok(head)
+}
+
+fn take_u8(buf: &mut &[u8]) -> Result<u8, FrameError> {
+    Ok(take(buf, 1)?[0])
+}
+
+fn take_u16(buf: &mut &[u8]) -> Result<u16, FrameError> {
+    Ok(u16::from_le_bytes(take(buf, 2)?.try_into().unwrap()))
+}
+
+fn take_u32(buf: &mut &[u8]) -> Result<u32, FrameError> {
+    Ok(u32::from_le_bytes(take(buf, 4)?.try_into().unwrap()))
+}
+
+fn take_u64(buf: &mut &[u8]) -> Result<u64, FrameError> {
+    Ok(u64::from_le_bytes(take(buf, 8)?.try_into().unwrap()))
+}
+
+impl Frame {
+    /// The frame's type byte.
+    pub fn type_byte(&self) -> u8 {
+        match self {
+            Frame::Hello(_) => TYPE_HELLO,
+            Frame::EstimatorExchange(_) => TYPE_ESTIMATOR,
+            Frame::Sketches { .. } => TYPE_SKETCHES,
+            Frame::Reports(_) => TYPE_REPORTS,
+            Frame::Done(_) => TYPE_DONE,
+            Frame::Error { .. } => TYPE_ERROR,
+        }
+    }
+
+    /// Serialize the frame *body* — type byte followed by the payload — the
+    /// exact bytes the frame CRC covers.
+    pub fn encode_body(&self) -> Vec<u8> {
+        let mut out = vec![self.type_byte()];
+        match self {
+            Frame::Hello(h) => {
+                out.extend_from_slice(&HELLO_MAGIC.to_le_bytes());
+                out.extend_from_slice(&h.version.to_le_bytes());
+                out.push(h.universe_bits);
+                out.extend_from_slice(&h.delta.to_le_bytes());
+                out.extend_from_slice(&h.target_rounds.to_le_bytes());
+                out.extend_from_slice(&h.max_rounds.to_le_bytes());
+                out.extend_from_slice(&h.target_success.to_bits().to_le_bytes());
+                out.extend_from_slice(&h.estimator_sketches.to_le_bytes());
+                out.extend_from_slice(&h.seed.to_le_bytes());
+                out.extend_from_slice(&h.known_d.to_le_bytes());
+            }
+            Frame::EstimatorExchange(EstimatorMsg::TowBank(bank)) => {
+                out.push(EST_KIND_BANK);
+                out.extend_from_slice(bank);
+            }
+            Frame::EstimatorExchange(EstimatorMsg::Estimate { d_param, d_hat }) => {
+                out.push(EST_KIND_ESTIMATE);
+                out.extend_from_slice(&d_param.to_le_bytes());
+                out.extend_from_slice(&d_hat.to_bits().to_le_bytes());
+            }
+            Frame::Sketches { m, batch } => {
+                out.extend_from_slice(&wire::encode_sketches(batch, *m));
+            }
+            Frame::Reports(reports) => {
+                out.extend_from_slice(&wire::encode_reports(reports));
+            }
+            Frame::Done(elements) => {
+                out.extend_from_slice(&(elements.len() as u32).to_le_bytes());
+                for &e in elements {
+                    out.extend_from_slice(&e.to_le_bytes());
+                }
+            }
+            Frame::Error { code, message } => {
+                out.push(code.to_u8());
+                let msg = &message.as_bytes()[..message.len().min(u16::MAX as usize)];
+                out.extend_from_slice(&(msg.len() as u16).to_le_bytes());
+                out.extend_from_slice(msg);
+            }
+        }
+        out
+    }
+
+    /// Decode a frame body (type byte + payload). Never panics on hostile
+    /// input: every malformed shape maps to a [`FrameError`].
+    pub fn decode_body(body: &[u8]) -> Result<Frame, FrameError> {
+        let mut buf = body;
+        let ty = take_u8(&mut buf)?;
+        match ty {
+            TYPE_HELLO => {
+                let magic = take_u32(&mut buf)?;
+                if magic != HELLO_MAGIC {
+                    return Err(FrameError::BadMagic(magic));
+                }
+                let hello = Hello {
+                    version: take_u16(&mut buf)?,
+                    universe_bits: take_u8(&mut buf)?,
+                    delta: take_u32(&mut buf)?,
+                    target_rounds: take_u32(&mut buf)?,
+                    max_rounds: take_u32(&mut buf)?,
+                    target_success: f64::from_bits(take_u64(&mut buf)?),
+                    estimator_sketches: take_u32(&mut buf)?,
+                    seed: take_u64(&mut buf)?,
+                    known_d: take_u64(&mut buf)?,
+                };
+                if !buf.is_empty() {
+                    return Err(FrameError::Payload(WireError::Truncated));
+                }
+                Ok(Frame::Hello(hello))
+            }
+            TYPE_ESTIMATOR => match take_u8(&mut buf)? {
+                EST_KIND_BANK => Ok(Frame::EstimatorExchange(EstimatorMsg::TowBank(
+                    buf.to_vec(),
+                ))),
+                EST_KIND_ESTIMATE => {
+                    let d_param = take_u64(&mut buf)?;
+                    let d_hat = f64::from_bits(take_u64(&mut buf)?);
+                    if !buf.is_empty() {
+                        return Err(FrameError::Payload(WireError::Truncated));
+                    }
+                    Ok(Frame::EstimatorExchange(EstimatorMsg::Estimate {
+                        d_param,
+                        d_hat,
+                    }))
+                }
+                other => Err(FrameError::Payload(WireError::BadTag(other))),
+            },
+            TYPE_SKETCHES => {
+                let (m, batch) = wire::decode_sketches_with_m(buf).map_err(FrameError::Payload)?;
+                Ok(Frame::Sketches { m, batch })
+            }
+            TYPE_REPORTS => Ok(Frame::Reports(
+                wire::decode_reports(buf).map_err(FrameError::Payload)?,
+            )),
+            TYPE_DONE => {
+                let count = take_u32(&mut buf)? as usize;
+                if buf.len() != count * 8 {
+                    return Err(FrameError::Payload(WireError::Truncated));
+                }
+                let elements = buf
+                    .chunks_exact(8)
+                    .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                    .collect();
+                Ok(Frame::Done(elements))
+            }
+            TYPE_ERROR => {
+                let code = ErrorCode::from_u8(take_u8(&mut buf)?)
+                    .ok_or(FrameError::Payload(WireError::BadTag(0)))?;
+                let len = take_u16(&mut buf)? as usize;
+                let msg = take(&mut buf, len)?;
+                if !buf.is_empty() {
+                    return Err(FrameError::Payload(WireError::Truncated));
+                }
+                Ok(Frame::Error {
+                    code,
+                    message: String::from_utf8_lossy(msg).into_owned(),
+                })
+            }
+            other => Err(FrameError::BadType(other)),
+        }
+    }
+
+    /// Total size this frame occupies on the wire, including the
+    /// length/CRC framing.
+    pub fn wire_len(&self) -> u64 {
+        FRAME_OVERHEAD + self.encode_body().len() as u64
+    }
+}
+
+/// Write one frame. Returns the number of bytes put on the wire. Fails with
+/// [`FrameError::TooLarge`] (before writing anything) if the body exceeds
+/// `max_frame`.
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame, max_frame: u32) -> Result<u64, NetError> {
+    let body = frame.encode_body();
+    if body.len() as u64 > max_frame as u64 {
+        return Err(NetError::Frame(FrameError::TooLarge {
+            len: body.len().min(u32::MAX as usize) as u32,
+            max: max_frame,
+        }));
+    }
+    let mut header = [0u8; 8];
+    header[..4].copy_from_slice(&(body.len() as u32).to_le_bytes());
+    header[4..].copy_from_slice(&crc32(&body).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(&body)?;
+    w.flush()?;
+    Ok(FRAME_OVERHEAD + body.len() as u64)
+}
+
+/// Read one frame. Returns the frame and the number of wire bytes it
+/// consumed. The length prefix is validated against `max_frame` *before*
+/// the body buffer is allocated, and the CRC is verified before the payload
+/// decoder runs.
+pub fn read_frame<R: Read>(r: &mut R, max_frame: u32) -> Result<(Frame, u64), NetError> {
+    let mut header = [0u8; 8];
+    r.read_exact(&mut header)?;
+    let len = u32::from_le_bytes(header[..4].try_into().unwrap());
+    let crc = u32::from_le_bytes(header[4..].try_into().unwrap());
+    if len == 0 {
+        return Err(NetError::Frame(FrameError::BadType(0)));
+    }
+    if len > max_frame {
+        return Err(NetError::Frame(FrameError::TooLarge {
+            len,
+            max: max_frame,
+        }));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    if crc32(&body) != crc {
+        return Err(NetError::Frame(FrameError::BadCrc));
+    }
+    let frame = Frame::decode_body(&body).map_err(NetError::Frame)?;
+    Ok((frame, FRAME_OVERHEAD + len as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(frame: &Frame, max: u32) -> Frame {
+        let mut buf = Vec::new();
+        let written = write_frame(&mut buf, frame, max).expect("write");
+        assert_eq!(written, buf.len() as u64);
+        assert_eq!(written, frame.wire_len());
+        let (back, consumed) = read_frame(&mut buf.as_slice(), max).expect("read");
+        assert_eq!(consumed, written);
+        back
+    }
+
+    #[test]
+    fn hello_round_trip() {
+        let hello = Hello::from_config(&PbsConfig::default(), 0xDEAD_BEEF, 42);
+        let back = round_trip(&Frame::Hello(hello), DEFAULT_MAX_FRAME);
+        assert_eq!(back, Frame::Hello(hello));
+        let Frame::Hello(h) = back else {
+            unreachable!()
+        };
+        assert_eq!(h.config().unwrap(), PbsConfig::default());
+    }
+
+    #[test]
+    fn error_and_done_round_trip() {
+        let e = Frame::Error {
+            code: ErrorCode::RoundLimit,
+            message: "too many rounds".into(),
+        };
+        assert_eq!(round_trip(&e, 1024), e);
+        let d = Frame::Done(vec![1, u64::MAX, 7]);
+        assert_eq!(round_trip(&d, 1024), d);
+    }
+
+    #[test]
+    fn oversized_frames_rejected_on_both_sides() {
+        let big = Frame::Done((0..100u64).collect());
+        let mut buf = Vec::new();
+        assert!(matches!(
+            write_frame(&mut buf, &big, 64),
+            Err(NetError::Frame(FrameError::TooLarge { .. }))
+        ));
+        // A hostile length prefix is rejected before any allocation.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::Done(vec![]), 1024).unwrap();
+        wire[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut wire.as_slice(), 1024),
+            Err(NetError::Frame(FrameError::TooLarge { .. }))
+        ));
+    }
+
+    #[test]
+    fn crc_detects_corruption() {
+        let frame = Frame::Done(vec![3, 5, 9]);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &frame, 1024).unwrap();
+        for i in 8..wire.len() {
+            let mut bad = wire.clone();
+            bad[i] ^= 0x10;
+            assert!(
+                read_frame(&mut bad.as_slice(), 1024).is_err(),
+                "corruption at byte {i} undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn hello_config_validation_rejects_hostile_values() {
+        let mut h = Hello::from_config(&PbsConfig::default(), 1, 0);
+        h.delta = 0;
+        assert!(h.config().is_err());
+        let mut h2 = Hello::from_config(&PbsConfig::default(), 1, 0);
+        h2.universe_bits = 70;
+        assert!(h2.config().is_err());
+        let mut h3 = Hello::from_config(&PbsConfig::default(), 1, 0);
+        h3.target_success = f64::NAN;
+        assert!(h3.config().is_err());
+    }
+}

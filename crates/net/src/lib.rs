@@ -1,0 +1,239 @@
+//! Networked PBS set reconciliation.
+//!
+//! PR 1–2 made the PBS state machines fast; this crate puts them on a
+//! socket. It is deliberately `std`-only (`std::net` + `std::thread` — the
+//! build environment has no crates.io access, so no async runtime):
+//!
+//! * [`frame`] — a length-prefixed, CRC-checked, versioned frame codec
+//!   ([`frame::Frame`]) layered over the payload encoders of
+//!   [`pbs_core::wire`]; the format is specified in `docs/WIRE.md`.
+//! * [`FramedStream`] — a byte-counting framed transport over any
+//!   `Read + Write` stream.
+//! * [`server`] — [`server::Server`]: a TCP listener with a bounded worker
+//!   pool that runs one [`pbs_core::BobSession`] per connection (handshake →
+//!   estimator exchange → sketch/report rounds → final element transfer),
+//!   enforcing per-connection deadlines and round caps and exporting atomic
+//!   [`server::ServerStats`].
+//! * [`client`] — [`client::sync`]: drives an [`pbs_core::AliceSession`]
+//!   against a server and returns the reconciled difference plus transport
+//!   accounting.
+//!
+//! The loopback integration test (`tests/loopback.rs`) reconciles
+//! 100k-element sets over real sockets and checks the measured wire bytes
+//! against the in-process transcript's payload accounting
+//! ([`protocol::Transcript::wire_bytes_total`]).
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod crc;
+pub mod frame;
+pub mod server;
+pub mod setio;
+
+pub use client::{sync, ClientConfig, SyncReport};
+pub use frame::{Frame, Hello, PROTOCOL_VERSION};
+pub use server::{InMemoryStore, Server, ServerConfig, SetStore};
+
+use pbs_core::wire::WireError;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Why a frame could not be produced or accepted at the framing layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The length prefix (or a body about to be sent) exceeds the
+    /// configured maximum frame size.
+    TooLarge {
+        /// Declared or actual body length.
+        len: u32,
+        /// The configured cap.
+        max: u32,
+    },
+    /// The frame CRC did not match the body.
+    BadCrc,
+    /// Unknown frame type byte.
+    BadType(u8),
+    /// A `Hello` opened with the wrong magic number.
+    BadMagic(u32),
+    /// The frame payload failed to decode.
+    Payload(WireError),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::TooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte cap")
+            }
+            FrameError::BadCrc => write!(f, "frame CRC mismatch"),
+            FrameError::BadType(t) => write!(f, "unknown frame type {t:#x}"),
+            FrameError::BadMagic(m) => write!(f, "bad hello magic {m:#010x}"),
+            FrameError::Payload(e) => write!(f, "frame payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Errors surfaced by the networked client and server sessions.
+#[derive(Debug)]
+pub enum NetError {
+    /// Socket-level failure (includes read/write timeouts).
+    Io(std::io::Error),
+    /// Framing-layer failure (size, CRC, type, payload decode).
+    Frame(FrameError),
+    /// The peer reported a fatal error and closed the session.
+    Remote {
+        /// The peer's machine-readable cause.
+        code: frame::ErrorCode,
+        /// The peer's human-readable detail.
+        message: String,
+    },
+    /// The peer sent a well-formed frame the local state machine cannot
+    /// accept at this point of the session.
+    Protocol(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "i/o: {e}"),
+            NetError::Frame(e) => write!(f, "framing: {e}"),
+            NetError::Remote { code, message } => {
+                write!(f, "peer error [{code}]: {message}")
+            }
+            NetError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            NetError::Frame(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<FrameError> for NetError {
+    fn from(e: FrameError) -> Self {
+        NetError::Frame(e)
+    }
+}
+
+/// Socket-and-framing knobs shared by client and server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransportConfig {
+    /// Maximum accepted/produced frame body size in bytes.
+    pub max_frame: u32,
+    /// Per-frame read timeout (`None` blocks forever).
+    pub read_timeout: Option<Duration>,
+    /// Per-frame write timeout (`None` blocks forever).
+    pub write_timeout: Option<Duration>,
+    /// Disable Nagle's algorithm. The protocol is strictly request/response
+    /// with small frames, the worst case for delayed ACK interactions, so
+    /// this defaults to `true`.
+    pub nodelay: bool,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig {
+            max_frame: frame::DEFAULT_MAX_FRAME,
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            nodelay: true,
+        }
+    }
+}
+
+/// A framed, byte-counting transport over any `Read + Write` stream.
+#[derive(Debug)]
+pub struct FramedStream<S> {
+    inner: S,
+    max_frame: u32,
+    bytes_in: u64,
+    bytes_out: u64,
+    frames_in: u64,
+    frames_out: u64,
+}
+
+impl FramedStream<TcpStream> {
+    /// Wrap a TCP stream, applying the transport configuration's timeouts
+    /// and `TCP_NODELAY` setting.
+    pub fn from_tcp(stream: TcpStream, cfg: &TransportConfig) -> std::io::Result<Self> {
+        stream.set_read_timeout(cfg.read_timeout)?;
+        stream.set_write_timeout(cfg.write_timeout)?;
+        stream.set_nodelay(cfg.nodelay)?;
+        Ok(Self::new(stream, cfg.max_frame))
+    }
+}
+
+impl<S: Read + Write> FramedStream<S> {
+    /// Wrap an arbitrary stream with the given frame-size cap.
+    pub fn new(inner: S, max_frame: u32) -> Self {
+        FramedStream {
+            inner,
+            max_frame,
+            bytes_in: 0,
+            bytes_out: 0,
+            frames_in: 0,
+            frames_out: 0,
+        }
+    }
+
+    /// Send one frame.
+    pub fn send(&mut self, frame: &Frame) -> Result<(), NetError> {
+        let n = frame::write_frame(&mut self.inner, frame, self.max_frame)?;
+        self.bytes_out += n;
+        self.frames_out += 1;
+        Ok(())
+    }
+
+    /// Receive one frame. A peer [`Frame::Error`] is returned as
+    /// [`NetError::Remote`] — sessions never have to handle it positionally.
+    pub fn recv(&mut self) -> Result<Frame, NetError> {
+        let (frame, n) = frame::read_frame(&mut self.inner, self.max_frame)?;
+        self.bytes_in += n;
+        self.frames_in += 1;
+        if let Frame::Error { code, message } = frame {
+            return Err(NetError::Remote { code, message });
+        }
+        Ok(frame)
+    }
+
+    /// Total wire bytes received so far (framing included).
+    pub fn bytes_in(&self) -> u64 {
+        self.bytes_in
+    }
+
+    /// Total wire bytes sent so far (framing included).
+    pub fn bytes_out(&self) -> u64 {
+        self.bytes_out
+    }
+
+    /// Frames received so far.
+    pub fn frames_in(&self) -> u64 {
+        self.frames_in
+    }
+
+    /// Frames sent so far.
+    pub fn frames_out(&self) -> u64 {
+        self.frames_out
+    }
+
+    /// The underlying stream (e.g. to shut a TCP connection down).
+    pub fn get_ref(&self) -> &S {
+        &self.inner
+    }
+}

@@ -1,0 +1,556 @@
+//! The reconciliation session server: a TCP listener, a bounded worker
+//! pool, and one [`BobSession`] state machine per connection.
+//!
+//! Each accepted connection runs the `docs/WIRE.md` session: handshake →
+//! optional estimator exchange → sketch/report rounds → final element
+//! transfer. The server is the *responder* throughout — it never sends a
+//! frame except in reply — which keeps the per-connection state machine a
+//! simple read-dispatch loop. Hostile input is bounded at every layer:
+//! frame sizes by the transport cap, handshake values by
+//! [`crate::frame::Hello::config`], the parameterized difference by
+//! [`ServerConfig::max_d`], rounds by [`ServerConfig::round_cap`], wall
+//! clock by [`ServerConfig::session_deadline`], and sketch shapes are
+//! validated against the negotiated codec before they reach
+//! the BCH codec's `Sketch::combine` capacity assertion.
+
+use crate::frame::{ErrorCode, EstimatorMsg, Frame, Hello, PROTOCOL_VERSION};
+use crate::{FramedStream, NetError, TransportConfig};
+use estimator::{Estimator, TowEstimator};
+use pbs_core::{BobSession, Pbs, ESTIMATOR_SEED_SALT};
+use std::collections::HashSet;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The element store a server reconciles against.
+///
+/// `snapshot` is taken once per session (estimator and `BobSession` must
+/// see the same set); `apply_missing` receives the client's final `Done`
+/// transfer — the elements the client holds and this store lacks — so the
+/// two sides converge on the union.
+pub trait SetStore: Send + Sync + 'static {
+    /// The current element set.
+    fn snapshot(&self) -> Vec<u64>;
+    /// Ingest elements learned from a client.
+    fn apply_missing(&self, elements: &[u64]);
+}
+
+/// A `RwLock<HashSet>`-backed [`SetStore`].
+#[derive(Debug, Default)]
+pub struct InMemoryStore {
+    elements: RwLock<HashSet<u64>>,
+}
+
+impl InMemoryStore {
+    /// Create a store holding the given elements.
+    pub fn new(elements: impl IntoIterator<Item = u64>) -> Self {
+        InMemoryStore {
+            elements: RwLock::new(elements.into_iter().collect()),
+        }
+    }
+
+    /// Number of elements currently held.
+    pub fn len(&self) -> usize {
+        self.elements.read().unwrap().len()
+    }
+
+    /// `true` when the store holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Membership test.
+    pub fn contains(&self, element: u64) -> bool {
+        self.elements.read().unwrap().contains(&element)
+    }
+}
+
+impl SetStore for InMemoryStore {
+    fn snapshot(&self) -> Vec<u64> {
+        self.elements.read().unwrap().iter().copied().collect()
+    }
+
+    fn apply_missing(&self, elements: &[u64]) {
+        let mut guard = self.elements.write().unwrap();
+        guard.extend(elements.iter().copied());
+    }
+}
+
+/// Server-side limits and pool sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Socket/framing knobs applied to every accepted connection.
+    pub transport: TransportConfig,
+    /// Worker threads — the maximum number of concurrently served
+    /// sessions.
+    pub workers: usize,
+    /// Accepted connections queued while every worker is busy; beyond
+    /// this, `accept` itself backpressures.
+    pub backlog: usize,
+    /// Hard cap on sketch/report rounds per connection.
+    pub round_cap: u32,
+    /// Wall-clock budget per connection, measured from accept to `Done`.
+    pub session_deadline: Duration,
+    /// Largest difference cardinality the server will parameterize a
+    /// session for (bounds the group count a hostile `known_d` or a wild
+    /// estimate can demand). Keep consistent with the frame cap: a first
+    /// round ships one sketch per group in a single `Sketches` frame,
+    /// roughly 15 bytes per unit of `d` — the default 2¹⁸ stays a few MiB
+    /// under the default 16 MiB `max_frame`.
+    pub max_d: u64,
+    /// Cap on the element count of the client's final `Done` transfer.
+    /// The transfer is a single frame, so `(max_frame − 5) / 8` is an
+    /// additional hard ceiling.
+    pub max_done_elements: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            transport: TransportConfig::default(),
+            workers: 4,
+            backlog: 32,
+            round_cap: 64,
+            session_deadline: Duration::from_secs(120),
+            max_d: 1 << 18,
+            max_done_elements: 1 << 20,
+        }
+    }
+}
+
+/// Monotonic counters exported by a running server. All loads/stores are
+/// relaxed — they are statistics, not synchronization.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections handed to a worker.
+    pub sessions_started: AtomicU64,
+    /// Sessions that ran to a clean `Done`.
+    pub sessions_completed: AtomicU64,
+    /// Sessions that ended in any error (including peer disconnects).
+    pub sessions_failed: AtomicU64,
+    /// Sketch/report rounds served across all sessions.
+    pub rounds: AtomicU64,
+    /// Wire bytes received, framing included.
+    pub bytes_in: AtomicU64,
+    /// Wire bytes sent, framing included.
+    pub bytes_out: AtomicU64,
+    /// Frames received.
+    pub frames_in: AtomicU64,
+    /// Frames sent.
+    pub frames_out: AtomicU64,
+    /// BCH decode failures across all sessions (each one split a group).
+    pub decode_failures: AtomicU64,
+    /// Estimator exchanges served.
+    pub estimator_exchanges: AtomicU64,
+    /// Elements ingested from clients' final transfers.
+    pub elements_received: AtomicU64,
+}
+
+/// A point-in-time copy of [`ServerStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Connections handed to a worker.
+    pub sessions_started: u64,
+    /// Sessions that ran to a clean `Done`.
+    pub sessions_completed: u64,
+    /// Sessions that ended in any error.
+    pub sessions_failed: u64,
+    /// Sketch/report rounds served.
+    pub rounds: u64,
+    /// Wire bytes received.
+    pub bytes_in: u64,
+    /// Wire bytes sent.
+    pub bytes_out: u64,
+    /// Frames received.
+    pub frames_in: u64,
+    /// Frames sent.
+    pub frames_out: u64,
+    /// BCH decode failures.
+    pub decode_failures: u64,
+    /// Estimator exchanges served.
+    pub estimator_exchanges: u64,
+    /// Elements ingested from clients.
+    pub elements_received: u64,
+}
+
+impl ServerStats {
+    /// Copy every counter.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        StatsSnapshot {
+            sessions_started: get(&self.sessions_started),
+            sessions_completed: get(&self.sessions_completed),
+            sessions_failed: get(&self.sessions_failed),
+            rounds: get(&self.rounds),
+            bytes_in: get(&self.bytes_in),
+            bytes_out: get(&self.bytes_out),
+            frames_in: get(&self.frames_in),
+            frames_out: get(&self.frames_out),
+            decode_failures: get(&self.decode_failures),
+            estimator_exchanges: get(&self.estimator_exchanges),
+            elements_received: get(&self.elements_received),
+        }
+    }
+}
+
+/// A running reconciliation server. Dropping it without calling
+/// [`Server::shutdown`] detaches the threads (they keep serving until the
+/// process exits).
+pub struct Server {
+    local_addr: SocketAddr,
+    stats: Arc<ServerStats>,
+    shutdown: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` and start accepting. `addr` may carry port 0 to let the
+    /// OS pick; read the effective address back with [`Server::local_addr`].
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        store: Arc<dyn SetStore>,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        assert!(config.workers > 0, "server needs at least one worker");
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stats = Arc::new(ServerStats::default());
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(config.backlog.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+
+        let worker_handles = (0..config.workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let store = Arc::clone(&store);
+                let stats = Arc::clone(&stats);
+                std::thread::Builder::new()
+                    .name(format!("pbs-net-worker-{i}"))
+                    .spawn(move || loop {
+                        // Take the lock only for the handoff; `recv` errors
+                        // once the accept thread (the sole sender) is gone.
+                        let conn = { rx.lock().unwrap().recv() };
+                        match conn {
+                            Ok(stream) => serve_connection(stream, &store, &config, &stats),
+                            Err(_) => break,
+                        }
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        let accept_handle = {
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name("pbs-net-accept".into())
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = conn else { continue };
+                        // Blocking send = honest backpressure once the
+                        // backlog is full.
+                        if tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    // `tx` drops here; workers drain the queue and exit.
+                })
+                .expect("spawn accept thread")
+        };
+
+        Ok(Server {
+            local_addr,
+            stats,
+            shutdown,
+            accept_handle: Some(accept_handle),
+            worker_handles,
+        })
+    }
+
+    /// The address the listener is bound to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Shared handle to the server's counters.
+    pub fn stats(&self) -> Arc<ServerStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Stop accepting, drain queued connections, and join every thread.
+    /// In-flight sessions run to completion.
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking `accept` with a throwaway connection. A
+        // wildcard bind address is not connectable on every platform, so
+        // aim at the matching loopback instead.
+        let mut wake = self.local_addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake.ip() {
+                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect(wake);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        for handle in self.worker_handles.drain(..) {
+            let _ = handle.join();
+        }
+        self.stats.snapshot()
+    }
+}
+
+/// Run one connection to completion, folding its transport counters and
+/// outcome into `stats`. Never panics on hostile input; errors end the
+/// session (with a best-effort `Error` frame where one is useful).
+fn serve_connection(
+    stream: TcpStream,
+    store: &Arc<dyn SetStore>,
+    config: &ServerConfig,
+    stats: &ServerStats,
+) {
+    stats.sessions_started.fetch_add(1, Ordering::Relaxed);
+    let mut framed = match FramedStream::from_tcp(stream, &config.transport) {
+        Ok(framed) => framed,
+        Err(_) => {
+            stats.sessions_failed.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    };
+    let outcome = run_session(&mut framed, store, config, stats);
+    stats
+        .bytes_in
+        .fetch_add(framed.bytes_in(), Ordering::Relaxed);
+    stats
+        .bytes_out
+        .fetch_add(framed.bytes_out(), Ordering::Relaxed);
+    stats
+        .frames_in
+        .fetch_add(framed.frames_in(), Ordering::Relaxed);
+    stats
+        .frames_out
+        .fetch_add(framed.frames_out(), Ordering::Relaxed);
+    match outcome {
+        Ok(()) => stats.sessions_completed.fetch_add(1, Ordering::Relaxed),
+        Err(_) => stats.sessions_failed.fetch_add(1, Ordering::Relaxed),
+    };
+}
+
+/// Send an `Error` frame (best effort) and return the matching local error.
+fn refuse(
+    framed: &mut FramedStream<TcpStream>,
+    code: ErrorCode,
+    message: impl Into<String>,
+) -> NetError {
+    let message = message.into();
+    let _ = framed.send(&Frame::Error {
+        code,
+        message: message.clone(),
+    });
+    NetError::Protocol(message)
+}
+
+fn run_session(
+    framed: &mut FramedStream<TcpStream>,
+    store: &Arc<dyn SetStore>,
+    config: &ServerConfig,
+    stats: &ServerStats,
+) -> Result<(), NetError> {
+    let deadline = Instant::now() + config.session_deadline;
+    let over_deadline = |framed: &mut FramedStream<TcpStream>| -> Option<NetError> {
+        if Instant::now() > deadline {
+            Some(refuse(
+                framed,
+                ErrorCode::Internal,
+                "session deadline exceeded",
+            ))
+        } else {
+            None
+        }
+    };
+
+    // ---- Handshake ----
+    let hello = match framed.recv()? {
+        Frame::Hello(h) => h,
+        other => {
+            return Err(refuse(
+                framed,
+                ErrorCode::Protocol,
+                format!("expected Hello, got frame type {}", other.type_byte()),
+            ))
+        }
+    };
+    if hello.version == 0 {
+        return Err(refuse(framed, ErrorCode::Version, "version 0 is invalid"));
+    }
+    let cfg = match hello.config() {
+        Ok(cfg) => cfg,
+        Err(why) => return Err(refuse(framed, ErrorCode::BadConfig, why)),
+    };
+    let negotiated = Hello {
+        version: hello.version.min(PROTOCOL_VERSION),
+        ..hello
+    };
+    framed.send(&Frame::Hello(negotiated))?;
+
+    // One snapshot for the whole session: the estimator and the Bob state
+    // machine must describe the same set.
+    let snapshot = store.snapshot();
+
+    // ---- Difference parameterization (a priori or estimated) ----
+    let d_param = if hello.known_d > 0 {
+        hello.known_d
+    } else {
+        if let Some(err) = over_deadline(framed) {
+            return Err(err);
+        }
+        let bank_bytes = match framed.recv()? {
+            Frame::EstimatorExchange(EstimatorMsg::TowBank(bytes)) => bytes,
+            other => {
+                return Err(refuse(
+                    framed,
+                    ErrorCode::Protocol,
+                    format!(
+                        "expected estimator bank, got frame type {}",
+                        other.type_byte()
+                    ),
+                ))
+            }
+        };
+        let Some(client_bank) = TowEstimator::from_bytes(&bank_bytes) else {
+            return Err(refuse(
+                framed,
+                ErrorCode::Decode,
+                "malformed estimator bank",
+            ));
+        };
+        let est_seed = xhash::derive_seed(hello.seed, ESTIMATOR_SEED_SALT);
+        if client_bank.seed() != est_seed || client_bank.sketch_count() != cfg.estimator_sketches {
+            return Err(refuse(
+                framed,
+                ErrorCode::BadConfig,
+                "estimator bank does not match the handshake parameters",
+            ));
+        }
+        let mut own = TowEstimator::new(cfg.estimator_sketches, est_seed);
+        own.insert_slice(&snapshot);
+        let d_hat = client_bank.estimate(&own);
+        let d_param = estimator::inflate_estimate(d_hat) as u64;
+        stats.estimator_exchanges.fetch_add(1, Ordering::Relaxed);
+        framed.send(&Frame::EstimatorExchange(EstimatorMsg::Estimate {
+            d_param,
+            d_hat,
+        }))?;
+        d_param
+    };
+    if d_param > config.max_d {
+        return Err(refuse(
+            framed,
+            ErrorCode::BadConfig,
+            format!("d = {d_param} exceeds the server cap {}", config.max_d),
+        ));
+    }
+
+    // ---- Session state machine ----
+    let params = Pbs::new(cfg).plan(d_param as usize);
+    let mut bob = BobSession::new(cfg, params, &snapshot, hello.seed);
+    let mut rounds = 0u32;
+    // The loop runs as an inner closure so Bob's decode-failure counter is
+    // folded into the stats exactly once, on *every* exit path — clean
+    // `Done`, refusals, and transport errors alike.
+    let mut round_loop =
+        |framed: &mut FramedStream<TcpStream>, bob: &mut BobSession| -> Result<(), NetError> {
+            loop {
+                if let Some(err) = over_deadline(framed) {
+                    return Err(err);
+                }
+                match framed.recv()? {
+                    Frame::Sketches { m, batch } => {
+                        rounds += 1;
+                        if rounds > config.round_cap {
+                            return Err(refuse(
+                                framed,
+                                ErrorCode::RoundLimit,
+                                format!("round cap {} exceeded", config.round_cap),
+                            ));
+                        }
+                        // Shape-check before the codec's capacity assertion can
+                        // fire: every sketch must match the negotiated (m, t).
+                        if m != params.m || batch.iter().any(|s| s.sketch.capacity() != params.t) {
+                            return Err(refuse(
+                                framed,
+                                ErrorCode::BadConfig,
+                                format!(
+                                    "sketch shape mismatch: negotiated m={} t={}",
+                                    params.m, params.t
+                                ),
+                            ));
+                        }
+                        let reports = bob.handle_sketches(&batch);
+                        stats.rounds.fetch_add(1, Ordering::Relaxed);
+                        framed.send(&Frame::Reports(reports))?;
+                    }
+                    Frame::Done(elements) => {
+                        if elements.len() as u64 > config.max_done_elements as u64 {
+                            return Err(refuse(
+                                framed,
+                                ErrorCode::BadConfig,
+                                format!(
+                                    "final transfer of {} elements exceeds the cap {}",
+                                    elements.len(),
+                                    config.max_done_elements
+                                ),
+                            ));
+                        }
+                        // Zero or out-of-universe elements would poison the
+                        // store: every future session would recover them as
+                        // rejected fakes and never verify. Refuse the batch.
+                        let universe_mask = if cfg.universe_bits == 64 {
+                            u64::MAX
+                        } else {
+                            (1u64 << cfg.universe_bits) - 1
+                        };
+                        if elements.iter().any(|&e| e == 0 || e > universe_mask) {
+                            return Err(refuse(
+                                framed,
+                                ErrorCode::BadConfig,
+                                format!(
+                                    "final transfer contains elements outside the {}-bit universe",
+                                    cfg.universe_bits
+                                ),
+                            ));
+                        }
+                        store.apply_missing(&elements);
+                        stats
+                            .elements_received
+                            .fetch_add(elements.len() as u64, Ordering::Relaxed);
+                        framed.send(&Frame::Done(Vec::new()))?;
+                        return Ok(());
+                    }
+                    other => {
+                        return Err(refuse(
+                            framed,
+                            ErrorCode::Protocol,
+                            format!(
+                                "unexpected frame type {} during the round loop",
+                                other.type_byte()
+                            ),
+                        ));
+                    }
+                }
+            }
+        };
+    let outcome = round_loop(framed, &mut bob);
+    stats
+        .decode_failures
+        .fetch_add(bob.decode_failures() as u64, Ordering::Relaxed);
+    outcome
+}

@@ -1,0 +1,84 @@
+//! Element-set loading shared by the `pbs-syncd` / `pbs-sync` binaries.
+
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+
+/// Read a set file: one element per line, decimal or `0x`-prefixed hex,
+/// blank lines and `#` comments ignored. Elements must be nonzero (the
+/// all-zero signature is excluded from the universe, §2.1 of the paper).
+pub fn load_set(path: &Path) -> std::io::Result<Vec<u64>> {
+    let file = std::fs::File::open(path)?;
+    let mut out = Vec::new();
+    for (lineno, line) in BufReader::new(file).lines().enumerate() {
+        let line = line?;
+        let token = line.split('#').next().unwrap_or("").trim();
+        if token.is_empty() {
+            continue;
+        }
+        let value = match token
+            .strip_prefix("0x")
+            .or_else(|| token.strip_prefix("0X"))
+        {
+            Some(hex) => u64::from_str_radix(hex, 16),
+            None => token.parse::<u64>(),
+        }
+        .map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("{}:{}: {e}", path.display(), lineno + 1),
+            )
+        })?;
+        if value == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "{}:{}: the zero element is not allowed",
+                    path.display(),
+                    lineno + 1
+                ),
+            ));
+        }
+        out.push(value);
+    }
+    Ok(out)
+}
+
+/// A deterministic pseudo-random demo set of `n` nonzero 32-bit-universe
+/// elements — the `--range` option of both binaries, handy for trying the
+/// pair without writing set files.
+pub fn demo_set(n: usize, salt: u64) -> Vec<u64> {
+    let mut x = salt | 1;
+    (0..n)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (x >> 16 & 0xFFFF_FFFF) | 1
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_decimal_hex_comments_and_blanks() {
+        let dir = std::env::temp_dir().join("pbs_net_setio_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("set.txt");
+        std::fs::write(&path, "7\n# comment\n0x10\n\n42 # trailing\n").unwrap();
+        assert_eq!(load_set(&path).unwrap(), vec![7, 16, 42]);
+        std::fs::write(&path, "0\n").unwrap();
+        assert!(load_set(&path).is_err());
+        std::fs::write(&path, "not-a-number\n").unwrap();
+        assert!(load_set(&path).is_err());
+    }
+
+    #[test]
+    fn demo_sets_are_deterministic_and_nonzero() {
+        let a = demo_set(1000, 5);
+        assert_eq!(a, demo_set(1000, 5));
+        assert!(a.iter().all(|&e| e != 0 && e <= u32::MAX as u64));
+    }
+}

@@ -1,0 +1,508 @@
+//! Loopback integration: client and server reconcile 100k-element sets with
+//! d ∈ {10, 100, 1000} differences over real TCP sockets.
+//!
+//! For each difference size the test also runs the *in-process* protocol —
+//! the same state machines exchanging the same frames by function call —
+//! and records every frame's serialized payload into a
+//! [`protocol::Transcript`] via `send_encoded`. The networked run must then
+//! (a) recover the exact symmetric difference, (b) converge the server's
+//! store onto `A ∪ B`, and (c) put *exactly* the predicted payload bytes
+//! plus 8 bytes of len/CRC framing per frame on the wire — which keeps the
+//! measured total within the 10% envelope of the transcript's payload
+//! accounting that the acceptance criterion demands.
+
+use estimator::{inflate_estimate, Estimator, TowEstimator};
+use pbs_core::{AliceSession, BobSession, Pbs, PbsConfig, ESTIMATOR_SEED_SALT};
+use pbs_net::client::{sync, ClientConfig};
+use pbs_net::frame::{EstimatorMsg, Frame, Hello, FRAME_OVERHEAD, PROTOCOL_VERSION};
+use pbs_net::server::{InMemoryStore, Server, ServerConfig};
+use pbs_net::NetError;
+use protocol::{Direction, Transcript};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// `count` distinct nonzero 32-bit-universe elements.
+fn distinct_keys(count: usize, salt: u64) -> Vec<u64> {
+    let mut seen = HashSet::with_capacity(count);
+    let mut out = Vec::with_capacity(count);
+    let mut x = salt | 1;
+    while out.len() < count {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let key = (x >> 16 & 0xFFFF_FFFF) | 1;
+        if seen.insert(key) {
+            out.push(key);
+        }
+    }
+    out
+}
+
+/// Split a pool into Alice's and Bob's sets with a two-sided difference of
+/// `d` elements (`⌈d/2⌉` exclusive to Alice, `⌊d/2⌋` exclusive to Bob).
+fn two_sided_pair(pool: &[u64], d: usize) -> (Vec<u64>, Vec<u64>) {
+    let only_alice = d.div_ceil(2);
+    let only_bob = d / 2;
+    let alice = pool[..pool.len() - only_bob].to_vec();
+    let bob = pool[only_alice..].to_vec();
+    (alice, bob)
+}
+
+struct ReferencePrediction {
+    transcript: Transcript,
+    frames: u64,
+    recovered: Vec<u64>,
+    pushed: usize,
+    rounds: u32,
+    d_param: u64,
+}
+
+/// Run the protocol in-process, mirroring the client/server state machines
+/// frame for frame, and ledger every frame's serialized body into a
+/// transcript (`wire_bytes` = type byte + payload; the socket adds
+/// [`FRAME_OVERHEAD`] per frame on top).
+fn reference_run(
+    alice_set: &[u64],
+    bob_set: &[u64],
+    cfg: PbsConfig,
+    seed: u64,
+    round_cap: u32,
+) -> ReferencePrediction {
+    let mut transcript = Transcript::new();
+    let mut frames = 0u64;
+    let mut record = |t: &mut Transcript, dir, label, bits: u64, frame: &Frame| {
+        t.send_encoded(dir, label, bits, frame.encode_body().len() as u64);
+        frames += 1;
+    };
+
+    // Handshake: the server echoes the client's Hello (the version already
+    // matches), so both frames serialize identically.
+    let hello = Hello::from_config(&cfg, seed, 0);
+    let hello_frame = Frame::Hello(hello);
+    let hello_bits = hello_frame.encode_body().len() as u64 * 8;
+    record(
+        &mut transcript,
+        Direction::AliceToBob,
+        "hello",
+        hello_bits,
+        &hello_frame,
+    );
+    record(
+        &mut transcript,
+        Direction::BobToAlice,
+        "hello",
+        hello_bits,
+        &hello_frame,
+    );
+
+    // Estimator exchange.
+    let est_seed = xhash::derive_seed(seed, ESTIMATOR_SEED_SALT);
+    let mut bank_a = TowEstimator::new(cfg.estimator_sketches, est_seed);
+    bank_a.insert_slice(alice_set);
+    let mut bank_b = TowEstimator::new(cfg.estimator_sketches, est_seed);
+    bank_b.insert_slice(bob_set);
+    let bank_frame = Frame::EstimatorExchange(EstimatorMsg::TowBank(bank_a.to_bytes()));
+    record(
+        &mut transcript,
+        Direction::AliceToBob,
+        "estimator-bank",
+        bank_a.wire_bits(),
+        &bank_frame,
+    );
+    let d_hat = bank_a.estimate(&bank_b);
+    let d_param = inflate_estimate(d_hat) as u64;
+    record(
+        &mut transcript,
+        Direction::BobToAlice,
+        "estimate",
+        64 + 64,
+        &Frame::EstimatorExchange(EstimatorMsg::Estimate { d_param, d_hat }),
+    );
+
+    // Round loop — the exact shape of `pbs_net::client::sync`.
+    let params = Pbs::new(cfg).plan(d_param as usize);
+    let mut alice = AliceSession::new(cfg, params, alice_set, seed);
+    let mut bob = BobSession::new(cfg, params, bob_set, seed);
+    while alice.round() < round_cap {
+        let batch = alice.start_round();
+        let sketch_bits: u64 = batch.iter().map(|s| s.wire_bits(params.m)).sum();
+        record(
+            &mut transcript,
+            Direction::AliceToBob,
+            "sketches",
+            sketch_bits,
+            &Frame::Sketches {
+                m: params.m,
+                batch: batch.clone(),
+            },
+        );
+        let reports = bob.handle_sketches(&batch);
+        let report_bits: u64 = reports
+            .iter()
+            .map(|r| r.wire_bits(params.m, cfg.universe_bits))
+            .sum();
+        record(
+            &mut transcript,
+            Direction::BobToAlice,
+            "reports",
+            report_bits,
+            &Frame::Reports(reports.clone()),
+        );
+        let status = alice.apply_reports(&reports);
+        transcript.next_round();
+        if status.all_verified {
+            break;
+        }
+    }
+
+    // Final transfer + ack.
+    let rounds = alice.round();
+    let holdings: HashSet<u64> = alice_set.iter().copied().collect();
+    let recovered = alice.into_recovered();
+    let pushed: Vec<u64> = recovered
+        .iter()
+        .copied()
+        .filter(|e| holdings.contains(e))
+        .collect();
+    record(
+        &mut transcript,
+        Direction::AliceToBob,
+        "final-transfer",
+        pushed.len() as u64 * cfg.universe_bits as u64,
+        &Frame::Done(pushed.clone()),
+    );
+    record(
+        &mut transcript,
+        Direction::BobToAlice,
+        "final-ack",
+        0,
+        &Frame::Done(Vec::new()),
+    );
+
+    ReferencePrediction {
+        transcript,
+        frames,
+        recovered,
+        pushed: pushed.len(),
+        rounds,
+        d_param,
+    }
+}
+
+fn sorted(mut v: Vec<u64>) -> Vec<u64> {
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn loopback_reconciles_100k_sets_within_the_transcript_byte_envelope() {
+    let pool = distinct_keys(100_000 + 500, 0x100C_BACC);
+    for &d in &[10usize, 100, 1000] {
+        let (alice_set, bob_set) = two_sided_pair(&pool[..100_000 + d / 2], d);
+        assert_eq!(alice_set.len(), 100_000);
+        let truth: Vec<u64> = sorted(
+            pool[..d.div_ceil(2)]
+                .iter()
+                .chain(&pool[100_000 - d / 2 + d.div_ceil(2)..100_000 + d / 2])
+                .copied()
+                .collect(),
+        );
+        assert_eq!(truth.len(), d);
+
+        let seed = 0xAB5_0000 + d as u64;
+        let client_cfg = ClientConfig {
+            seed,
+            ..ClientConfig::default()
+        };
+        let predicted = reference_run(
+            &alice_set,
+            &bob_set,
+            client_cfg.pbs,
+            seed,
+            client_cfg.round_cap,
+        );
+        assert_eq!(
+            sorted(predicted.recovered.clone()),
+            truth,
+            "d={d} reference"
+        );
+
+        // The networked run, over a real socket pair.
+        let store = Arc::new(InMemoryStore::new(bob_set.iter().copied()));
+        let server = Server::bind(
+            "127.0.0.1:0",
+            Arc::clone(&store) as Arc<_>,
+            ServerConfig {
+                workers: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind loopback");
+        let report = sync(server.local_addr(), &alice_set, &client_cfg).expect("sync");
+
+        // (a) Exact recovery.
+        assert!(report.verified, "d={d}: checksums did not verify");
+        assert_eq!(sorted(report.recovered.clone()), truth, "d={d} recovery");
+        assert_eq!(report.rounds, predicted.rounds, "d={d} round count");
+        assert_eq!(report.d_param, predicted.d_param, "d={d} parameterization");
+        assert_eq!(
+            report.pushed.len(),
+            predicted.pushed,
+            "d={d} final transfer"
+        );
+        assert_eq!(report.negotiated_version, PROTOCOL_VERSION);
+
+        // (b) The server's store converged on A ∪ B.
+        assert_eq!(store.len(), 100_000 + d / 2, "d={d} server union size");
+        assert!(pool[..d.div_ceil(2)].iter().all(|&e| store.contains(e)));
+
+        // (c) Byte accounting: the wire carried exactly the predicted
+        // payloads plus 8 bytes of framing per frame — and therefore lands
+        // within 10% of the in-process transcript's payload bytes.
+        let wire_total = report.bytes_sent + report.bytes_received;
+        let frames_total = report.frames_sent + report.frames_received;
+        let payload_total = predicted.transcript.wire_bytes_total();
+        assert_eq!(frames_total, predicted.frames, "d={d} frame count");
+        assert_eq!(
+            wire_total,
+            payload_total + FRAME_OVERHEAD * frames_total,
+            "d={d}: wire bytes diverged from the predicted frames"
+        );
+        assert!(
+            wire_total <= payload_total + payload_total / 10,
+            "d={d}: {wire_total} wire bytes exceed 110% of {payload_total} payload bytes"
+        );
+        // The real encoding stays within ~2x of the paper's
+        // information-theoretic accounting for the same messages.
+        let paper_bytes = predicted.transcript.stats().total_bytes();
+        assert!(
+            wire_total >= paper_bytes,
+            "d={d}: wire bytes below the information-theoretic floor"
+        );
+
+        let stats = server.shutdown();
+        assert_eq!(stats.sessions_started, 1);
+        assert_eq!(stats.sessions_completed, 1);
+        assert_eq!(stats.sessions_failed, 0);
+        assert_eq!(stats.rounds, report.rounds as u64);
+        assert_eq!(stats.estimator_exchanges, 1);
+        assert_eq!(stats.elements_received, predicted.pushed as u64);
+        assert_eq!(stats.bytes_in, report.bytes_sent, "d={d} server bytes in");
+        assert_eq!(stats.bytes_out, report.bytes_received, "d={d} bytes out");
+    }
+}
+
+#[test]
+fn out_of_universe_elements_fail_fast_client_side() {
+    // No server needed: the check runs before the connection is opened.
+    let config = ClientConfig::default();
+    match sync("127.0.0.1:1", &[1, 2, 1u64 << 40], &config) {
+        Err(NetError::Protocol(msg)) => assert!(msg.contains("universe"), "{msg}"),
+        other => panic!("expected universe refusal, got {other:?}"),
+    }
+    match sync("127.0.0.1:1", &[1, 0], &config) {
+        Err(NetError::Protocol(msg)) => assert!(msg.contains("universe"), "{msg}"),
+        other => panic!("expected zero-element refusal, got {other:?}"),
+    }
+}
+
+#[test]
+fn known_d_skips_the_estimator_exchange() {
+    let pool = distinct_keys(5_000, 0xD00D);
+    let (alice_set, bob_set) = two_sided_pair(&pool, 40);
+    let store = Arc::new(InMemoryStore::new(bob_set.iter().copied()));
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::clone(&store) as Arc<_>,
+        ServerConfig::default(),
+    )
+    .expect("bind");
+    let config = ClientConfig {
+        known_d: Some(40),
+        seed: 7,
+        ..ClientConfig::default()
+    };
+    let report = sync(server.local_addr(), &alice_set, &config).expect("sync");
+    assert!(report.verified);
+    assert_eq!(report.d_param, 40);
+    assert_eq!(report.estimated_d, None);
+    assert_eq!(report.recovered.len(), 40);
+    let stats = server.shutdown();
+    assert_eq!(stats.estimator_exchanges, 0);
+    assert_eq!(stats.sessions_completed, 1);
+}
+
+#[test]
+fn concurrent_clients_share_the_worker_pool() {
+    let pool = distinct_keys(3_000, 0xCAFE);
+    let (alice_set, bob_set) = two_sided_pair(&pool, 20);
+    let store = Arc::new(InMemoryStore::new(bob_set.iter().copied()));
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::clone(&store) as Arc<_>,
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let handles: Vec<_> = (0..4u64)
+        .map(|i| {
+            let set = alice_set.clone();
+            std::thread::spawn(move || {
+                let config = ClientConfig {
+                    seed: 100 + i,
+                    known_d: Some(20),
+                    ..ClientConfig::default()
+                };
+                sync(addr, &set, &config).expect("concurrent sync")
+            })
+        })
+        .collect();
+    for handle in handles {
+        let report = handle.join().expect("client thread");
+        assert!(report.verified);
+        // A session that snapshots the store *after* another client's final
+        // transfer landed sees only Bob's exclusive elements (A ∪ B is
+        // already converging), so the recovered difference is 20 or 10.
+        assert!(
+            report.recovered.len() == 20 || report.recovered.len() == 10,
+            "unexpected |A△B| = {}",
+            report.recovered.len()
+        );
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.sessions_completed, 4);
+    assert_eq!(stats.sessions_failed, 0);
+    // Every client pushed A \ B; the store holds the full union.
+    assert_eq!(store.len(), 3_000);
+}
+
+#[test]
+fn server_rejects_protocol_violations() {
+    let store = Arc::new(InMemoryStore::new(1..=100u64));
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::clone(&store) as Arc<_>,
+        ServerConfig {
+            round_cap: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let transport = pbs_net::TransportConfig::default();
+
+    // Version 0 is refused at the handshake.
+    {
+        let stream = std::net::TcpStream::connect(addr).unwrap();
+        let mut framed = pbs_net::FramedStream::from_tcp(stream, &transport).unwrap();
+        let mut hello = Hello::from_config(&PbsConfig::default(), 1, 1);
+        hello.version = 0;
+        framed.send(&Frame::Hello(hello)).unwrap();
+        match framed.recv() {
+            Err(NetError::Remote { code, .. }) => {
+                assert_eq!(code, pbs_net::frame::ErrorCode::Version)
+            }
+            other => panic!("expected version refusal, got {other:?}"),
+        }
+    }
+
+    // A mid-session frame before the handshake is a protocol error.
+    {
+        let stream = std::net::TcpStream::connect(addr).unwrap();
+        let mut framed = pbs_net::FramedStream::from_tcp(stream, &transport).unwrap();
+        framed.send(&Frame::Done(vec![1, 2, 3])).unwrap();
+        match framed.recv() {
+            Err(NetError::Remote { code, .. }) => {
+                assert_eq!(code, pbs_net::frame::ErrorCode::Protocol)
+            }
+            other => panic!("expected protocol refusal, got {other:?}"),
+        }
+    }
+
+    // A hostile delta of zero is refused as bad config.
+    {
+        let stream = std::net::TcpStream::connect(addr).unwrap();
+        let mut framed = pbs_net::FramedStream::from_tcp(stream, &transport).unwrap();
+        let mut hello = Hello::from_config(&PbsConfig::default(), 1, 1);
+        hello.delta = 0;
+        framed.send(&Frame::Hello(hello)).unwrap();
+        match framed.recv() {
+            Err(NetError::Remote { code, .. }) => {
+                assert_eq!(code, pbs_net::frame::ErrorCode::BadConfig)
+            }
+            other => panic!("expected config refusal, got {other:?}"),
+        }
+    }
+
+    // A final transfer with out-of-universe elements must not poison the
+    // store (they could never verify in any later session).
+    {
+        let stream = std::net::TcpStream::connect(addr).unwrap();
+        let mut framed = pbs_net::FramedStream::from_tcp(stream, &transport).unwrap();
+        framed
+            .send(&Frame::Hello(Hello::from_config(
+                &PbsConfig::default(),
+                5,
+                1,
+            )))
+            .unwrap();
+        let Ok(Frame::Hello(_)) = framed.recv() else {
+            panic!("handshake refused")
+        };
+        framed
+            .send(&Frame::Done(vec![0x7777, 0, 1u64 << 40]))
+            .unwrap();
+        match framed.recv() {
+            Err(NetError::Remote { code, .. }) => {
+                assert_eq!(code, pbs_net::frame::ErrorCode::BadConfig)
+            }
+            other => panic!("expected poisoning refusal, got {other:?}"),
+        }
+        // The whole batch is refused — even its in-universe element.
+        assert!(!store.contains(0) && !store.contains(0x7777) && !store.contains(1u64 << 40));
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats.sessions_completed, 0);
+    assert_eq!(stats.sessions_failed, 4);
+    assert_eq!(stats.elements_received, 0);
+}
+
+#[test]
+fn server_round_cap_refuses_marathon_sessions() {
+    // A deliberately under-parameterized client (known_d = 1 against 60
+    // real differences) needs many split rounds; a server capped at 2
+    // rounds refuses it with the round-limit error code.
+    let pool = distinct_keys(2_000, 0xFEED);
+    let (alice_set, bob_set) = two_sided_pair(&pool, 60);
+    let store = Arc::new(InMemoryStore::new(bob_set.iter().copied()));
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::clone(&store) as Arc<_>,
+        ServerConfig {
+            round_cap: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let config = ClientConfig {
+        known_d: Some(1),
+        seed: 3,
+        ..ClientConfig::default()
+    };
+    match sync(server.local_addr(), &alice_set, &config) {
+        Err(NetError::Remote { code, .. }) => {
+            assert_eq!(code, pbs_net::frame::ErrorCode::RoundLimit)
+        }
+        Ok(report) => assert!(
+            report.verified && report.rounds <= 2,
+            "under-parameterized sync unexpectedly finished in {} rounds",
+            report.rounds
+        ),
+        Err(other) => panic!("expected round-limit refusal, got {other:?}"),
+    }
+    server.shutdown();
+}

@@ -21,7 +21,7 @@
 mod transcript;
 mod workload;
 
-pub use transcript::{CommStats, Direction, Transcript};
+pub use transcript::{CommStats, Direction, MessageRecord, Transcript};
 pub use workload::{SetPair, Workload};
 
 use std::collections::HashSet;

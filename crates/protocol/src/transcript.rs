@@ -53,6 +53,13 @@ pub struct MessageRecord {
     /// quantities (bit-error positions of `log n` bits each), so the ledger
     /// keeps bit precision and rounds up only at the aggregate level.
     pub bits: u64,
+    /// Size of the message as actually *serialized* for a transport, in
+    /// bytes. The paper's accounting (`bits`) charges the
+    /// information-theoretic payload; a real wire format pays fixed-width
+    /// fields and per-message headers on top. [`Transcript::send_bits`] /
+    /// [`Transcript::send_bytes`] default this to `ceil(bits / 8)`;
+    /// [`Transcript::send_encoded`] records the measured encoding.
+    pub wire_bytes: u64,
 }
 
 /// A ledger of all messages exchanged during a reconciliation run.
@@ -85,19 +92,37 @@ impl Transcript {
         self.current_round += 1;
     }
 
-    /// Record a message of `bits` bits in the current round.
+    /// Record a message of `bits` bits in the current round. The serialized
+    /// size defaults to the byte-rounded payload; use
+    /// [`Transcript::send_encoded`] when the actual encoding was measured.
     pub fn send_bits(&mut self, direction: Direction, label: &'static str, bits: u64) {
-        self.records.push(MessageRecord {
-            round: self.current_round,
-            direction,
-            label,
-            bits,
-        });
+        self.send_encoded(direction, label, bits, bits.div_ceil(8));
     }
 
     /// Record a message of `bytes` bytes in the current round.
     pub fn send_bytes(&mut self, direction: Direction, label: &'static str, bytes: u64) {
         self.send_bits(direction, label, bytes * 8);
+    }
+
+    /// Record a message with both its information-theoretic payload (`bits`,
+    /// the paper's accounting) and its measured serialized size
+    /// (`wire_bytes`). The networked subsystem uses this to keep the two
+    /// ledgers — what the paper charges and what a socket would carry —
+    /// side by side in one transcript.
+    pub fn send_encoded(
+        &mut self,
+        direction: Direction,
+        label: &'static str,
+        bits: u64,
+        wire_bytes: u64,
+    ) {
+        self.records.push(MessageRecord {
+            round: self.current_round,
+            direction,
+            label,
+            bits,
+            wire_bytes,
+        });
     }
 
     /// All recorded messages.
@@ -130,6 +155,22 @@ impl Transcript {
             .filter(|r| r.label == label)
             .map(|r| r.bits)
             .sum()
+    }
+
+    /// Total serialized bytes in the given direction (see
+    /// [`MessageRecord::wire_bytes`]).
+    pub fn wire_bytes_in_direction(&self, direction: Direction) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.direction == direction)
+            .map(|r| r.wire_bytes)
+            .sum()
+    }
+
+    /// Total serialized bytes in both directions — the number a byte counter
+    /// on the connection would report for the payloads recorded here.
+    pub fn wire_bytes_total(&self) -> u64 {
+        self.records.iter().map(|r| r.wire_bytes).sum()
     }
 
     /// The number of rounds in which at least one message was sent.
@@ -171,6 +212,24 @@ mod tests {
         assert_eq!(s.bytes_bob_to_alice, 20);
         assert_eq!(s.messages, 3);
         assert_eq!(s.total_bytes(), 38);
+        // Without measured encodings the wire ledger is the per-message
+        // byte-rounded payload: ceil(91/8) + 20 + ceil(50/8).
+        assert_eq!(t.wire_bytes_total(), 12 + 20 + 7);
+    }
+
+    #[test]
+    fn measured_encodings_are_ledgered_separately() {
+        let mut t = Transcript::new();
+        t.send_encoded(Direction::AliceToBob, "framed-sketch", 13 * 7, 120);
+        t.send_encoded(Direction::BobToAlice, "framed-report", 64, 33);
+        t.send_bits(Direction::AliceToBob, "bch-sketch", 9);
+        assert_eq!(t.bits_in_direction(Direction::AliceToBob), 91 + 9);
+        assert_eq!(t.wire_bytes_in_direction(Direction::AliceToBob), 120 + 2);
+        assert_eq!(t.wire_bytes_in_direction(Direction::BobToAlice), 33);
+        assert_eq!(t.wire_bytes_total(), 155);
+        // The paper-accounting aggregate is untouched by wire sizes
+        // (bits summed per direction, then rounded: ceil(100/8) + ceil(64/8)).
+        assert_eq!(t.stats().total_bytes(), 13 + 8);
     }
 
     #[test]

@@ -130,6 +130,27 @@ impl<V> Strategy for Union<V> {
     }
 }
 
+/// Tuples of strategies sample component-wise, as in real proptest (used
+/// e.g. for `prop::collection::vec((strategy_a, strategy_b), len)`).
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $idx:tt),+)),+ $(,)?) => {
+        $(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )+
+    };
+}
+
+tuple_strategy!(
+    (S0 / 0, S1 / 1),
+    (S0 / 0, S1 / 1, S2 / 2),
+    (S0 / 0, S1 / 1, S2 / 2, S3 / 3)
+);
+
 /// Types with a canonical "any value" strategy.
 pub trait Arbitrary: Sized {
     /// Draw an unconstrained value.

@@ -5,6 +5,8 @@
 //! in the member crates, re-exported here for convenience:
 //!
 //! * [`pbs_core`] — the Parity Bitmap Sketch scheme (the paper's contribution)
+//! * [`pbs_net`] — the networked subsystem: framed TCP transport, session
+//!   server and sync client (see `docs/WIRE.md`)
 //! * [`protocol`] — the `Reconciler` trait, transcripts and workloads
 //! * [`analysis`] — the Markov-chain framework and parameter optimizer
 //! * [`estimator`] — ToW / Strata / min-wise difference-cardinality estimators
@@ -23,6 +25,7 @@ pub use gf;
 pub use graphene;
 pub use iblt;
 pub use pbs_core;
+pub use pbs_net;
 pub use pinsketch;
 pub use protocol;
 pub use xhash;
