@@ -8,6 +8,18 @@
 //! positive rate, and wire-size accounting so the experiment harness can
 //! charge its transmission correctly.
 
+//!
+//! # Example
+//!
+//! ```
+//! use bloom::BloomFilter;
+//!
+//! let mut filter = BloomFilter::new(1024, 4, 9);
+//! filter.insert_all(1..=64u64);
+//! assert!(filter.contains(17));           // no false negatives
+//! assert!(filter.estimated_fpr() < 0.05); // few false positives at this sizing
+//! ```
+
 #![warn(missing_docs)]
 
 use xhash::{derive_seed, xxhash64};

@@ -17,6 +17,26 @@
 //!   (Procedure 1), rejects fakes with the sub-universe check (Procedure 3),
 //!   applies the recovered elements, and verifies the group checksum
 //!   (§2.2.3).
+//!
+//! # Pipelined rounds
+//!
+//! [`AliceSession::start_rounds`] generalizes `start_round`: it emits the
+//! sketches of `layers` *consecutive* protocol rounds in one batch, all
+//! computed from Alice's current working sets. Because Bob's set never
+//! changes, he can decode every layer independently; Alice then applies the
+//! reports **in order**, and the later layers self-correct: an element
+//! already recovered by an earlier layer sits on both sides of the per-bin
+//! XOR, so a stale layer's bin yields `s = 0` (no-op) or the still-missing
+//! residual element. A transport can therefore collapse what used to be
+//! `layers` request-response round trips into one, at the price of the
+//! speculative layers' bytes. With `layers = 1` the behavior (including
+//! every split decision and report byte) is identical to the classic
+//! one-round-per-trip protocol.
+//!
+//! The §3.2 split rule under pipelining: a session is split three ways only
+//! when **every** layer of the batch reports a BCH decoding failure — one
+//! successful layer supersedes the failed ones. Both state machines apply
+//! the same rule, so they stay in lockstep without extra communication.
 
 use crate::messages::{
     child_sessions, BinInfo, GroupReport, GroupReportBody, GroupSketch, RoundStatus, SessionId,
@@ -80,9 +100,13 @@ struct AliceGroup {
     bob_checksum: Option<u64>,
     /// Group / sub-group membership constraints (generalized Procedure 3).
     membership: Vec<Membership>,
-    /// Seed of the bin-partition hash used for the sketch Alice sent in the
-    /// current round.
-    current_bin_seed: u64,
+    /// Bin-partition hash seeds of the sketch layers Alice sent in the
+    /// current batch, in round order ([`AliceSession::start_rounds`]).
+    pending_bin_seeds: Vec<u64>,
+    /// How many of [`AliceGroup::pending_bin_seeds`] have been answered.
+    /// Bob reports every layer in the order he received it, so the j-th
+    /// report for a session answers the j-th pending layer.
+    reports_consumed: usize,
     verified: bool,
 }
 
@@ -103,7 +127,8 @@ impl AliceGroup {
             checksum,
             bob_checksum: None,
             membership,
-            current_bin_seed: 0,
+            pending_bin_seeds: Vec::new(),
+            reports_consumed: 0,
             verified: false,
         }
     }
@@ -117,6 +142,7 @@ pub struct AliceSession {
     codec: BchCodec,
     base_seed: u64,
     round: u32,
+    round_trips: u32,
     groups: Vec<AliceGroup>,
     /// Elements whose membership Alice has toggled so far — once every group
     /// verifies, this is exactly `A△B`.
@@ -154,15 +180,25 @@ impl AliceSession {
             codec,
             base_seed: seed,
             round: 0,
+            round_trips: 0,
             groups,
             recovered: HashSet::new(),
             fakes_rejected: 0,
         }
     }
 
-    /// The current round number (0 before the first [`Self::start_round`]).
+    /// The current protocol round number (0 before the first
+    /// [`Self::start_round`]; a pipelined batch advances it by its layer
+    /// count).
     pub fn round(&self) -> u32 {
         self.round
+    }
+
+    /// Number of sketch batches emitted so far — with a request-response
+    /// transport, the number of round trips spent on sketch/report
+    /// exchanges. Equal to [`Self::round`] unless rounds were pipelined.
+    pub fn round_trips(&self) -> u32 {
+        self.round_trips
     }
 
     /// Number of sessions (groups and sub-groups) that have not verified yet.
@@ -192,45 +228,75 @@ impl AliceSession {
 
     /// Begin a new round: re-partition every unverified group with a fresh
     /// hash function and produce the BCH sketches to send to Bob.
+    /// Equivalent to [`Self::start_rounds`]`(1)`.
+    pub fn start_round(&mut self) -> Vec<GroupSketch> {
+        self.start_rounds(1)
+    }
+
+    /// Begin `layers` pipelined protocol rounds at once: for every
+    /// unverified group, emit one sketch per round `self.round + 1 ..=
+    /// self.round + layers`, each under that round's fresh bin-partition
+    /// hash, all computed from the group's *current* working set (see the
+    /// module docs on why applying the answers in order is sound). The
+    /// batch is layer-major: all of round `r`'s sketches, then all of round
+    /// `r+1`'s, and so on — the order Bob's reports must be applied in.
     ///
-    /// Groups are independent, so their sketches are computed with
+    /// Group × layer sketches are independent, so they are computed with
     /// [`protocol::par_map`]: worker threads when the `parallel` feature is
     /// on, a plain serial loop otherwise — identical output either way.
-    pub fn start_round(&mut self) -> Vec<GroupSketch> {
-        self.round += 1;
-        let round = self.round;
-        // Assign this round's bin seeds first (mutates the groups), then
+    pub fn start_rounds(&mut self, layers: u32) -> Vec<GroupSketch> {
+        assert!(layers >= 1, "a sketch batch needs at least one layer");
+        let base = self.round;
+        self.round += layers;
+        self.round_trips += 1;
+        // Assign the batch's bin seeds first (mutates the groups), then
         // sketch over shared references so the map body is pure.
         for group in self.groups.iter_mut().filter(|g| !g.verified) {
-            group.current_bin_seed = bin_seed(self.base_seed, group.id, round);
+            group.pending_bin_seeds = (1..=layers)
+                .map(|layer| bin_seed(self.base_seed, group.id, base + layer))
+                .collect();
+            group.reports_consumed = 0;
         }
         let active: Vec<&AliceGroup> = self.groups.iter().filter(|g| !g.verified).collect();
+        let jobs: Vec<(&AliceGroup, usize)> = (0..layers as usize)
+            .flat_map(|layer| active.iter().map(move |g| (*g, layer)))
+            .collect();
         let codec = &self.codec;
         let n = self.params.n as u64;
-        let sketches = protocol::par_map(&active, |group| {
-            let hasher = PartitionHasher::new(n, group.current_bin_seed);
+        let sketches = protocol::par_map(&jobs, |&(group, layer)| {
+            let hasher = PartitionHasher::new(n, group.pending_bin_seeds[layer]);
             let mut sketch = codec.empty_sketch();
             let positions: Vec<u64> = group.elements.iter().map(|&e| hasher.position(e)).collect();
             sketch.add_batch(&positions, codec.field());
             sketch
         });
-        active
-            .iter()
+        jobs.iter()
             .zip(sketches)
-            .map(|(group, sketch)| GroupSketch {
+            .map(|(&(group, layer), sketch)| GroupSketch {
                 session: group.id,
-                round,
+                round: base + 1 + layer as u32,
                 sketch,
+                // Repeated on every layer while c(B_i) is unknown: the
+                // first layer's report may be a decode failure, and the
+                // checksum must not be lost with it.
                 needs_checksum: group.bob_checksum.is_none(),
             })
             .collect()
     }
 
-    /// Apply Bob's reports for the current round: recover elements, reject
+    /// Apply Bob's reports for the current batch: recover elements, reject
     /// fakes, verify checksums and split groups whose decoding failed.
+    ///
+    /// Reports must be passed in the order Bob produced them — the j-th
+    /// report for a session answers the j-th layer of the last
+    /// [`Self::start_rounds`] batch. A session is split three ways only
+    /// when every one of its reports in the batch is a decoding failure
+    /// (with unpipelined batches that is the classic §3.2 rule).
     pub fn apply_reports(&mut self, reports: &[GroupReport]) -> RoundStatus {
         let mut recovered_this_round = 0usize;
-        let mut splits: Vec<(usize, SessionId)> = Vec::new();
+        // `false` until a session shows at least one successfully decoded
+        // layer; sessions still `false` at the end of the batch are split.
+        let mut any_decoded: HashMap<SessionId, bool> = HashMap::new();
 
         let mut index: HashMap<SessionId, usize> = HashMap::with_capacity(self.groups.len());
         for (i, g) in self.groups.iter().enumerate() {
@@ -243,9 +309,16 @@ impl AliceSession {
             };
             match &report.body {
                 GroupReportBody::DecodeFailed => {
-                    splits.push((gi, report.session));
+                    any_decoded.entry(report.session).or_insert(false);
+                    // The failed layer still consumes its pending seed, so
+                    // later layers of the session stay aligned.
+                    let group = &mut self.groups[gi];
+                    if group.reports_consumed < group.pending_bin_seeds.len() {
+                        group.reports_consumed += 1;
+                    }
                 }
                 GroupReportBody::Decoded { bins, checksum } => {
+                    any_decoded.insert(report.session, true);
                     recovered_this_round += self.apply_decoded(gi, bins, *checksum);
                 }
             }
@@ -254,6 +327,11 @@ impl AliceSession {
         // Perform the three-way splits after the borrow of `self.groups` above.
         // Process from the highest index down so removals do not shift the
         // remaining indices.
+        let mut splits: Vec<(usize, SessionId)> = any_decoded
+            .iter()
+            .filter(|&(_, &decoded)| !decoded)
+            .map(|(&session, _)| (index[&session], session))
+            .collect();
         splits.sort_by_key(|&(gi, _)| std::cmp::Reverse(gi));
         for (gi, session) in splits {
             self.split_group(gi, session);
@@ -275,8 +353,20 @@ impl AliceSession {
             (1u64 << self.cfg.universe_bits) - 1
         };
         let group = &mut self.groups[gi];
+        // This report answers the oldest unanswered layer of the last sketch
+        // batch; a report beyond the layers actually sent is ignored.
+        let Some(&layer_seed) = group.pending_bin_seeds.get(group.reports_consumed) else {
+            return 0;
+        };
+        group.reports_consumed += 1;
         if let Some(c) = checksum {
             group.bob_checksum = Some(c);
+        }
+        if group.verified {
+            // A speculative layer answering a group that an earlier layer
+            // already verified: the working set equals B_i, so every bin
+            // XOR cancels to zero — nothing to apply.
+            return 0;
         }
 
         // One pass over the group's current elements: XOR sum per reported
@@ -289,7 +379,7 @@ impl AliceSession {
         // reachable through the wire format) accumulate nothing, exactly as
         // the map did. Very large `n` keeps the map.
         let n = self.params.n as u64;
-        let hasher = PartitionHasher::new(n, group.current_bin_seed);
+        let hasher = PartitionHasher::new(n, layer_seed);
         let alice_xor: Vec<u64> = if n <= DENSE_LIMIT {
             let mut xor_by_bin = vec![0u64; n as usize + 1];
             let mut wanted = vec![0u64; (n as usize + 1).div_ceil(64)];
@@ -484,14 +574,30 @@ impl BobSession {
     /// triggers (failure counter, §3.2 three-way split) are applied in a
     /// serial pass afterwards; a split only touches the failed session and
     /// its fresh children, never another session in the batch, so deferring
-    /// it cannot change any other report.
+    /// it cannot change any other report. The deferral is also what makes
+    /// pipelined batches sound: every layer of a session is decoded against
+    /// the *unsplit* group, exactly as Alice built it.
+    ///
+    /// A session is split only when every one of its sketches in the batch
+    /// failed to decode — the same rule [`AliceSession::apply_reports`]
+    /// applies, so the two state machines agree on the split set. With one
+    /// layer per batch this is the classic split-on-failure of §3.2.
     pub fn handle_sketches(&mut self, sketches: &[GroupSketch]) -> Vec<GroupReport> {
         let this = &*self;
         let reports = protocol::par_map(sketches, |msg| this.compute_report(msg));
+        let mut all_failed: HashMap<SessionId, bool> = HashMap::new();
         for report in &reports {
-            if matches!(report.body, GroupReportBody::DecodeFailed) {
+            let failed = matches!(report.body, GroupReportBody::DecodeFailed);
+            if failed {
                 self.decode_failures += 1;
-                self.split_group(report.session);
+            }
+            *all_failed.entry(report.session).or_insert(true) &= failed;
+        }
+        // Sessions are independent (fresh child ids per parent), so the
+        // split order does not matter.
+        for (&session, &failed) in &all_failed {
+            if failed {
+                self.split_group(session);
             }
         }
         reports
@@ -773,6 +879,112 @@ mod tests {
         reference.sort_unstable();
         assert_eq!(fast, (1..=300).collect::<Vec<u64>>());
         assert_eq!(fast, reference);
+    }
+
+    fn sorted(mut v: Vec<u64>) -> Vec<u64> {
+        v.sort_unstable();
+        v
+    }
+
+    /// Drive a pair of sessions to completion with `layers` pipelined
+    /// rounds per trip; returns (recovered, round_trips, protocol_rounds).
+    fn run_pipelined(
+        cfg: PbsConfig,
+        params: OptimalParams,
+        alice: &[u64],
+        bob: &[u64],
+        seed: u64,
+        layers: u32,
+    ) -> (Vec<u64>, u32, u32) {
+        let mut a = AliceSession::new(cfg, params, alice, seed);
+        let mut b = BobSession::new(cfg, params, bob, seed);
+        let mut trips = 0;
+        while !a.all_verified() && trips < 40 {
+            let sketches = a.start_rounds(layers);
+            let reports = b.handle_sketches(&sketches);
+            a.apply_reports(&reports);
+            trips += 1;
+        }
+        assert!(a.all_verified(), "pipelined run did not converge");
+        assert_eq!(a.round_trips(), trips);
+        let rounds = a.round();
+        (a.into_recovered(), trips, rounds)
+    }
+
+    #[test]
+    fn pipelined_rounds_recover_exactly_in_fewer_round_trips() {
+        // A properly parameterized large run: with ~80 groups, a handful
+        // suffer exception bins in round 1 and the serial protocol pays a
+        // full round trip for each retry round. Pipelining three layers per
+        // trip resolves those retries inside trip 1.
+        let (cfg, params) = params_for(400);
+        let alice: Vec<u64> = (1..=20_000).collect();
+        let bob: Vec<u64> = (401..=20_000).collect();
+        let (serial, serial_trips, _) = run_pipelined(cfg, params, &alice, &bob, 77, 1);
+        assert_eq!(sorted(serial.clone()), (1..=400).collect::<Vec<u64>>());
+        let (pipelined, trips, rounds) = run_pipelined(cfg, params, &alice, &bob, 77, 3);
+        assert_eq!(sorted(pipelined), sorted(serial));
+        assert!(
+            trips < serial_trips,
+            "pipelined {trips} trips not fewer than serial {serial_trips}"
+        );
+        assert_eq!(rounds, trips * 3);
+    }
+
+    #[test]
+    fn pipelined_rounds_survive_decode_failures_and_splits() {
+        // Deliberately under-parameterized (d = 8 against 100 real
+        // differences): every trip's layers all fail for the overloaded
+        // groups, which must split exactly once per trip on both sides and
+        // still converge to the exact difference.
+        let (cfg, params) = params_for(8);
+        let alice: Vec<u64> = (1..=2_000).collect();
+        let bob: Vec<u64> = (101..=2_000).collect();
+        let (pipelined, _, _) = run_pipelined(cfg, params, &alice, &bob, 77, 3);
+        assert_eq!(sorted(pipelined), (1..=100).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn pipelined_stale_layers_self_correct() {
+        // Well-parameterized large run: layer 2 of each batch is computed
+        // against Alice's pre-trip state, so every element recovered by
+        // layer 1 re-appears in layer 2's reports — and must cancel to
+        // s = 0 instead of being toggled back out.
+        let (cfg, params) = params_for(60);
+        let alice: Vec<u64> = (1..=5_000).collect();
+        let bob: Vec<u64> = (61..=5_000).collect();
+        let (recovered, trips, _) = run_pipelined(cfg, params, &alice, &bob, 9, 2);
+        assert_eq!(sorted(recovered), (1..=60).collect::<Vec<u64>>());
+        assert!(trips <= 2, "expected ≤ 2 trips, took {trips}");
+    }
+
+    #[test]
+    fn single_layer_pipelining_matches_classic_rounds() {
+        // start_rounds(1) must be byte-identical to the classic protocol,
+        // split decisions included.
+        let (cfg, params) = params_for(5);
+        let alice: Vec<u64> = (1..=1_500).collect();
+        let bob: Vec<u64> = (201..=1_500).collect();
+        let mut a1 = AliceSession::new(cfg, params, &alice, 13);
+        let mut b1 = BobSession::new(cfg, params, &bob, 13);
+        let mut a2 = AliceSession::new(cfg, params, &alice, 13);
+        let mut b2 = BobSession::new(cfg, params, &bob, 13);
+        for round in 0..25 {
+            let s1 = a1.start_round();
+            let s2 = a2.start_rounds(1);
+            assert_eq!(s1, s2, "sketch divergence round {round}");
+            let r1 = b1.handle_sketches(&s1);
+            let r2 = b2.handle_sketches(&s2);
+            assert_eq!(r1, r2, "report divergence round {round}");
+            let st1 = a1.apply_reports(&r1);
+            let st2 = a2.apply_reports(&r2);
+            assert_eq!(st1, st2);
+            if st1.all_verified {
+                break;
+            }
+        }
+        assert!(a1.all_verified());
+        assert_eq!(sorted(a1.into_recovered()), sorted(a2.into_recovered()));
     }
 
     #[test]

@@ -14,6 +14,22 @@
 //! Each cell carries three `log|U|`-bit words, so the wire cost is about
 //! `6·d·log|U|` bits — the ~6× the theoretical minimum reported in §8.1.2.
 
+//!
+//! # Example
+//!
+//! ```
+//! use ddigest::{DdigestConfig, DifferenceDigest};
+//!
+//! let alice: Vec<u64> = (1..=500).collect();
+//! let bob: Vec<u64> = (11..=500).collect();
+//! let dd = DifferenceDigest::new(DdigestConfig::default());
+//! let outcome = dd.reconcile_with_estimate(&alice, &bob, 30, 7);
+//! assert!(outcome.claimed_success);
+//! let mut diff = outcome.recovered.clone();
+//! diff.sort_unstable();
+//! assert_eq!(diff, (1..=10).collect::<Vec<u64>>());
+//! ```
+
 #![warn(missing_docs)]
 
 use estimator::{Estimator, TowEstimator};

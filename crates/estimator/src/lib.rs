@@ -10,6 +10,24 @@
 //! space-efficient; all three are implemented here so that comparison can be
 //! reproduced.
 
+//!
+//! # Example
+//!
+//! ```
+//! use estimator::{inflate_estimate, Estimator, TowEstimator};
+//!
+//! let a: Vec<u64> = (1..=1000).collect();
+//! let b: Vec<u64> = (51..=1000).collect(); // true d = 50
+//! let mut bank_a = TowEstimator::new(128, 42);
+//! bank_a.insert_slice(&a);
+//! let mut bank_b = TowEstimator::new(128, 42);
+//! bank_b.insert_slice(&b);
+//! let d_hat = bank_a.estimate(&bank_b);
+//! assert!(d_hat > 10.0 && d_hat < 250.0);
+//! // γ-inflate before parameterizing PBS: Pr[d <= γ·d̂] >= 99%.
+//! assert!(inflate_estimate(d_hat) >= 1);
+//! ```
+
 #![warn(missing_docs)]
 
 mod minwise;

@@ -193,7 +193,11 @@ mod tests {
         while set.len() < n {
             set.insert(rng.random::<u64>() | 1);
         }
-        let a: Vec<u64> = set.into_iter().collect();
+        // Sort before slicing: `HashSet` iteration order is per-process
+        // random, and letting it pick *which* elements form the difference
+        // makes multi-seed statistical tests flake rarely.
+        let mut a: Vec<u64> = set.into_iter().collect();
+        a.sort_unstable();
         let b = a[..n - d].to_vec();
         (a, b)
     }

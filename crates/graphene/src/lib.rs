@@ -16,6 +16,22 @@
 //! (§7) — which is exactly the regime where PBS beats it (Figure 2b), with
 //! the break-even appearing only once `d` approaches `|B|`.
 
+//!
+//! # Example
+//!
+//! ```
+//! use graphene::{Graphene, GrapheneConfig};
+//!
+//! let alice: Vec<u64> = (1..=2000).collect();
+//! let bob: Vec<u64> = (21..=2000).collect(); // Bob misses 1..=20
+//! let scheme = Graphene::new(GrapheneConfig::default());
+//! let outcome = scheme.reconcile_with_hint(&alice, &bob, 20, 3);
+//! assert!(outcome.claimed_success);
+//! let mut diff = outcome.recovered.clone();
+//! diff.sort_unstable();
+//! assert_eq!(diff, (1..=20).collect::<Vec<u64>>());
+//! ```
+
 #![warn(missing_docs)]
 
 use bloom::BloomFilter;
@@ -206,7 +222,11 @@ mod tests {
         while set.len() < n {
             set.insert((rng.random::<u64>() & 0xFFFF_FFFF).max(1));
         }
-        let a: Vec<u64> = set.into_iter().collect();
+        // Sort before slicing: `HashSet` iteration order is per-process
+        // random, and letting it pick *which* elements form the difference
+        // makes multi-seed statistical tests flake rarely.
+        let mut a: Vec<u64> = set.into_iter().collect();
+        a.sort_unstable();
         let b = a[..n - d].to_vec();
         (a, b)
     }

@@ -29,6 +29,26 @@
 //! truth for the batched-vs-scalar property tests and the baseline the
 //! `BENCH_decode_path.json` speedups are measured against.
 
+//!
+//! # Example
+//!
+//! ```
+//! use iblt::Iblt;
+//!
+//! let mut a = Iblt::new(64, 4, 7);
+//! a.insert_all(1..=100u64);
+//! let mut b = Iblt::new(64, 4, 7);
+//! b.insert_all(4..=103u64);
+//! let diff = Iblt::diff_and_peel(&a, &b);
+//! assert!(diff.complete);
+//! let mut only_a = diff.only_in_self.clone();
+//! only_a.sort_unstable();
+//! assert_eq!(only_a, vec![1, 2, 3]);      // A \ B
+//! let mut only_b = diff.only_in_other.clone();
+//! only_b.sort_unstable();
+//! assert_eq!(only_b, vec![101, 102, 103]); // B \ A
+//! ```
+
 #![warn(missing_docs)]
 
 use xhash::{derive_seed, xxhash64, xxhash64_u64};

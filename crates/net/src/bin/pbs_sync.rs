@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! pbs-sync --connect ADDR (--set-file PATH | --range N [--drop K])
+//!          [--store NAME] [--pipeline L] [--protocol V]
 //!          [--d D] [--seed S] [--quiet]
 //! ```
 //!
@@ -9,6 +10,9 @@
 //! pushes `A \ B` to the server, and prints what the wire carried. With
 //! `--range N --drop K` the local set is the server's `--range N` demo set
 //! minus its first `K` elements — an instant end-to-end smoke test.
+//! `--store NAME` addresses one of a multi-store server's named sets;
+//! `--pipeline L` packs `L` protocol rounds into each round trip (both
+//! need a v2 server).
 
 use pbs_net::client::{sync, ClientConfig};
 use pbs_net::setio;
@@ -19,6 +23,9 @@ struct Args {
     set_file: Option<PathBuf>,
     range: Option<usize>,
     drop: usize,
+    store: String,
+    pipeline: u32,
+    protocol: Option<u16>,
     d: Option<u64>,
     seed: u64,
     quiet: bool,
@@ -27,7 +34,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: pbs-sync --connect ADDR (--set-file PATH | --range N [--drop K]) \
-         [--d D] [--seed S] [--quiet]"
+         [--store NAME] [--pipeline L] [--protocol V] [--d D] [--seed S] [--quiet]"
     );
     std::process::exit(2);
 }
@@ -38,6 +45,9 @@ fn parse_args() -> Args {
         set_file: None,
         range: None,
         drop: 0,
+        store: String::new(),
+        pipeline: 1,
+        protocol: None,
         d: None,
         seed: 0xA11CE,
         quiet: false,
@@ -50,6 +60,9 @@ fn parse_args() -> Args {
             "--set-file" => args.set_file = Some(PathBuf::from(value())),
             "--range" => args.range = value().parse().ok(),
             "--drop" => args.drop = value().parse().unwrap_or(0),
+            "--store" => args.store = value(),
+            "--pipeline" => args.pipeline = value().parse().unwrap_or(1),
+            "--protocol" => args.protocol = value().parse().ok(),
             "--d" => args.d = value().parse().ok(),
             "--seed" => args.seed = value().parse().unwrap_or(0xA11CE),
             "--quiet" => args.quiet = true,
@@ -76,24 +89,35 @@ fn main() {
         _ => usage(),
     };
 
-    let config = ClientConfig {
+    let mut config = ClientConfig {
         known_d: args.d,
         seed: args.seed,
+        store: args.store.clone(),
+        pipeline: args.pipeline.max(1),
         ..ClientConfig::default()
     };
+    if let Some(v) = args.protocol {
+        config.protocol_version = v;
+    }
     let report = sync(&args.connect, &set, &config).unwrap_or_else(|e| {
         eprintln!("pbs-sync: {e}");
         std::process::exit(1);
     });
 
     println!(
-        "pbs-sync: {} of set {} → |A△B| = {} ({} pushed to the server), \
-         {} rounds, d_param {}{}, verified: {}",
+        "pbs-sync: {}{} of set {} → |A△B| = {} ({} pushed to the server), \
+         {} rounds in {} trips, d_param {}{}, verified: {}",
         args.connect,
+        if args.store.is_empty() {
+            String::new()
+        } else {
+            format!(" store {:?}", args.store)
+        },
         set.len(),
         report.recovered.len(),
         report.pushed.len(),
         report.rounds,
+        report.round_trips,
         report.d_param,
         report
             .estimated_d

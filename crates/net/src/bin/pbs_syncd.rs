@@ -1,34 +1,58 @@
-//! `pbs-syncd` — the PBS reconciliation session server.
+//! `pbs-syncd` — the multi-store PBS reconciliation session server.
 //!
 //! ```text
-//! pbs-syncd [--listen ADDR] (--set-file PATH | --range N) [--workers W]
-//!           [--round-cap R] [--stats-every SECS]
+//! pbs-syncd [--listen ADDR] [--set-file PATH | --range N]
+//!           [--store NAME=SPEC]... [--watch-dir DIR [--watch-every SECS]]
+//!           [--workers W] [--round-cap R] [--max-pipeline L]
+//!           [--protocol V] [--stats-every SECS]
 //! ```
 //!
-//! Serves the `docs/WIRE.md` protocol: each connection reconciles one
-//! client set against the served set and ingests the client's final
-//! element transfer. Stats are printed periodically and the process runs
-//! until killed.
+//! Serves the `docs/WIRE.md` protocol. One process serves any number of
+//! named stores; each v2 client selects one with the store name in its
+//! `Hello` (v1 clients land on the default store). Sources of stores:
+//!
+//! * `--set-file PATH` / `--range N` — the **default** store (the one the
+//!   empty name routes to).
+//! * `--store NAME=SPEC` — a named store; `SPEC` is a set-file path or
+//!   `range:N` for a deterministic demo set.
+//! * `--watch-dir DIR` — every `*.set` file in `DIR` becomes a live
+//!   [`MutableStore`] named after the file stem. The directory is polled
+//!   every `--watch-every` seconds (default 5); edits to a file are
+//!   applied to its store as an epoch-stamped change batch between
+//!   sessions, and new files become new stores without a restart.
+//!
+//! Per-store and server-wide stats are printed every `--stats-every`
+//! seconds and the process runs until killed.
 
-use pbs_net::server::{InMemoryStore, Server, ServerConfig};
+use pbs_net::server::{Server, ServerConfig};
 use pbs_net::setio;
+use pbs_net::store::{InMemoryStore, MutableStore, SetStore, StoreRegistry};
+use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, SystemTime};
 
 struct Args {
     listen: String,
     set_file: Option<PathBuf>,
     range: Option<usize>,
+    stores: Vec<(String, String)>,
+    watch_dir: Option<PathBuf>,
+    watch_every: u64,
     workers: Option<usize>,
     round_cap: Option<u32>,
+    max_pipeline: Option<u32>,
+    protocol: Option<u16>,
     stats_every: u64,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: pbs-syncd [--listen ADDR] (--set-file PATH | --range N) \
-         [--workers W] [--round-cap R] [--stats-every SECS]"
+        "usage: pbs-syncd [--listen ADDR] [--set-file PATH | --range N] \
+         [--store NAME=SPEC]... [--watch-dir DIR [--watch-every SECS]] \
+         [--workers W] [--round-cap R] [--max-pipeline L] [--protocol V] \
+         [--stats-every SECS]\n\
+         SPEC is a set-file path or range:N; at least one store is required"
     );
     std::process::exit(2);
 }
@@ -38,8 +62,13 @@ fn parse_args() -> Args {
         listen: "127.0.0.1:7171".into(),
         set_file: None,
         range: None,
+        stores: Vec::new(),
+        watch_dir: None,
+        watch_every: 5,
         workers: None,
         round_cap: None,
+        max_pipeline: None,
+        protocol: None,
         stats_every: 30,
     };
     let mut it = std::env::args().skip(1);
@@ -49,8 +78,19 @@ fn parse_args() -> Args {
             "--listen" => args.listen = value(),
             "--set-file" => args.set_file = Some(PathBuf::from(value())),
             "--range" => args.range = value().parse().ok(),
+            "--store" => {
+                let spec = value();
+                let Some((name, source)) = spec.split_once('=') else {
+                    usage()
+                };
+                args.stores.push((name.to_string(), source.to_string()));
+            }
+            "--watch-dir" => args.watch_dir = Some(PathBuf::from(value())),
+            "--watch-every" => args.watch_every = value().parse().unwrap_or(5),
             "--workers" => args.workers = value().parse().ok(),
             "--round-cap" => args.round_cap = value().parse().ok(),
+            "--max-pipeline" => args.max_pipeline = value().parse().ok(),
+            "--protocol" => args.protocol = value().parse().ok(),
             "--stats-every" => args.stats_every = value().parse().unwrap_or(30),
             _ => usage(),
         }
@@ -58,18 +98,163 @@ fn parse_args() -> Args {
     args
 }
 
+/// Load a `--store` SPEC: a set-file path or `range:N`.
+fn load_spec(name: &str, spec: &str) -> Vec<u64> {
+    if let Some(n) = spec.strip_prefix("range:") {
+        let Ok(n) = n.parse::<usize>() else { usage() };
+        // Salt the demo set by store name so two range stores differ.
+        let salt = name.bytes().fold(0xB0Bu64, |acc, b| {
+            acc.wrapping_mul(31).wrapping_add(b as u64)
+        });
+        return setio::demo_set(n, salt);
+    }
+    let path = PathBuf::from(spec);
+    setio::load_set(&path).unwrap_or_else(|e| {
+        eprintln!("pbs-syncd: cannot load {}: {e}", path.display());
+        std::process::exit(1);
+    })
+}
+
+/// The (mtime, length) fingerprint change detection keys on. Either field
+/// changing triggers a re-read; the diff-based apply is idempotent, so a
+/// spurious re-read is harmless, while a plain `mtime >` comparison would
+/// silently drop edits landing inside one mtime granule (second-granular
+/// on many filesystems).
+type FileStamp = (SystemTime, u64);
+
+/// One pass over the watch directory: register stores for new `*.set`
+/// files, apply edits of known files as change batches.
+fn scan_watch_dir(
+    dir: &std::path::Path,
+    registry: &StoreRegistry,
+    watched: &mut HashMap<String, (PathBuf, Arc<MutableStore>, FileStamp)>,
+) {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("pbs-syncd: cannot read {}: {e}", dir.display());
+            return;
+        }
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("set") {
+            continue;
+        }
+        let Some(name) = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .map(str::to_string)
+        else {
+            continue;
+        };
+        if name.len() > pbs_net::frame::MAX_STORE_NAME {
+            eprintln!("pbs-syncd: skipping {}: name too long", path.display());
+            continue;
+        }
+        let stamp: FileStamp = entry
+            .metadata()
+            .map(|m| (m.modified().unwrap_or(SystemTime::UNIX_EPOCH), m.len()))
+            .unwrap_or((SystemTime::UNIX_EPOCH, 0));
+        match watched.get_mut(&name) {
+            None => {
+                let elements = match setio::load_set(&path) {
+                    Ok(elements) => elements,
+                    Err(e) => {
+                        eprintln!("pbs-syncd: cannot load {}: {e}", path.display());
+                        continue;
+                    }
+                };
+                let store = Arc::new(MutableStore::new(elements));
+                registry.register(name.clone(), Arc::clone(&store) as Arc<dyn SetStore>);
+                println!(
+                    "pbs-syncd: watching {} as store {name:?} ({} elements)",
+                    path.display(),
+                    store.len()
+                );
+                watched.insert(name, (path, store, stamp));
+            }
+            Some((_, store, last_stamp)) if stamp != *last_stamp => {
+                let Ok(target) = setio::load_set(&path) else {
+                    eprintln!(
+                        "pbs-syncd: ignoring unparseable update of {}",
+                        path.display()
+                    );
+                    continue;
+                };
+                let target: std::collections::HashSet<u64> = target.into_iter().collect();
+                let current: std::collections::HashSet<u64> =
+                    store.snapshot().into_iter().collect();
+                let added: Vec<u64> = target.difference(&current).copied().collect();
+                let removed: Vec<u64> = current.difference(&target).copied().collect();
+                let epoch = store.apply(&added, &removed);
+                *last_stamp = stamp;
+                if !added.is_empty() || !removed.is_empty() {
+                    println!(
+                        "pbs-syncd: store {name:?} now epoch {epoch} (+{} −{})",
+                        added.len(),
+                        removed.len()
+                    );
+                }
+            }
+            Some(_) => {}
+        }
+    }
+}
+
 fn main() {
     let args = parse_args();
-    let elements = match (&args.set_file, args.range) {
-        (Some(path), None) => setio::load_set(path).unwrap_or_else(|e| {
-            eprintln!("pbs-syncd: cannot load {}: {e}", path.display());
-            std::process::exit(1);
-        }),
-        (None, Some(n)) => setio::demo_set(n, 0xB0B),
+    let registry = Arc::new(StoreRegistry::new());
+
+    // Default store from --set-file / --range.
+    match (&args.set_file, args.range) {
+        (Some(path), None) => {
+            let elements = setio::load_set(path).unwrap_or_else(|e| {
+                eprintln!("pbs-syncd: cannot load {}: {e}", path.display());
+                std::process::exit(1);
+            });
+            registry.register("", Arc::new(InMemoryStore::new(elements)));
+        }
+        (None, Some(n)) => {
+            registry.register("", Arc::new(InMemoryStore::new(setio::demo_set(n, 0xB0B))));
+        }
+        (None, None) => {}
         _ => usage(),
-    };
-    let store = Arc::new(InMemoryStore::new(elements));
-    println!("pbs-syncd: serving a set of {} elements", store.len());
+    }
+    // Named stores.
+    for (name, spec) in &args.stores {
+        registry.register(
+            name.clone(),
+            Arc::new(InMemoryStore::new(load_spec(name, spec))),
+        );
+    }
+    // Watched stores: one synchronous scan so they exist before we listen,
+    // then a poller thread keeps them live.
+    let mut watched = HashMap::new();
+    if let Some(dir) = &args.watch_dir {
+        scan_watch_dir(dir, &registry, &mut watched);
+        let dir = dir.clone();
+        let registry = Arc::clone(&registry);
+        let every = Duration::from_secs(args.watch_every.max(1));
+        std::thread::Builder::new()
+            .name("pbs-syncd-watch".into())
+            .spawn(move || loop {
+                std::thread::sleep(every);
+                scan_watch_dir(&dir, &registry, &mut watched);
+            })
+            .expect("spawn watch thread");
+    }
+    if registry.is_empty() {
+        usage();
+    }
+    for name in registry.names() {
+        let entry = registry.get(&name).expect("just listed");
+        println!(
+            "pbs-syncd: serving store {} with {} elements",
+            if name.is_empty() { "(default)" } else { &name },
+            entry.store().element_count()
+        );
+    }
 
     let mut config = ServerConfig::default();
     if let Some(w) = args.workers {
@@ -78,29 +263,58 @@ fn main() {
     if let Some(r) = args.round_cap {
         config.round_cap = r.max(1);
     }
+    if let Some(l) = args.max_pipeline {
+        config.max_pipeline_depth = l.max(1);
+    }
+    if let Some(v) = args.protocol {
+        config.protocol_version = v;
+    }
 
-    let server = Server::bind(&args.listen, store.clone() as Arc<_>, config).unwrap_or_else(|e| {
-        eprintln!("pbs-syncd: cannot bind {}: {e}", args.listen);
-        std::process::exit(1);
-    });
-    println!("pbs-syncd: listening on {}", server.local_addr());
+    let server =
+        Server::bind_registry(&args.listen, Arc::clone(&registry), config).unwrap_or_else(|e| {
+            eprintln!("pbs-syncd: cannot bind {}: {e}", args.listen);
+            std::process::exit(1);
+        });
+    println!(
+        "pbs-syncd: listening on {} (protocol v{}, {} stores)",
+        server.local_addr(),
+        config.protocol_version,
+        registry.len()
+    );
 
     let stats = server.stats();
     loop {
         std::thread::sleep(Duration::from_secs(args.stats_every.max(1)));
         let s = stats.snapshot();
         println!(
-            "pbs-syncd: sessions {}/{} ok (failed {}), rounds {}, \
-             bytes in/out {}/{}, decode failures {}, elements ingested {}, set size {}",
+            "pbs-syncd: total: sessions {}/{} ok (failed {}), rounds {} in {} trips, \
+             bytes in/out {}/{}, decode failures {}, elements ingested {}",
             s.sessions_completed,
             s.sessions_started,
             s.sessions_failed,
             s.rounds,
+            s.round_trips,
             s.bytes_in,
             s.bytes_out,
             s.decode_failures,
             s.elements_received,
-            store.len(),
         );
+        for name in registry.names() {
+            let Some(entry) = registry.get(&name) else {
+                continue;
+            };
+            let p = entry.stats().snapshot();
+            println!(
+                "pbs-syncd:   store {}: sessions {}/{} ok, rounds {} in {} trips, \
+                 ingested {}, size {}",
+                if name.is_empty() { "(default)" } else { &name },
+                p.sessions_completed,
+                p.sessions_started,
+                p.rounds,
+                p.round_trips,
+                p.elements_received,
+                entry.store().element_count(),
+            );
+        }
     }
 }

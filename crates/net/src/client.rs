@@ -1,8 +1,10 @@
 //! The sync client: drives an [`AliceSession`] against a reconciliation
 //! server and returns the reconciled difference with full transport
-//! accounting.
+//! accounting. On v2 sessions the client can address a named server-side
+//! store ([`ClientConfig::store`]) and pipeline several protocol rounds
+//! into each request-response round trip ([`ClientConfig::pipeline`]).
 
-use crate::frame::{EstimatorMsg, Frame, Hello, PROTOCOL_VERSION};
+use crate::frame::{EstimatorMsg, Frame, Hello, MAX_STORE_NAME, PROTOCOL_VERSION};
 use crate::{FramedStream, NetError, TransportConfig};
 use estimator::{Estimator, TowEstimator};
 use pbs_core::{AliceSession, Pbs, PbsConfig, ESTIMATOR_SEED_SALT};
@@ -10,7 +12,7 @@ use std::collections::HashSet;
 use std::net::{TcpStream, ToSocketAddrs};
 
 /// Client-side configuration of one sync.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ClientConfig {
     /// Socket/framing knobs.
     pub transport: TransportConfig,
@@ -22,9 +24,10 @@ pub struct ClientConfig {
     /// Base seed for every hash function of the session. Two syncs with
     /// the same seed and sets are byte-identical on the wire.
     pub seed: u64,
-    /// Client-side cap on sketch/report rounds before giving up (the
-    /// server enforces its own cap too). The default comfortably covers
-    /// the ≤ 3 rounds the paper's parameterization targets plus splits.
+    /// Client-side cap on sketch/report *protocol rounds* before giving up
+    /// (the server enforces its own cap too; pipelined layers count
+    /// individually on both sides). The default comfortably covers the
+    /// ≤ 3 rounds the paper's parameterization targets plus splits.
     pub round_cap: u32,
     /// Largest difference parameterization the client will accept —
     /// whether from its own `known_d` or from the server's estimate reply
@@ -32,6 +35,23 @@ pub struct ClientConfig {
     /// gigantic `d`). Mirrors `ServerConfig::max_d`; see that knob's
     /// documentation for the relationship to the frame-size cap.
     pub max_d: u64,
+    /// Name of the server-side store to reconcile against. The empty
+    /// string is the default store and works on any server; a non-empty
+    /// name requires a v2 session — the sync aborts if the server
+    /// negotiates the session down to v1.
+    pub store: String,
+    /// Number of protocol rounds pipelined into each sketch/report round
+    /// trip. 1 (the default) is the classic one-round-per-trip protocol;
+    /// higher depths speculatively ship the next rounds' sketches in the
+    /// same frame, trading bytes for round trips (see
+    /// [`pbs_core::AliceSession::start_rounds`]). Negotiated in the
+    /// handshake: the session uses `min` of this request and the server's
+    /// grant (`ServerConfig::max_pipeline_depth`, default 4), and falls
+    /// back to 1 when the server negotiates v1.
+    pub pipeline: u32,
+    /// Protocol version to propose, normally [`PROTOCOL_VERSION`]. Set to
+    /// 1 to emulate a legacy client (no store routing, no pipelining).
+    pub protocol_version: u16,
 }
 
 impl Default for ClientConfig {
@@ -43,6 +63,9 @@ impl Default for ClientConfig {
             seed: 0x9E37_79B9,
             round_cap: 32,
             max_d: 1 << 18,
+            store: String::new(),
+            pipeline: 1,
+            protocol_version: PROTOCOL_VERSION,
         }
     }
 }
@@ -58,8 +81,11 @@ pub struct SyncReport {
     pub pushed: Vec<u64>,
     /// `true` when every group checksum verified — the recovery is exact.
     pub verified: bool,
-    /// Sketch/report rounds executed.
+    /// Protocol rounds executed (pipelined layers counted individually).
     pub rounds: u32,
+    /// Sketch/report round trips spent — equals `rounds` unless rounds
+    /// were pipelined.
+    pub round_trips: u32,
     /// The difference cardinality the session was parameterized with.
     pub d_param: u64,
     /// The raw ToW estimate, when the estimator exchange ran.
@@ -117,11 +143,35 @@ pub fn sync(
         }
     }
 
+    if config.protocol_version == 0 || config.protocol_version > PROTOCOL_VERSION {
+        return Err(NetError::Protocol(format!(
+            "protocol_version must be in 1..={PROTOCOL_VERSION}"
+        )));
+    }
+    if !config.store.is_empty() && config.protocol_version < 2 {
+        return Err(NetError::Protocol(
+            "named stores require protocol v2".into(),
+        ));
+    }
+    // The encoder would byte-truncate an over-long name (possibly
+    // mid-codepoint), silently addressing a *different* store than the
+    // caller asked for — refuse up front instead, mirroring the registry's
+    // registration-side check.
+    if config.store.len() > MAX_STORE_NAME {
+        return Err(NetError::Protocol(format!(
+            "store name of {} bytes exceeds the {MAX_STORE_NAME}-byte wire limit",
+            config.store.len()
+        )));
+    }
+
     let stream = TcpStream::connect(addr)?;
     let mut framed = FramedStream::from_tcp(stream, &config.transport)?;
 
     // ---- Handshake ----
-    let hello = Hello::from_config(&config.pbs, config.seed, known_d.unwrap_or(0));
+    let mut hello = Hello::from_config(&config.pbs, config.seed, known_d.unwrap_or(0))
+        .with_store(config.store.clone())
+        .with_pipeline(config.pipeline.max(1));
+    hello.version = config.protocol_version;
     framed.send(&Frame::Hello(hello))?;
     let negotiated = match framed.recv()? {
         Frame::Hello(h) => h,
@@ -132,12 +182,32 @@ pub fn sync(
             )))
         }
     };
-    if negotiated.version == 0 || negotiated.version > PROTOCOL_VERSION {
+    if negotiated.version == 0 || negotiated.version > config.protocol_version {
         return Err(NetError::Protocol(format!(
             "server negotiated unsupported version {}",
             negotiated.version
         )));
     }
+    // A downgraded session cannot address a named store — the server would
+    // silently serve its default set instead of the one we asked for.
+    if negotiated.version < 2 && !config.store.is_empty() {
+        return Err(NetError::Protocol(format!(
+            "server only speaks v{} and cannot route store {:?}",
+            negotiated.version, config.store
+        )));
+    }
+    // Pipelining is a v2 semantic negotiated like the version: the server
+    // grants at most its own per-frame cap, and the session uses the
+    // granted depth — a deeper request degrades instead of having a
+    // mid-session frame refused. v1 sessions are always unpipelined.
+    let pipeline = if negotiated.version >= 2 {
+        config
+            .pipeline
+            .max(1)
+            .min(negotiated.pipeline.max(1) as u32)
+    } else {
+        1
+    };
 
     // ---- Difference parameterization ----
     let mut estimated_d = None;
@@ -176,7 +246,10 @@ pub fn sync(
     let mut alice = AliceSession::new(config.pbs, params, set, config.seed);
     let mut verified = false;
     while alice.round() < config.round_cap {
-        let batch = alice.start_round();
+        // Pipelined: one frame speculatively carries the next `layers`
+        // rounds' sketches; the server answers every layer in one reply.
+        let layers = pipeline.min(config.round_cap - alice.round());
+        let batch = alice.start_rounds(layers);
         framed.send(&Frame::Sketches { m: params.m, batch })?;
         let reports = match framed.recv()? {
             Frame::Reports(reports) => reports,
@@ -196,6 +269,7 @@ pub fn sync(
 
     // ---- Final transfer: ship A \ B so the server can converge ----
     let rounds = alice.round();
+    let round_trips = alice.round_trips();
     let holdings: HashSet<u64> = set.iter().copied().collect();
     let recovered: Vec<u64> = alice.into_recovered();
     let pushed: Vec<u64> = recovered
@@ -230,6 +304,7 @@ pub fn sync(
         pushed,
         verified,
         rounds,
+        round_trips,
         d_param,
         estimated_d,
         negotiated_version: negotiated.version,

@@ -22,7 +22,18 @@ use std::io::{Read, Write};
 
 /// Protocol version this build speaks. The handshake negotiates down to
 /// `min(client, server)`; version 0 is invalid.
-pub const PROTOCOL_VERSION: u16 = 1;
+///
+/// * **v1** — the PR-3 protocol: one anonymous store, one round per
+///   `Sketches` frame.
+/// * **v2** — adds a store name to `Hello` (multi-set routing) and
+///   pipelined rounds (one `Sketches` frame may carry several consecutive
+///   rounds' layers). The `Hello` payload is self-describing: its
+///   `version` field governs whether the store-name field follows, so
+///   both encodings coexist on one port.
+pub const PROTOCOL_VERSION: u16 = 2;
+
+/// Largest store name (in bytes) a `Hello` may carry or a server accepts.
+pub const MAX_STORE_NAME: usize = 64;
 
 /// Magic number opening every `Hello` payload (`"PBS1"` little-endian).
 pub const HELLO_MAGIC: u32 = 0x3153_4250;
@@ -53,6 +64,8 @@ pub enum ErrorCode {
     Decode,
     /// The sender hit an internal failure (deadline, resource limits, …).
     Internal,
+    /// The `Hello` named a store this server does not serve (v2).
+    UnknownStore,
 }
 
 impl ErrorCode {
@@ -65,6 +78,7 @@ impl ErrorCode {
             ErrorCode::RoundLimit => 5,
             ErrorCode::Decode => 6,
             ErrorCode::Internal => 7,
+            ErrorCode::UnknownStore => 8,
         }
     }
 
@@ -77,6 +91,7 @@ impl ErrorCode {
             5 => ErrorCode::RoundLimit,
             6 => ErrorCode::Decode,
             7 => ErrorCode::Internal,
+            8 => ErrorCode::UnknownStore,
             _ => return None,
         })
     }
@@ -92,6 +107,7 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::RoundLimit => "round-limit",
             ErrorCode::Decode => "decode-failure",
             ErrorCode::Internal => "internal",
+            ErrorCode::UnknownStore => "unknown-store",
         };
         f.write_str(name)
     }
@@ -103,9 +119,11 @@ impl std::fmt::Display for ErrorCode {
 /// [`Frame::Error`]). Carrying the whole [`PbsConfig`] plus the seed means
 /// the two state machines derive every hash function identically without
 /// any further agreement.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Hello {
-    /// Proposed (client) or negotiated (server) protocol version.
+    /// Proposed (client) or negotiated (server) protocol version. Also
+    /// governs the payload shape: the store-name field exists only when
+    /// `version >= 2`.
     pub version: u16,
     /// `log|U|`, the element signature width.
     pub universe_bits: u8,
@@ -124,10 +142,21 @@ pub struct Hello {
     /// Difference cardinality known a priori; `0` means unknown, and an
     /// estimator exchange follows the handshake.
     pub known_d: u64,
+    /// Name of the server-side store to reconcile against (v2; the empty
+    /// string is the default store, and the only thing a v1 `Hello` can
+    /// address). At most [`MAX_STORE_NAME`] bytes of UTF-8.
+    pub store: String,
+    /// Pipelined layers per sketch frame: the depth the client *requests*,
+    /// the depth the server's reply *grants* (`min(requested,
+    /// max_pipeline_depth)`) — negotiated exactly like `version`, so a
+    /// client never discovers the server's cap by having a mid-session
+    /// frame refused. v2 only; 0 is normalized to 1.
+    pub pipeline: u8,
 }
 
 impl Hello {
-    /// Build the client's opening `Hello` from a [`PbsConfig`].
+    /// Build the client's opening `Hello` from a [`PbsConfig`], addressing
+    /// the default store with unpipelined rounds.
     pub fn from_config(cfg: &PbsConfig, seed: u64, known_d: u64) -> Self {
         Hello {
             version: PROTOCOL_VERSION,
@@ -139,7 +168,22 @@ impl Hello {
             estimator_sketches: cfg.estimator_sketches as u32,
             seed,
             known_d,
+            store: String::new(),
+            pipeline: 1,
         }
+    }
+
+    /// Address a named store (requires a v2 session).
+    pub fn with_store(mut self, store: impl Into<String>) -> Self {
+        self.store = store.into();
+        self
+    }
+
+    /// Request a pipelined-layer depth (requires a v2 session; the server
+    /// grants at most its own cap).
+    pub fn with_pipeline(mut self, layers: u32) -> Self {
+        self.pipeline = layers.clamp(1, u8::MAX as u32) as u8;
+        self
     }
 
     /// Reconstruct the [`PbsConfig`] both parties must instantiate.
@@ -295,6 +339,14 @@ impl Frame {
                 out.extend_from_slice(&h.estimator_sketches.to_le_bytes());
                 out.extend_from_slice(&h.seed.to_le_bytes());
                 out.extend_from_slice(&h.known_d.to_le_bytes());
+                // v1 peers expect the payload to end here; the store-name
+                // and pipeline fields exist only in the v2 shape.
+                if h.version >= 2 {
+                    let name = &h.store.as_bytes()[..h.store.len().min(MAX_STORE_NAME)];
+                    out.push(name.len() as u8);
+                    out.extend_from_slice(name);
+                    out.push(h.pipeline);
+                }
             }
             Frame::EstimatorExchange(EstimatorMsg::TowBank(bank)) => {
                 out.push(EST_KIND_BANK);
@@ -338,7 +390,7 @@ impl Frame {
                 if magic != HELLO_MAGIC {
                     return Err(FrameError::BadMagic(magic));
                 }
-                let hello = Hello {
+                let mut hello = Hello {
                     version: take_u16(&mut buf)?,
                     universe_bits: take_u8(&mut buf)?,
                     delta: take_u32(&mut buf)?,
@@ -348,7 +400,18 @@ impl Frame {
                     estimator_sketches: take_u32(&mut buf)?,
                     seed: take_u64(&mut buf)?,
                     known_d: take_u64(&mut buf)?,
+                    store: String::new(),
+                    pipeline: 1,
                 };
+                if hello.version >= 2 {
+                    let len = take_u8(&mut buf)? as usize;
+                    if len > MAX_STORE_NAME {
+                        return Err(FrameError::Payload(WireError::Truncated));
+                    }
+                    let raw = take(&mut buf, len)?;
+                    hello.store = String::from_utf8_lossy(raw).into_owned();
+                    hello.pipeline = take_u8(&mut buf)?.max(1);
+                }
                 if !buf.is_empty() {
                     return Err(FrameError::Payload(WireError::Truncated));
                 }
@@ -476,13 +539,57 @@ mod tests {
 
     #[test]
     fn hello_round_trip() {
-        let hello = Hello::from_config(&PbsConfig::default(), 0xDEAD_BEEF, 42);
-        let back = round_trip(&Frame::Hello(hello), DEFAULT_MAX_FRAME);
+        let hello = Hello::from_config(&PbsConfig::default(), 0xDEAD_BEEF, 42)
+            .with_store("blocks")
+            .with_pipeline(3);
+        let back = round_trip(&Frame::Hello(hello.clone()), DEFAULT_MAX_FRAME);
         assert_eq!(back, Frame::Hello(hello));
         let Frame::Hello(h) = back else {
             unreachable!()
         };
         assert_eq!(h.config().unwrap(), PbsConfig::default());
+        assert_eq!(h.store, "blocks");
+        assert_eq!(h.pipeline, 3);
+    }
+
+    #[test]
+    fn v1_hello_has_no_store_field_and_round_trips() {
+        let mut hello = Hello::from_config(&PbsConfig::default(), 7, 0);
+        hello.version = 1;
+        let v1_len = Frame::Hello(hello.clone()).encode_body().len();
+        let v2_len = Frame::Hello(Hello::from_config(&PbsConfig::default(), 7, 0))
+            .encode_body()
+            .len();
+        // The v2 shape adds exactly the one-byte length prefix of an empty
+        // store name plus the pipeline byte.
+        assert_eq!(v2_len, v1_len + 2);
+        let back = round_trip(&Frame::Hello(hello.clone()), DEFAULT_MAX_FRAME);
+        assert_eq!(back, Frame::Hello(hello.clone()));
+        // A v1 Hello carrying a (stripped) store name decodes with the
+        // store field empty: v1 peers cannot address named stores.
+        let named = hello.with_store("ignored");
+        let Frame::Hello(h) = round_trip(&Frame::Hello(named), DEFAULT_MAX_FRAME) else {
+            unreachable!()
+        };
+        assert_eq!(h.store, "");
+    }
+
+    #[test]
+    fn oversized_store_names_are_rejected() {
+        let hello = Hello::from_config(&PbsConfig::default(), 7, 0).with_store("s".repeat(80));
+        // The encoder truncates to MAX_STORE_NAME…
+        let body = Frame::Hello(hello).encode_body();
+        let Frame::Hello(h) = Frame::decode_body(&body).unwrap() else {
+            unreachable!()
+        };
+        assert_eq!(h.store.len(), MAX_STORE_NAME);
+        // …and the decoder refuses a hand-crafted longer length byte.
+        // (The length byte sits before the name and the pipeline byte.)
+        let mut forged = body.clone();
+        let len_at = body.len() - 2 - MAX_STORE_NAME;
+        forged[len_at] = MAX_STORE_NAME as u8 + 1;
+        forged.push(b'x');
+        assert!(Frame::decode_body(&forged).is_err());
     }
 
     #[test]
@@ -540,5 +647,23 @@ mod tests {
         let mut h3 = Hello::from_config(&PbsConfig::default(), 1, 0);
         h3.target_success = f64::NAN;
         assert!(h3.config().is_err());
+    }
+
+    #[test]
+    fn error_code_u8_round_trip_covers_unknown_store() {
+        for code in [
+            ErrorCode::BadMagic,
+            ErrorCode::Version,
+            ErrorCode::BadConfig,
+            ErrorCode::Protocol,
+            ErrorCode::RoundLimit,
+            ErrorCode::Decode,
+            ErrorCode::Internal,
+            ErrorCode::UnknownStore,
+        ] {
+            assert_eq!(ErrorCode::from_u8(code.to_u8()), Some(code));
+        }
+        assert_eq!(ErrorCode::from_u8(0), None);
+        assert_eq!(ErrorCode::from_u8(9), None);
     }
 }

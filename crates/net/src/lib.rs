@@ -9,19 +9,48 @@
 //!   [`pbs_core::wire`]; the format is specified in `docs/WIRE.md`.
 //! * [`FramedStream`] — a byte-counting framed transport over any
 //!   `Read + Write` stream.
+//! * [`store`] — the element stores: [`InMemoryStore`], the mutable
+//!   epoch-stamped [`store::MutableStore`] delta feed, and the
+//!   [`StoreRegistry`] a multi-tenant server routes the v2 handshake's
+//!   store name through.
 //! * [`server`] — [`server::Server`]: a TCP listener with a bounded worker
-//!   pool that runs one [`pbs_core::BobSession`] per connection (handshake →
-//!   estimator exchange → sketch/report rounds → final element transfer),
-//!   enforcing per-connection deadlines and round caps and exporting atomic
-//!   [`server::ServerStats`].
+//!   pool that runs one [`pbs_core::BobSession`] per connection (handshake
+//!   with store routing → estimator exchange → possibly-pipelined
+//!   sketch/report rounds → final element transfer), enforcing
+//!   per-connection deadlines, round caps and pipeline-depth caps, and
+//!   exporting atomic [`server::ServerStats`] both server-wide and per
+//!   store.
 //! * [`client`] — [`client::sync`]: drives an [`pbs_core::AliceSession`]
-//!   against a server and returns the reconciled difference plus transport
+//!   against a server (optionally pipelining several protocol rounds per
+//!   round trip) and returns the reconciled difference plus transport
 //!   accounting.
 //!
 //! The loopback integration test (`tests/loopback.rs`) reconciles
 //! 100k-element sets over real sockets and checks the measured wire bytes
 //! against the in-process transcript's payload accounting
 //! ([`protocol::Transcript::wire_bytes_total`]).
+//!
+//! # Example
+//!
+//! Reconcile two in-process sets over a real socket pair:
+//!
+//! ```
+//! use pbs_net::{sync, ClientConfig, InMemoryStore, Server, ServerConfig};
+//! use std::sync::Arc;
+//!
+//! let store = Arc::new(InMemoryStore::new(2..=100u64));
+//! let server = Server::bind("127.0.0.1:0", store.clone(), ServerConfig::default())?;
+//!
+//! let alice: Vec<u64> = (1..=99).collect();
+//! let report = sync(server.local_addr(), &alice, &ClientConfig::default())?;
+//! assert!(report.verified);
+//! let mut diff = report.recovered.clone();
+//! diff.sort_unstable();
+//! assert_eq!(diff, vec![1, 100]);          // A△B
+//! assert!(store.contains(1));              // server ingested A \ B
+//! server.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 #![warn(missing_docs)]
 
@@ -30,10 +59,12 @@ pub mod crc;
 pub mod frame;
 pub mod server;
 pub mod setio;
+pub mod store;
 
 pub use client::{sync, ClientConfig, SyncReport};
 pub use frame::{Frame, Hello, PROTOCOL_VERSION};
-pub use server::{InMemoryStore, Server, ServerConfig, SetStore};
+pub use server::{Server, ServerConfig};
+pub use store::{InMemoryStore, MutableStore, SetStore, StoreRegistry};
 
 use pbs_core::wire::WireError;
 use std::io::{Read, Write};

@@ -1,82 +1,33 @@
 //! The reconciliation session server: a TCP listener, a bounded worker
 //! pool, and one [`BobSession`] state machine per connection.
 //!
-//! Each accepted connection runs the `docs/WIRE.md` session: handshake →
-//! optional estimator exchange → sketch/report rounds → final element
-//! transfer. The server is the *responder* throughout — it never sends a
-//! frame except in reply — which keeps the per-connection state machine a
-//! simple read-dispatch loop. Hostile input is bounded at every layer:
-//! frame sizes by the transport cap, handshake values by
+//! Each accepted connection runs the `docs/WIRE.md` session: handshake
+//! (with store routing through the [`StoreRegistry`] on v2 sessions) →
+//! optional estimator exchange → sketch/report rounds (possibly pipelined:
+//! one `Sketches` frame may carry several consecutive rounds' layers) →
+//! final element transfer. The server is the *responder* throughout — it
+//! never sends a frame except in reply — which keeps the per-connection
+//! state machine a simple read-dispatch loop. Hostile input is bounded at
+//! every layer: frame sizes by the transport cap, handshake values by
 //! [`crate::frame::Hello::config`], the parameterized difference by
-//! [`ServerConfig::max_d`], rounds by [`ServerConfig::round_cap`], wall
-//! clock by [`ServerConfig::session_deadline`], and sketch shapes are
-//! validated against the negotiated codec before they reach
-//! the BCH codec's `Sketch::combine` capacity assertion.
+//! [`ServerConfig::max_d`], rounds by [`ServerConfig::round_cap`],
+//! pipelining by [`ServerConfig::max_pipeline_depth`], wall clock by
+//! [`ServerConfig::session_deadline`], and sketch shapes are validated
+//! against the negotiated codec before they reach the BCH codec's
+//! `Sketch::combine` capacity assertion.
 
-use crate::frame::{ErrorCode, EstimatorMsg, Frame, Hello, PROTOCOL_VERSION};
+use crate::frame::{ErrorCode, EstimatorMsg, Frame, PROTOCOL_VERSION};
+use crate::store::{RegisteredStore, StoreRegistry};
 use crate::{FramedStream, NetError, TransportConfig};
 use estimator::{Estimator, TowEstimator};
 use pbs_core::{BobSession, Pbs, ESTIMATOR_SEED_SALT};
-use std::collections::HashSet;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// The element store a server reconciles against.
-///
-/// `snapshot` is taken once per session (estimator and `BobSession` must
-/// see the same set); `apply_missing` receives the client's final `Done`
-/// transfer — the elements the client holds and this store lacks — so the
-/// two sides converge on the union.
-pub trait SetStore: Send + Sync + 'static {
-    /// The current element set.
-    fn snapshot(&self) -> Vec<u64>;
-    /// Ingest elements learned from a client.
-    fn apply_missing(&self, elements: &[u64]);
-}
-
-/// A `RwLock<HashSet>`-backed [`SetStore`].
-#[derive(Debug, Default)]
-pub struct InMemoryStore {
-    elements: RwLock<HashSet<u64>>,
-}
-
-impl InMemoryStore {
-    /// Create a store holding the given elements.
-    pub fn new(elements: impl IntoIterator<Item = u64>) -> Self {
-        InMemoryStore {
-            elements: RwLock::new(elements.into_iter().collect()),
-        }
-    }
-
-    /// Number of elements currently held.
-    pub fn len(&self) -> usize {
-        self.elements.read().unwrap().len()
-    }
-
-    /// `true` when the store holds nothing.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Membership test.
-    pub fn contains(&self, element: u64) -> bool {
-        self.elements.read().unwrap().contains(&element)
-    }
-}
-
-impl SetStore for InMemoryStore {
-    fn snapshot(&self) -> Vec<u64> {
-        self.elements.read().unwrap().iter().copied().collect()
-    }
-
-    fn apply_missing(&self, elements: &[u64]) {
-        let mut guard = self.elements.write().unwrap();
-        guard.extend(elements.iter().copied());
-    }
-}
+pub use crate::store::{InMemoryStore, SetStore};
 
 /// Server-side limits and pool sizing.
 #[derive(Debug, Clone, Copy)]
@@ -104,6 +55,15 @@ pub struct ServerConfig {
     /// The transfer is a single frame, so `(max_frame − 5) / 8` is an
     /// additional hard ceiling.
     pub max_done_elements: u32,
+    /// Highest protocol version this server negotiates. Defaults to
+    /// [`PROTOCOL_VERSION`]; set to 1 to serve as a legacy v1 responder
+    /// (no store routing, no pipelining) — the downgrade tests use this.
+    pub protocol_version: u16,
+    /// Most pipelined round layers accepted in one `Sketches` frame (v2
+    /// sessions; v1 sessions are always single-layer). Each layer costs
+    /// one full per-group decode pass, so this bounds per-frame CPU the
+    /// same way `round_cap` bounds it per session.
+    pub max_pipeline_depth: u32,
 }
 
 impl Default for ServerConfig {
@@ -116,6 +76,8 @@ impl Default for ServerConfig {
             session_deadline: Duration::from_secs(120),
             max_d: 1 << 18,
             max_done_elements: 1 << 20,
+            protocol_version: PROTOCOL_VERSION,
+            max_pipeline_depth: 4,
         }
     }
 }
@@ -130,8 +92,12 @@ pub struct ServerStats {
     pub sessions_completed: AtomicU64,
     /// Sessions that ended in any error (including peer disconnects).
     pub sessions_failed: AtomicU64,
-    /// Sketch/report rounds served across all sessions.
+    /// Protocol rounds served across all sessions (a pipelined frame
+    /// counts once per layer it carries).
     pub rounds: AtomicU64,
+    /// Sketch/report exchanges served — request-response round trips. At
+    /// most `rounds`; lower exactly when clients pipelined.
+    pub round_trips: AtomicU64,
     /// Wire bytes received, framing included.
     pub bytes_in: AtomicU64,
     /// Wire bytes sent, framing included.
@@ -157,8 +123,10 @@ pub struct StatsSnapshot {
     pub sessions_completed: u64,
     /// Sessions that ended in any error.
     pub sessions_failed: u64,
-    /// Sketch/report rounds served.
+    /// Protocol rounds served (pipelined layers counted individually).
     pub rounds: u64,
+    /// Sketch/report round trips served.
+    pub round_trips: u64,
     /// Wire bytes received.
     pub bytes_in: u64,
     /// Wire bytes sent.
@@ -184,6 +152,7 @@ impl ServerStats {
             sessions_completed: get(&self.sessions_completed),
             sessions_failed: get(&self.sessions_failed),
             rounds: get(&self.rounds),
+            round_trips: get(&self.round_trips),
             bytes_in: get(&self.bytes_in),
             bytes_out: get(&self.bytes_out),
             frames_in: get(&self.frames_in),
@@ -201,20 +170,38 @@ impl ServerStats {
 pub struct Server {
     local_addr: SocketAddr,
     stats: Arc<ServerStats>,
+    registry: Arc<StoreRegistry>,
     shutdown: Arc<AtomicBool>,
     accept_handle: Option<JoinHandle<()>>,
     worker_handles: Vec<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Bind `addr` and start accepting. `addr` may carry port 0 to let the
-    /// OS pick; read the effective address back with [`Server::local_addr`].
+    /// Bind `addr` and serve a single anonymous store — the PR-3 shape,
+    /// kept as the one-store convenience around [`Server::bind_registry`].
+    /// `addr` may carry port 0 to let the OS pick; read the effective
+    /// address back with [`Server::local_addr`].
     pub fn bind(
         addr: impl ToSocketAddrs,
         store: Arc<dyn SetStore>,
         config: ServerConfig,
     ) -> std::io::Result<Server> {
+        Self::bind_registry(addr, Arc::new(StoreRegistry::single(store)), config)
+    }
+
+    /// Bind `addr` and route each session to the [`StoreRegistry`] entry
+    /// its `Hello` names (v1 sessions land on the default, empty-named
+    /// store). The registry may keep growing while the server runs.
+    pub fn bind_registry(
+        addr: impl ToSocketAddrs,
+        registry: Arc<StoreRegistry>,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
         assert!(config.workers > 0, "server needs at least one worker");
+        assert!(
+            config.protocol_version >= 1 && config.protocol_version <= PROTOCOL_VERSION,
+            "protocol_version must be in 1..={PROTOCOL_VERSION}"
+        );
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let stats = Arc::new(ServerStats::default());
@@ -226,7 +213,7 @@ impl Server {
         let worker_handles = (0..config.workers)
             .map(|i| {
                 let rx = Arc::clone(&rx);
-                let store = Arc::clone(&store);
+                let registry = Arc::clone(&registry);
                 let stats = Arc::clone(&stats);
                 std::thread::Builder::new()
                     .name(format!("pbs-net-worker-{i}"))
@@ -235,7 +222,7 @@ impl Server {
                         // once the accept thread (the sole sender) is gone.
                         let conn = { rx.lock().unwrap().recv() };
                         match conn {
-                            Ok(stream) => serve_connection(stream, &store, &config, &stats),
+                            Ok(stream) => serve_connection(stream, &registry, &config, &stats),
                             Err(_) => break,
                         }
                     })
@@ -267,6 +254,7 @@ impl Server {
         Ok(Server {
             local_addr,
             stats,
+            registry,
             shutdown,
             accept_handle: Some(accept_handle),
             worker_handles,
@@ -278,9 +266,15 @@ impl Server {
         self.local_addr
     }
 
-    /// Shared handle to the server's counters.
+    /// Shared handle to the server-wide counters (every session counts
+    /// here *and* in its routed store's own [`RegisteredStore::stats`]).
     pub fn stats(&self) -> Arc<ServerStats> {
         Arc::clone(&self.stats)
+    }
+
+    /// The store registry this server routes sessions into.
+    pub fn registry(&self) -> Arc<StoreRegistry> {
+        Arc::clone(&self.registry)
     }
 
     /// Stop accepting, drain queued connections, and join every thread.
@@ -308,12 +302,40 @@ impl Server {
     }
 }
 
+/// The per-session stats view: every count folds into the server-wide
+/// counters and — once the handshake routed the session — into the routed
+/// store's own counters as well.
+struct SessionCounters<'a> {
+    global: &'a ServerStats,
+    store: Option<Arc<RegisteredStore>>,
+}
+
+impl SessionCounters<'_> {
+    fn add(&self, field: impl Fn(&ServerStats) -> &AtomicU64, n: u64) {
+        field(self.global).fetch_add(n, Ordering::Relaxed);
+        if let Some(entry) = &self.store {
+            field(entry.stats()).fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Attach the routed store; its `sessions_started` is bumped here so
+    /// per-store session counts stay consistent with the global ones.
+    fn route(&mut self, entry: Arc<RegisteredStore>) {
+        entry
+            .stats()
+            .sessions_started
+            .fetch_add(1, Ordering::Relaxed);
+        self.store = Some(entry);
+    }
+}
+
 /// Run one connection to completion, folding its transport counters and
-/// outcome into `stats`. Never panics on hostile input; errors end the
-/// session (with a best-effort `Error` frame where one is useful).
+/// outcome into the server-wide (and, once routed, per-store) stats. Never
+/// panics on hostile input; errors end the session (with a best-effort
+/// `Error` frame where one is useful).
 fn serve_connection(
     stream: TcpStream,
-    store: &Arc<dyn SetStore>,
+    registry: &StoreRegistry,
     config: &ServerConfig,
     stats: &ServerStats,
 ) {
@@ -325,22 +347,18 @@ fn serve_connection(
             return;
         }
     };
-    let outcome = run_session(&mut framed, store, config, stats);
-    stats
-        .bytes_in
-        .fetch_add(framed.bytes_in(), Ordering::Relaxed);
-    stats
-        .bytes_out
-        .fetch_add(framed.bytes_out(), Ordering::Relaxed);
-    stats
-        .frames_in
-        .fetch_add(framed.frames_in(), Ordering::Relaxed);
-    stats
-        .frames_out
-        .fetch_add(framed.frames_out(), Ordering::Relaxed);
+    let mut counters = SessionCounters {
+        global: stats,
+        store: None,
+    };
+    let outcome = run_session(&mut framed, registry, config, &mut counters);
+    counters.add(|s| &s.bytes_in, framed.bytes_in());
+    counters.add(|s| &s.bytes_out, framed.bytes_out());
+    counters.add(|s| &s.frames_in, framed.frames_in());
+    counters.add(|s| &s.frames_out, framed.frames_out());
     match outcome {
-        Ok(()) => stats.sessions_completed.fetch_add(1, Ordering::Relaxed),
-        Err(_) => stats.sessions_failed.fetch_add(1, Ordering::Relaxed),
+        Ok(()) => counters.add(|s| &s.sessions_completed, 1),
+        Err(_) => counters.add(|s| &s.sessions_failed, 1),
     };
 }
 
@@ -360,9 +378,9 @@ fn refuse(
 
 fn run_session(
     framed: &mut FramedStream<TcpStream>,
-    store: &Arc<dyn SetStore>,
+    registry: &StoreRegistry,
     config: &ServerConfig,
-    stats: &ServerStats,
+    counters: &mut SessionCounters<'_>,
 ) -> Result<(), NetError> {
     let deadline = Instant::now() + config.session_deadline;
     let over_deadline = |framed: &mut FramedStream<TcpStream>| -> Option<NetError> {
@@ -395,10 +413,43 @@ fn run_session(
         Ok(cfg) => cfg,
         Err(why) => return Err(refuse(framed, ErrorCode::BadConfig, why)),
     };
-    let negotiated = Hello {
-        version: hello.version.min(PROTOCOL_VERSION),
-        ..hello
+    let negotiated_version = hello.version.min(config.protocol_version);
+
+    // ---- Store routing ----
+    // Only a v2 session can address a named store; a v1 (or downgraded)
+    // session lands on the default, empty-named store. A v2 client that
+    // required a named store must abort when it sees the downgrade in the
+    // negotiated Hello.
+    let store_name = if negotiated_version >= 2 {
+        hello.store.as_str()
+    } else {
+        ""
     };
+    let Some(entry) = registry.get(store_name) else {
+        return Err(refuse(
+            framed,
+            ErrorCode::UnknownStore,
+            format!("no store named {store_name:?}"),
+        ));
+    };
+    counters.route(Arc::clone(&entry));
+    let store = Arc::clone(entry.store());
+    let options = entry.options();
+    let round_cap = options.round_cap.unwrap_or(config.round_cap);
+    let max_d = options.max_d.unwrap_or(config.max_d);
+    let max_done_elements = options
+        .max_done_elements
+        .unwrap_or(config.max_done_elements);
+
+    let mut negotiated = hello.clone();
+    negotiated.version = negotiated_version;
+    negotiated.store = entry.name().to_string();
+    // Grant a pipelined depth up to this server's per-frame cap; the
+    // client must not exceed it (the round-loop check below backstops).
+    negotiated.pipeline = hello
+        .pipeline
+        .max(1)
+        .min(config.max_pipeline_depth.clamp(1, u8::MAX as u32) as u8);
     framed.send(&Frame::Hello(negotiated))?;
 
     // One snapshot for the whole session: the estimator and the Bob state
@@ -444,18 +495,18 @@ fn run_session(
         own.insert_slice(&snapshot);
         let d_hat = client_bank.estimate(&own);
         let d_param = estimator::inflate_estimate(d_hat) as u64;
-        stats.estimator_exchanges.fetch_add(1, Ordering::Relaxed);
+        counters.add(|s| &s.estimator_exchanges, 1);
         framed.send(&Frame::EstimatorExchange(EstimatorMsg::Estimate {
             d_param,
             d_hat,
         }))?;
         d_param
     };
-    if d_param > config.max_d {
+    if d_param > max_d {
         return Err(refuse(
             framed,
             ErrorCode::BadConfig,
-            format!("d = {d_param} exceeds the server cap {}", config.max_d),
+            format!("d = {d_param} exceeds the server cap {max_d}"),
         ));
     }
 
@@ -474,12 +525,37 @@ fn run_session(
                 }
                 match framed.recv()? {
                     Frame::Sketches { m, batch } => {
-                        rounds += 1;
-                        if rounds > config.round_cap {
+                        // Pipelining: the layer count is the number of
+                        // distinct rounds in the frame. Each layer costs a
+                        // full per-group decode pass, so layers — not
+                        // frames — are what the round cap meters.
+                        let mut layer_rounds: Vec<u32> = batch.iter().map(|s| s.round).collect();
+                        layer_rounds.sort_unstable();
+                        layer_rounds.dedup();
+                        let layers = (layer_rounds.len() as u32).max(1);
+                        if layers > 1 && negotiated_version < 2 {
+                            return Err(refuse(
+                                framed,
+                                ErrorCode::Protocol,
+                                "pipelined rounds require protocol v2",
+                            ));
+                        }
+                        if layers > config.max_pipeline_depth {
+                            return Err(refuse(
+                                framed,
+                                ErrorCode::BadConfig,
+                                format!(
+                                    "{layers} pipelined layers exceed the server cap {}",
+                                    config.max_pipeline_depth
+                                ),
+                            ));
+                        }
+                        rounds += layers;
+                        if rounds > round_cap {
                             return Err(refuse(
                                 framed,
                                 ErrorCode::RoundLimit,
-                                format!("round cap {} exceeded", config.round_cap),
+                                format!("round cap {round_cap} exceeded"),
                             ));
                         }
                         // Shape-check before the codec's capacity assertion can
@@ -495,18 +571,19 @@ fn run_session(
                             ));
                         }
                         let reports = bob.handle_sketches(&batch);
-                        stats.rounds.fetch_add(1, Ordering::Relaxed);
+                        counters.add(|s| &s.rounds, layers as u64);
+                        counters.add(|s| &s.round_trips, 1);
                         framed.send(&Frame::Reports(reports))?;
                     }
                     Frame::Done(elements) => {
-                        if elements.len() as u64 > config.max_done_elements as u64 {
+                        if elements.len() as u64 > max_done_elements as u64 {
                             return Err(refuse(
                                 framed,
                                 ErrorCode::BadConfig,
                                 format!(
                                     "final transfer of {} elements exceeds the cap {}",
                                     elements.len(),
-                                    config.max_done_elements
+                                    max_done_elements
                                 ),
                             ));
                         }
@@ -529,9 +606,7 @@ fn run_session(
                             ));
                         }
                         store.apply_missing(&elements);
-                        stats
-                            .elements_received
-                            .fetch_add(elements.len() as u64, Ordering::Relaxed);
+                        counters.add(|s| &s.elements_received, elements.len() as u64);
                         framed.send(&Frame::Done(Vec::new()))?;
                         return Ok(());
                     }
@@ -549,8 +624,6 @@ fn run_session(
             }
         };
     let outcome = round_loop(framed, &mut bob);
-    stats
-        .decode_failures
-        .fetch_add(bob.decode_failures() as u64, Ordering::Relaxed);
+    counters.add(|s| &s.decode_failures, bob.decode_failures() as u64);
     outcome
 }

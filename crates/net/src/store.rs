@@ -1,0 +1,499 @@
+//! Element stores and the multi-tenant store registry.
+//!
+//! A server reconciles clients against one or more named [`SetStore`]s:
+//!
+//! * [`InMemoryStore`] — the plain `RwLock<HashSet>` store of PR 3.
+//! * [`MutableStore`] — a store that can additionally be *mutated from the
+//!   server side* between sessions ([`MutableStore::apply`]), with an
+//!   epoch-stamped changelog ([`MutableStore::changes_since`]) so readers
+//!   can follow the store as a delta feed instead of re-snapshotting.
+//! * [`StoreRegistry`] — the name → store map the v2 handshake routes on,
+//!   carrying per-store statistics and per-store limit overrides.
+//!
+//! Mutation safety is snapshot-based: a session takes one
+//! [`SetStore::snapshot`] before its estimator exchange and never looks at
+//! the store again until the final transfer, so writers may mutate a
+//! [`MutableStore`] *between* (but not observably *during*) the sessions'
+//! snapshot points — concurrent sessions simply reconcile against the epoch
+//! they snapshotted.
+
+use crate::server::ServerStats;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::{Arc, RwLock};
+
+/// The element store a server reconciles against.
+///
+/// `snapshot` is taken once per session (estimator and `BobSession` must
+/// see the same set); `apply_missing` receives the client's final `Done`
+/// transfer — the elements the client holds and this store lacks — so the
+/// two sides converge on the union.
+pub trait SetStore: Send + Sync + 'static {
+    /// The current element set.
+    fn snapshot(&self) -> Vec<u64>;
+    /// Ingest elements learned from a client.
+    fn apply_missing(&self, elements: &[u64]);
+    /// Number of elements currently held. The default materializes a
+    /// snapshot; implementors with a cheap count should override it.
+    fn element_count(&self) -> usize {
+        self.snapshot().len()
+    }
+}
+
+/// A `RwLock<HashSet>`-backed [`SetStore`].
+#[derive(Debug, Default)]
+pub struct InMemoryStore {
+    elements: RwLock<HashSet<u64>>,
+}
+
+impl InMemoryStore {
+    /// Create a store holding the given elements.
+    pub fn new(elements: impl IntoIterator<Item = u64>) -> Self {
+        InMemoryStore {
+            elements: RwLock::new(elements.into_iter().collect()),
+        }
+    }
+
+    /// Number of elements currently held.
+    pub fn len(&self) -> usize {
+        self.elements.read().unwrap().len()
+    }
+
+    /// `true` when the store holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Membership test.
+    pub fn contains(&self, element: u64) -> bool {
+        self.elements.read().unwrap().contains(&element)
+    }
+}
+
+impl SetStore for InMemoryStore {
+    fn snapshot(&self) -> Vec<u64> {
+        self.elements.read().unwrap().iter().copied().collect()
+    }
+
+    fn apply_missing(&self, elements: &[u64]) {
+        let mut guard = self.elements.write().unwrap();
+        guard.extend(elements.iter().copied());
+    }
+
+    fn element_count(&self) -> usize {
+        self.len()
+    }
+}
+
+/// One epoch's worth of effective changes to a [`MutableStore`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChangeBatch {
+    /// The epoch this batch produced (epochs start at 0 and increase by 1
+    /// per effective batch).
+    pub epoch: u64,
+    /// Elements the batch inserted (that were not present before).
+    pub added: Vec<u64>,
+    /// Elements the batch removed (that were present before).
+    pub removed: Vec<u64>,
+}
+
+#[derive(Debug)]
+struct MutableInner {
+    elements: HashSet<u64>,
+    epoch: u64,
+    /// Recent change batches, oldest first; every batch's `epoch` is
+    /// `base_epoch + its 1-based position`.
+    log: VecDeque<ChangeBatch>,
+    /// The epoch the oldest logged batch starts from. A reader at an epoch
+    /// older than this can no longer catch up incrementally.
+    base_epoch: u64,
+    log_capacity: usize,
+}
+
+/// A [`SetStore`] that supports server-side mutation between sessions,
+/// with an epoch-stamped changelog.
+///
+/// Every effective mutation batch — [`MutableStore::apply`] from a local
+/// feed (e.g. `pbs-syncd --watch-dir`) or [`SetStore::apply_missing`] from
+/// a client's final transfer — bumps the store epoch and appends a
+/// [`ChangeBatch`] to a bounded changelog. [`MutableStore::changes_since`]
+/// turns the store into a delta feed: a reader that remembers the epoch of
+/// its last look can fetch exactly the elements that changed since, or
+/// learn that the log was truncated and a full re-snapshot is needed.
+#[derive(Debug)]
+pub struct MutableStore {
+    inner: RwLock<MutableInner>,
+}
+
+/// Default number of change batches a [`MutableStore`] retains.
+pub const DEFAULT_CHANGELOG_CAPACITY: usize = 1024;
+
+impl MutableStore {
+    /// Create a store holding the given elements at epoch 0, retaining
+    /// [`DEFAULT_CHANGELOG_CAPACITY`] change batches.
+    pub fn new(elements: impl IntoIterator<Item = u64>) -> Self {
+        Self::with_log_capacity(elements, DEFAULT_CHANGELOG_CAPACITY)
+    }
+
+    /// Create a store with an explicit changelog capacity (0 disables the
+    /// delta feed: every [`MutableStore::changes_since`] call from an older
+    /// epoch reports truncation).
+    pub fn with_log_capacity(elements: impl IntoIterator<Item = u64>, log_capacity: usize) -> Self {
+        MutableStore {
+            inner: RwLock::new(MutableInner {
+                elements: elements.into_iter().collect(),
+                epoch: 0,
+                log: VecDeque::new(),
+                base_epoch: 0,
+                log_capacity,
+            }),
+        }
+    }
+
+    /// The store's current epoch. Epoch 0 is the construction state; every
+    /// effective mutation batch increments it by one.
+    pub fn epoch(&self) -> u64 {
+        self.inner.read().unwrap().epoch
+    }
+
+    /// Number of elements currently held.
+    pub fn len(&self) -> usize {
+        self.inner.read().unwrap().elements.len()
+    }
+
+    /// `true` when the store holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Membership test.
+    pub fn contains(&self, element: u64) -> bool {
+        self.inner.read().unwrap().elements.contains(&element)
+    }
+
+    /// Atomically insert `added` and remove `removed`, returning the
+    /// resulting epoch. Only *effective* changes are recorded: inserting a
+    /// present element or removing an absent one is ignored, and a batch
+    /// with no effective change does not bump the epoch. An element in both
+    /// lists is treated as an insert (adds win).
+    pub fn apply(&self, added: &[u64], removed: &[u64]) -> u64 {
+        let mut inner = self.inner.write().unwrap();
+        // Hash the add list first: a linear `added.contains` per removed
+        // element would make a full-file replacement O(|added|·|removed|)
+        // inside the write lock, stalling every session on the store.
+        let add_set: HashSet<u64> = added.iter().copied().collect();
+        let removed: Vec<u64> = removed
+            .iter()
+            .copied()
+            .filter(|e| !add_set.contains(e) && inner.elements.remove(e))
+            .collect();
+        let added: Vec<u64> = added
+            .iter()
+            .copied()
+            .filter(|&e| inner.elements.insert(e))
+            .collect();
+        if added.is_empty() && removed.is_empty() {
+            return inner.epoch;
+        }
+        inner.epoch += 1;
+        let batch = ChangeBatch {
+            epoch: inner.epoch,
+            added,
+            removed,
+        };
+        inner.log.push_back(batch);
+        while inner.log.len() > inner.log_capacity {
+            let dropped = inner.log.pop_front().expect("log not empty");
+            inner.base_epoch = dropped.epoch;
+        }
+        if inner.log_capacity == 0 {
+            inner.base_epoch = inner.epoch;
+            inner.log.clear();
+        }
+        inner.epoch
+    }
+
+    /// Every change batch after `epoch`, oldest first — empty when the
+    /// reader is already current. Returns `None` when the changelog no
+    /// longer reaches back to `epoch` (the reader must re-snapshot).
+    pub fn changes_since(&self, epoch: u64) -> Option<Vec<ChangeBatch>> {
+        let inner = self.inner.read().unwrap();
+        if epoch < inner.base_epoch {
+            return None;
+        }
+        Some(
+            inner
+                .log
+                .iter()
+                .filter(|b| b.epoch > epoch)
+                .cloned()
+                .collect(),
+        )
+    }
+
+    /// The current elements together with the epoch they correspond to —
+    /// the starting point of a delta-feed reader.
+    pub fn snapshot_with_epoch(&self) -> (Vec<u64>, u64) {
+        let inner = self.inner.read().unwrap();
+        (inner.elements.iter().copied().collect(), inner.epoch)
+    }
+}
+
+impl SetStore for MutableStore {
+    fn snapshot(&self) -> Vec<u64> {
+        self.snapshot_with_epoch().0
+    }
+
+    fn apply_missing(&self, elements: &[u64]) {
+        self.apply(elements, &[]);
+    }
+
+    fn element_count(&self) -> usize {
+        self.len()
+    }
+}
+
+/// Per-store overrides of the server-wide session limits. `None` falls
+/// back to the matching [`crate::ServerConfig`] field.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StoreOptions {
+    /// Override of `ServerConfig::round_cap`.
+    pub round_cap: Option<u32>,
+    /// Override of `ServerConfig::max_d`.
+    pub max_d: Option<u64>,
+    /// Override of `ServerConfig::max_done_elements`.
+    pub max_done_elements: Option<u32>,
+}
+
+/// A named store registered with a server: the store itself, its limit
+/// overrides, and its own statistics counters (sessions are additionally
+/// folded into the server-wide stats).
+pub struct RegisteredStore {
+    name: String,
+    store: Arc<dyn SetStore>,
+    options: StoreOptions,
+    stats: Arc<ServerStats>,
+}
+
+impl RegisteredStore {
+    /// The name the handshake routes on (empty = the default store).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The store itself.
+    pub fn store(&self) -> &Arc<dyn SetStore> {
+        &self.store
+    }
+
+    /// The per-store limit overrides.
+    pub fn options(&self) -> StoreOptions {
+        self.options
+    }
+
+    /// This store's own counters.
+    pub fn stats(&self) -> &Arc<ServerStats> {
+        &self.stats
+    }
+}
+
+impl std::fmt::Debug for RegisteredStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RegisteredStore")
+            .field("name", &self.name)
+            .field("options", &self.options)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The name → store map a server serves. The empty name is the default
+/// store — the one v1 clients (whose `Hello` has no store field) land on.
+///
+/// Stores can be registered while the server is running (`pbs-syncd
+/// --watch-dir` does); sessions resolve the name exactly once, at their
+/// handshake.
+#[derive(Debug, Default)]
+pub struct StoreRegistry {
+    stores: RwLock<HashMap<String, Arc<RegisteredStore>>>,
+}
+
+impl StoreRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A registry holding a single default store — what
+    /// [`crate::Server::bind`] wraps a bare store into.
+    pub fn single(store: Arc<dyn SetStore>) -> Self {
+        let registry = Self::new();
+        registry.register("", store);
+        registry
+    }
+
+    /// Register (or replace) a store under `name` with default options.
+    /// Returns the registered entry. Names longer than
+    /// [`crate::frame::MAX_STORE_NAME`] bytes cannot be addressed by any
+    /// handshake and are rejected with a panic — a configuration error, not
+    /// a runtime condition.
+    pub fn register(
+        &self,
+        name: impl Into<String>,
+        store: Arc<dyn SetStore>,
+    ) -> Arc<RegisteredStore> {
+        self.register_with(name, store, StoreOptions::default())
+    }
+
+    /// Register (or replace) a store under `name` with explicit limit
+    /// overrides.
+    pub fn register_with(
+        &self,
+        name: impl Into<String>,
+        store: Arc<dyn SetStore>,
+        options: StoreOptions,
+    ) -> Arc<RegisteredStore> {
+        let name = name.into();
+        assert!(
+            name.len() <= crate::frame::MAX_STORE_NAME,
+            "store name {name:?} exceeds the {}-byte wire limit",
+            crate::frame::MAX_STORE_NAME
+        );
+        let entry = Arc::new(RegisteredStore {
+            name: name.clone(),
+            store,
+            options,
+            stats: Arc::new(ServerStats::default()),
+        });
+        self.stores
+            .write()
+            .unwrap()
+            .insert(name, Arc::clone(&entry));
+        entry
+    }
+
+    /// Look a store up by name.
+    pub fn get(&self, name: &str) -> Option<Arc<RegisteredStore>> {
+        self.stores.read().unwrap().get(name).cloned()
+    }
+
+    /// All registered names, sorted (the default store sorts first as the
+    /// empty string).
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.stores.read().unwrap().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered stores.
+    pub fn len(&self) -> usize {
+        self.stores.read().unwrap().len()
+    }
+
+    /// `true` when no store is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutable_store_epochs_and_delta_feed() {
+        let store = MutableStore::new([1u64, 2, 3]);
+        assert_eq!(store.epoch(), 0);
+        assert_eq!(store.len(), 3);
+
+        // No-op batches do not bump the epoch.
+        assert_eq!(store.apply(&[1], &[99]), 0);
+
+        assert_eq!(store.apply(&[4, 5], &[1]), 1);
+        assert_eq!(store.apply(&[6], &[]), 2);
+        assert!(store.contains(4) && !store.contains(1));
+
+        // A reader at epoch 0 sees both batches, in order.
+        let changes = store.changes_since(0).expect("log intact");
+        assert_eq!(changes.len(), 2);
+        assert_eq!(changes[0].epoch, 1);
+        assert_eq!(changes[0].added, vec![4, 5]);
+        assert_eq!(changes[0].removed, vec![1]);
+        assert_eq!(changes[1].added, vec![6]);
+        // A current reader sees nothing new.
+        assert_eq!(store.changes_since(2).unwrap(), vec![]);
+
+        // Replaying the feed over the epoch-0 snapshot reproduces the set.
+        let mut replay: HashSet<u64> = [1u64, 2, 3].into_iter().collect();
+        for batch in &changes {
+            for &e in &batch.removed {
+                replay.remove(&e);
+            }
+            replay.extend(batch.added.iter().copied());
+        }
+        let mut now = store.snapshot();
+        now.sort_unstable();
+        let mut replayed: Vec<u64> = replay.into_iter().collect();
+        replayed.sort_unstable();
+        assert_eq!(now, replayed);
+    }
+
+    #[test]
+    fn mutable_store_log_truncation_demands_resnapshot() {
+        let store = MutableStore::with_log_capacity([1u64], 2);
+        for i in 0..5u64 {
+            store.apply(&[100 + i], &[]);
+        }
+        assert_eq!(store.epoch(), 5);
+        // Only the last two batches survive; epoch-2 readers are stale.
+        assert!(store.changes_since(2).is_none());
+        let tail = store.changes_since(3).expect("within capacity");
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].epoch, 4);
+        // Capacity 0: any past epoch is immediately stale.
+        let no_log = MutableStore::with_log_capacity([], 0);
+        no_log.apply(&[7], &[]);
+        assert!(no_log.changes_since(0).is_none());
+        assert_eq!(no_log.changes_since(1).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn apply_missing_is_an_epoch_stamped_batch() {
+        let store = MutableStore::new([1u64]);
+        SetStore::apply_missing(&store, &[2, 3]);
+        assert_eq!(store.epoch(), 1);
+        let changes = store.changes_since(0).unwrap();
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].added, vec![2, 3]);
+        let (snapshot, epoch) = store.snapshot_with_epoch();
+        assert_eq!(epoch, 1);
+        assert_eq!(snapshot.len(), 3);
+    }
+
+    #[test]
+    fn registry_routes_by_name() {
+        let registry = StoreRegistry::new();
+        registry.register("", Arc::new(InMemoryStore::new([1u64])));
+        registry.register_with(
+            "blocks",
+            Arc::new(InMemoryStore::new([2u64])),
+            StoreOptions {
+                round_cap: Some(7),
+                ..StoreOptions::default()
+            },
+        );
+        assert_eq!(registry.len(), 2);
+        assert_eq!(registry.names(), vec!["".to_string(), "blocks".to_string()]);
+        assert!(registry.get("missing").is_none());
+        let blocks = registry.get("blocks").unwrap();
+        assert_eq!(blocks.name(), "blocks");
+        assert_eq!(blocks.options().round_cap, Some(7));
+        assert_eq!(blocks.store().snapshot(), vec![2]);
+        // Each entry carries its own counters.
+        assert_eq!(blocks.stats().snapshot().sessions_started, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wire limit")]
+    fn registry_rejects_unaddressable_names() {
+        StoreRegistry::new().register("x".repeat(65), Arc::new(InMemoryStore::default()));
+    }
+}

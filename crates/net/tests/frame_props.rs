@@ -90,6 +90,8 @@ proptest! {
         seed in any::<u64>(),
         known_d in any::<u64>(),
         success_millionths in 0u64..1_000_000,
+        store in prop::collection::vec(32u8..127, 0..64),
+        pipeline in 1u8..=255,
     ) {
         let hello = Hello {
             version,
@@ -101,9 +103,20 @@ proptest! {
             estimator_sketches: delta % 256 + 1,
             seed,
             known_d,
+            // The store/pipeline fields only exist on the wire for v2
+            // shapes; a v1 Hello must round-trip to their defaults.
+            store: String::from_utf8(store).unwrap(),
+            pipeline,
         };
-        let frame = Frame::Hello(hello);
-        prop_assert_eq!(round_trip(&frame), frame);
+        let frame = Frame::Hello(hello.clone());
+        if hello.version >= 2 {
+            prop_assert_eq!(round_trip(&frame), frame);
+        } else {
+            let mut v1 = hello;
+            v1.store = String::new();
+            v1.pipeline = 1;
+            prop_assert_eq!(round_trip(&frame), Frame::Hello(v1));
+        }
     }
 
     #[test]

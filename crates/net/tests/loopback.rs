@@ -16,6 +16,7 @@ use pbs_core::{AliceSession, BobSession, Pbs, PbsConfig, ESTIMATOR_SEED_SALT};
 use pbs_net::client::{sync, ClientConfig};
 use pbs_net::frame::{EstimatorMsg, Frame, Hello, FRAME_OVERHEAD, PROTOCOL_VERSION};
 use pbs_net::server::{InMemoryStore, Server, ServerConfig};
+use pbs_net::store::{MutableStore, StoreRegistry};
 use pbs_net::NetError;
 use protocol::{Direction, Transcript};
 use std::collections::HashSet;
@@ -54,19 +55,22 @@ struct ReferencePrediction {
     recovered: Vec<u64>,
     pushed: usize,
     rounds: u32,
+    round_trips: u32,
     d_param: u64,
 }
 
 /// Run the protocol in-process, mirroring the client/server state machines
 /// frame for frame, and ledger every frame's serialized body into a
 /// transcript (`wire_bytes` = type byte + payload; the socket adds
-/// [`FRAME_OVERHEAD`] per frame on top).
+/// [`FRAME_OVERHEAD`] per frame on top). `pipeline` is the client's layer
+/// depth — 1 reproduces the classic one-round-per-trip protocol.
 fn reference_run(
     alice_set: &[u64],
     bob_set: &[u64],
     cfg: PbsConfig,
     seed: u64,
     round_cap: u32,
+    pipeline: u32,
 ) -> ReferencePrediction {
     let mut transcript = Transcript::new();
     let mut frames = 0u64;
@@ -124,7 +128,8 @@ fn reference_run(
     let mut alice = AliceSession::new(cfg, params, alice_set, seed);
     let mut bob = BobSession::new(cfg, params, bob_set, seed);
     while alice.round() < round_cap {
-        let batch = alice.start_round();
+        let layers = pipeline.min(round_cap - alice.round());
+        let batch = alice.start_rounds(layers);
         let sketch_bits: u64 = batch.iter().map(|s| s.wire_bits(params.m)).sum();
         record(
             &mut transcript,
@@ -148,6 +153,7 @@ fn reference_run(
             report_bits,
             &Frame::Reports(reports.clone()),
         );
+        transcript.record_round_trip();
         let status = alice.apply_reports(&reports);
         transcript.next_round();
         if status.all_verified {
@@ -157,6 +163,7 @@ fn reference_run(
 
     // Final transfer + ack.
     let rounds = alice.round();
+    let round_trips = alice.round_trips();
     let holdings: HashSet<u64> = alice_set.iter().copied().collect();
     let recovered = alice.into_recovered();
     let pushed: Vec<u64> = recovered
@@ -185,6 +192,7 @@ fn reference_run(
         recovered,
         pushed: pushed.len(),
         rounds,
+        round_trips,
         d_param,
     }
 }
@@ -220,6 +228,7 @@ fn loopback_reconciles_100k_sets_within_the_transcript_byte_envelope() {
             client_cfg.pbs,
             seed,
             client_cfg.round_cap,
+            1,
         );
         assert_eq!(
             sorted(predicted.recovered.clone()),
@@ -469,6 +478,366 @@ fn server_rejects_protocol_violations() {
     assert_eq!(stats.sessions_completed, 0);
     assert_eq!(stats.sessions_failed, 4);
     assert_eq!(stats.elements_received, 0);
+}
+
+#[test]
+fn pipelined_rounds_cut_round_trips_at_d_1000_within_the_byte_envelope() {
+    // Same sets, same seed, two identical servers: one sync in the classic
+    // one-round-per-trip v1 shape, one with three pipelined layers per
+    // trip. The pipelined run must recover the identical difference in
+    // strictly fewer request-response round trips, and its wire bytes must
+    // still match its own transcript prediction exactly (and therefore
+    // stay within the 10% framing envelope).
+    let d = 1000usize;
+    let pool = distinct_keys(100_000 + d / 2, 0x91BE_11FE);
+    let (alice_set, bob_set) = two_sided_pair(&pool, d);
+    let truth: Vec<u64> = sorted(
+        pool[..d.div_ceil(2)]
+            .iter()
+            .chain(&pool[100_000 - d / 2 + d.div_ceil(2)..])
+            .copied()
+            .collect(),
+    );
+    assert_eq!(truth.len(), d);
+    let seed = 0x1175_1000u64;
+
+    let mut reports = Vec::new();
+    for pipeline in [1u32, 3] {
+        let store = Arc::new(InMemoryStore::new(bob_set.iter().copied()));
+        let server = Server::bind(
+            "127.0.0.1:0",
+            Arc::clone(&store) as Arc<_>,
+            ServerConfig::default(),
+        )
+        .expect("bind");
+        let config = ClientConfig {
+            seed,
+            pipeline,
+            ..ClientConfig::default()
+        };
+        let predicted = reference_run(
+            &alice_set,
+            &bob_set,
+            config.pbs,
+            seed,
+            config.round_cap,
+            pipeline,
+        );
+        assert_eq!(
+            sorted(predicted.recovered.clone()),
+            truth,
+            "pipeline={pipeline} reference recovery"
+        );
+        let report = sync(server.local_addr(), &alice_set, &config).expect("sync");
+        assert!(report.verified, "pipeline={pipeline}: did not verify");
+        assert_eq!(sorted(report.recovered.clone()), truth);
+        assert_eq!(report.round_trips, predicted.round_trips);
+        assert_eq!(report.rounds, predicted.rounds);
+        assert_eq!(
+            predicted.transcript.round_trips(),
+            predicted.round_trips,
+            "transcript round-trip ledger"
+        );
+
+        // Byte accounting against this run's own transcript.
+        let wire_total = report.bytes_sent + report.bytes_received;
+        let frames_total = report.frames_sent + report.frames_received;
+        let payload_total = predicted.transcript.wire_bytes_total();
+        assert_eq!(frames_total, predicted.frames);
+        assert_eq!(
+            wire_total,
+            payload_total + FRAME_OVERHEAD * frames_total,
+            "pipeline={pipeline}: wire bytes diverged from the prediction"
+        );
+        assert!(
+            wire_total <= payload_total + payload_total / 10,
+            "pipeline={pipeline}: framing overhead above 10%"
+        );
+
+        let stats = server.shutdown();
+        assert_eq!(stats.round_trips, report.round_trips as u64);
+        assert_eq!(stats.rounds, report.rounds as u64);
+        reports.push(report);
+    }
+    let (serial, pipelined) = (&reports[0], &reports[1]);
+    assert_eq!(serial.round_trips, serial.rounds);
+    assert!(
+        pipelined.round_trips < serial.round_trips,
+        "pipelined {} trips not fewer than serial {}",
+        pipelined.round_trips,
+        serial.round_trips
+    );
+}
+
+#[test]
+fn two_named_stores_sync_concurrently_through_one_server() {
+    // One server, two named stores plus a default store; two clients per
+    // named store reconcile concurrently. Each store must converge on its
+    // own union and count its own sessions.
+    let pool_a = distinct_keys(4_000, 0xA11A);
+    let pool_b = distinct_keys(4_000, 0xB22B);
+    let (alice_a, bob_a) = two_sided_pair(&pool_a, 30);
+    let (alice_b, bob_b) = two_sided_pair(&pool_b, 50);
+
+    let registry = Arc::new(StoreRegistry::new());
+    registry.register("", Arc::new(InMemoryStore::new(1..=10u64)));
+    let store_a = Arc::new(InMemoryStore::new(bob_a.iter().copied()));
+    let store_b = Arc::new(InMemoryStore::new(bob_b.iter().copied()));
+    registry.register("alpha", Arc::clone(&store_a) as Arc<_>);
+    registry.register("beta", Arc::clone(&store_b) as Arc<_>);
+
+    let server = Server::bind_registry(
+        "127.0.0.1:0",
+        Arc::clone(&registry),
+        ServerConfig {
+            workers: 3,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    let spawn = |store: &str, set: Vec<u64>, d: u64, seed: u64| {
+        let store = store.to_string();
+        std::thread::spawn(move || {
+            let config = ClientConfig {
+                store,
+                known_d: Some(d),
+                seed,
+                pipeline: 2,
+                ..ClientConfig::default()
+            };
+            sync(addr, &set, &config).expect("store sync")
+        })
+    };
+    let handles = vec![
+        spawn("alpha", alice_a.clone(), 30, 1),
+        spawn("beta", alice_b.clone(), 50, 2),
+        spawn("alpha", alice_a.clone(), 30, 3),
+        spawn("beta", alice_b.clone(), 50, 4),
+    ];
+    for handle in handles {
+        let report = handle.join().expect("client thread");
+        assert!(report.verified);
+        assert_eq!(report.negotiated_version, PROTOCOL_VERSION);
+    }
+
+    // Each store converged on its own union; the default store is untouched.
+    assert_eq!(store_a.len(), 4_000);
+    assert_eq!(store_b.len(), 4_000);
+    assert!(pool_a[..15].iter().all(|&e| store_a.contains(e)));
+    assert!(pool_b[..25].iter().all(|&e| store_b.contains(e)));
+
+    // Per-store stats add up to the server-wide stats. Shut down first:
+    // joining the workers guarantees every session's counters are folded.
+    let total = server.shutdown();
+    let alpha = registry.get("alpha").unwrap().stats().snapshot();
+    let beta = registry.get("beta").unwrap().stats().snapshot();
+    let default = registry.get("").unwrap().stats().snapshot();
+    assert_eq!(alpha.sessions_started, 2);
+    assert_eq!(alpha.sessions_completed, 2);
+    assert_eq!(beta.sessions_started, 2);
+    assert_eq!(beta.sessions_completed, 2);
+    assert_eq!(default.sessions_started, 0);
+    assert!(alpha.elements_received >= 15);
+    assert!(beta.elements_received >= 25);
+    assert_eq!(total.sessions_completed, 4);
+    assert_eq!(
+        total.rounds,
+        alpha.rounds + beta.rounds + default.rounds,
+        "global rounds are the sum of the per-store rounds"
+    );
+    assert_eq!(
+        total.bytes_in,
+        alpha.bytes_in + beta.bytes_in + default.bytes_in
+    );
+}
+
+#[test]
+fn v1_v2_downgrade_handshake() {
+    let pool = distinct_keys(2_000, 0xD0D0);
+    let (alice_set, bob_set) = two_sided_pair(&pool, 20);
+
+    // A legacy v1 client against a v2 server: negotiates down to 1 and
+    // reconciles on the default store.
+    {
+        let store = Arc::new(InMemoryStore::new(bob_set.iter().copied()));
+        let server = Server::bind(
+            "127.0.0.1:0",
+            Arc::clone(&store) as Arc<_>,
+            ServerConfig::default(),
+        )
+        .expect("bind");
+        let config = ClientConfig {
+            protocol_version: 1,
+            known_d: Some(20),
+            seed: 5,
+            ..ClientConfig::default()
+        };
+        let report = sync(server.local_addr(), &alice_set, &config).expect("v1 client sync");
+        assert!(report.verified);
+        assert_eq!(report.negotiated_version, 1);
+        server.shutdown();
+    }
+
+    // A v2 client (with pipelining requested) against a v1-only server:
+    // negotiates down to 1, silently drops pipelining, still reconciles.
+    {
+        let store = Arc::new(InMemoryStore::new(bob_set.iter().copied()));
+        let server = Server::bind(
+            "127.0.0.1:0",
+            Arc::clone(&store) as Arc<_>,
+            ServerConfig {
+                protocol_version: 1,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind");
+        let config = ClientConfig {
+            pipeline: 3,
+            known_d: Some(20),
+            seed: 5,
+            ..ClientConfig::default()
+        };
+        let report = sync(server.local_addr(), &alice_set, &config).expect("downgraded sync");
+        assert!(report.verified);
+        assert_eq!(report.negotiated_version, 1);
+        assert_eq!(
+            report.round_trips, report.rounds,
+            "pipelining must be disabled on a v1 session"
+        );
+        server.shutdown();
+    }
+
+    // A v2 client that *requires* a named store aborts on the downgrade
+    // instead of silently syncing against the default store.
+    {
+        let store = Arc::new(InMemoryStore::new(bob_set.iter().copied()));
+        let server = Server::bind(
+            "127.0.0.1:0",
+            Arc::clone(&store) as Arc<_>,
+            ServerConfig {
+                protocol_version: 1,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind");
+        let config = ClientConfig {
+            store: "alpha".into(),
+            known_d: Some(20),
+            ..ClientConfig::default()
+        };
+        match sync(server.local_addr(), &alice_set, &config) {
+            Err(NetError::Protocol(msg)) => assert!(msg.contains("route store"), "{msg}"),
+            other => panic!("expected downgrade refusal, got {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    // A v2 server refuses an unknown store by name with the dedicated
+    // error code.
+    {
+        let store = Arc::new(InMemoryStore::new(bob_set.iter().copied()));
+        let server = Server::bind(
+            "127.0.0.1:0",
+            Arc::clone(&store) as Arc<_>,
+            ServerConfig::default(),
+        )
+        .expect("bind");
+        let config = ClientConfig {
+            store: "nope".into(),
+            known_d: Some(20),
+            ..ClientConfig::default()
+        };
+        match sync(server.local_addr(), &alice_set, &config) {
+            Err(NetError::Remote { code, .. }) => {
+                assert_eq!(code, pbs_net::frame::ErrorCode::UnknownStore)
+            }
+            other => panic!("expected unknown-store refusal, got {other:?}"),
+        }
+        server.shutdown();
+    }
+}
+
+#[test]
+fn pipeline_depth_is_negotiated_down_to_the_server_cap() {
+    // A client asking for depth 8 against a server capped at 2 must not be
+    // refused mid-session: the handshake grants 2 and the sync proceeds at
+    // that depth.
+    let pool = distinct_keys(3_000, 0xCA9);
+    let (alice_set, bob_set) = two_sided_pair(&pool, 30);
+    let store = Arc::new(InMemoryStore::new(bob_set.iter().copied()));
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::clone(&store) as Arc<_>,
+        ServerConfig {
+            max_pipeline_depth: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let config = ClientConfig {
+        pipeline: 8,
+        known_d: Some(30),
+        seed: 9,
+        ..ClientConfig::default()
+    };
+    let report = sync(server.local_addr(), &alice_set, &config).expect("negotiated sync");
+    assert!(report.verified);
+    // Depth 2 granted: every full trip carries exactly two rounds.
+    assert_eq!(report.rounds.div_ceil(2), report.round_trips);
+    assert!(report.round_trips < report.rounds || report.rounds == 1);
+    server.shutdown();
+}
+
+#[test]
+fn mutable_store_feeds_sessions_between_mutations() {
+    // A MutableStore-backed server: reconcile, mutate the store from the
+    // server side, reconcile again — the second session sees the new
+    // epoch's set, and the changelog reports both the local mutation and
+    // the client's final transfer.
+    let pool = distinct_keys(3_000, 0xFACE);
+    let (alice_set, bob_set) = two_sided_pair(&pool, 20);
+    let store = Arc::new(MutableStore::new(bob_set.iter().copied()));
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::clone(&store) as Arc<_>,
+        ServerConfig::default(),
+    )
+    .expect("bind");
+    let config = ClientConfig {
+        known_d: Some(20),
+        seed: 11,
+        ..ClientConfig::default()
+    };
+    let report = sync(server.local_addr(), &alice_set, &config).expect("first sync");
+    assert!(report.verified);
+    let epoch_after_first = store.epoch();
+    assert!(epoch_after_first >= 1, "final transfer bumps the epoch");
+
+    // Server-side mutation between sessions: drop 10 elements.
+    let removed: Vec<u64> = bob_set[..10].to_vec();
+    store.apply(&[], &removed);
+    let changes = store.changes_since(epoch_after_first).expect("log intact");
+    assert_eq!(changes.len(), 1);
+    assert_eq!(changes[0].removed.len(), 10);
+
+    // The next session reconciles against the mutated set: a client
+    // holding the full union sees exactly the removed elements as the
+    // difference.
+    let report2 = sync(
+        server.local_addr(),
+        &pool,
+        &ClientConfig {
+            known_d: Some(10),
+            seed: 12,
+            ..ClientConfig::default()
+        },
+    )
+    .expect("second sync");
+    assert!(report2.verified);
+    assert_eq!(sorted(report2.recovered.clone()), sorted(removed));
+    server.shutdown();
 }
 
 #[test]

@@ -19,6 +19,22 @@
 //!   communication is higher than PBS because each "bit error" costs
 //!   `log|U|` bits instead of `log n` (§8.3).
 
+//!
+//! # Example
+//!
+//! ```
+//! use pinsketch::{PinSketch, PinSketchConfig};
+//!
+//! let alice: Vec<u64> = (1..=500).collect();
+//! let bob: Vec<u64> = (16..=500).collect(); // d = 15
+//! let scheme = PinSketch::new(PinSketchConfig::default());
+//! let outcome = scheme.reconcile_with_capacity(&alice, &bob, 15, 5);
+//! assert!(outcome.claimed_success);
+//! let mut diff = outcome.recovered.clone();
+//! diff.sort_unstable();
+//! assert_eq!(diff, (1..=15).collect::<Vec<u64>>());
+//! ```
+
 #![warn(missing_docs)]
 
 use analysis::optimize_parameters;
@@ -366,7 +382,11 @@ mod tests {
         while set.len() < n {
             set.insert((rng.random::<u64>() & 0xFFFF_FFFF).max(1));
         }
-        let a: Vec<u64> = set.into_iter().collect();
+        // Sort before slicing: `HashSet` iteration order is per-process
+        // random, and letting it pick *which* elements form the difference
+        // makes multi-seed statistical tests flake rarely.
+        let mut a: Vec<u64> = set.into_iter().collect();
+        a.sort_unstable();
         let b = a[..n - d].to_vec();
         (a, b)
     }

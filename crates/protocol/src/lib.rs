@@ -16,6 +16,21 @@
 //!   uniformly at random without replacement from a `log|U|`-bit universe and
 //!   `B ⊂ A` with `|A△B| = d` exactly.
 
+//!
+//! # Example
+//!
+//! ```
+//! use protocol::{Direction, Transcript};
+//!
+//! let mut t = Transcript::new();
+//! t.record_round_trip();
+//! t.send_bits(Direction::AliceToBob, "bch-sketch", 13 * 11);
+//! t.send_bits(Direction::BobToAlice, "bin-report", 43);
+//! assert_eq!(t.stats().total_bytes(), 18 + 6); // per-direction ceil to bytes
+//! assert_eq!(t.rounds_used(), 1);
+//! assert_eq!(t.round_trips(), 1);
+//! ```
+
 #![warn(missing_docs)]
 
 mod transcript;

@@ -71,6 +71,7 @@ pub struct MessageRecord {
 pub struct Transcript {
     records: Vec<MessageRecord>,
     current_round: u32,
+    round_trips: u32,
 }
 
 impl Transcript {
@@ -79,6 +80,7 @@ impl Transcript {
         Transcript {
             records: Vec::new(),
             current_round: 1,
+            round_trips: 0,
         }
     }
 
@@ -90,6 +92,22 @@ impl Transcript {
     /// Advance to the next protocol round.
     pub fn next_round(&mut self) {
         self.current_round += 1;
+    }
+
+    /// Record one request-response exchange on the transport. Protocol
+    /// rounds and round trips coincide in the classic protocol, but a
+    /// pipelined transport packs several rounds into one trip — this
+    /// counter ledgers the wall-clock-relevant quantity separately from the
+    /// paper's round numbering.
+    pub fn record_round_trip(&mut self) {
+        self.round_trips += 1;
+    }
+
+    /// Number of request-response exchanges recorded with
+    /// [`Transcript::record_round_trip`]. Zero when the driver never
+    /// recorded any (e.g. purely in-process runs that predate pipelining).
+    pub fn round_trips(&self) -> u32 {
+        self.round_trips
     }
 
     /// Record a message of `bits` bits in the current round. The serialized
@@ -255,5 +273,20 @@ mod tests {
         let t = Transcript::new();
         assert_eq!(t.rounds_used(), 0);
         assert_eq!(t.stats().total_bytes(), 0);
+        assert_eq!(t.round_trips(), 0);
+    }
+
+    #[test]
+    fn round_trips_ledger_independently_of_rounds() {
+        // A pipelined exchange: one trip carries two protocol rounds.
+        let mut t = Transcript::new();
+        t.record_round_trip();
+        t.send_bits(Direction::AliceToBob, "bch-sketch", 100);
+        t.next_round();
+        t.send_bits(Direction::AliceToBob, "bch-sketch", 100);
+        t.next_round();
+        t.send_bits(Direction::BobToAlice, "bin-report", 50);
+        assert_eq!(t.round_trips(), 1);
+        assert_eq!(t.rounds_used(), 3);
     }
 }

@@ -15,6 +15,28 @@
 //!   prime `2^61 - 1`, as required by the Tug-of-War estimator (§6, Fact 1).
 //! * [`element_checksum`] — the plain-summation set checksum of §2.2.3.
 
+//!
+//! # Example
+//!
+//! ```
+//! use xhash::{derive_seed, xxhash64, PartitionHasher, SetChecksum};
+//!
+//! // Deterministic, label-separated seed derivation.
+//! assert_eq!(xxhash64(b"pbs", 1), xxhash64(b"pbs", 1));
+//! assert_ne!(derive_seed(1, 2), derive_seed(1, 3));
+//!
+//! // Partition elements into 1-based bins 1..=n.
+//! let hasher = PartitionHasher::new(127, 42);
+//! assert!((1..=127).contains(&hasher.position(1234)));
+//!
+//! // Incrementally maintained additive set checksum.
+//! let mut c = SetChecksum::new(32);
+//! c.add(5);
+//! c.add(9);
+//! c.remove(5);
+//! assert_eq!(c.value(), xhash::element_checksum(32, [9]));
+//! ```
+
 #![warn(missing_docs)]
 
 mod partition;
