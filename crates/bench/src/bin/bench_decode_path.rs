@@ -14,7 +14,13 @@
 //! * the network frame codec round trip of one full d = 1000 protocol round
 //!   (one batched sketches frame + one reports frame, CRC verified, vs a
 //!   naive frame-per-message transport) — this is the `net_roundtrip`
-//!   metric `check_bench` gates serialization regressions with.
+//!   metric `check_bench` gates serialization regressions with,
+//! * the wire-v3 delta short-circuit: serving 50 changes of a 100k-element
+//!   store from the changelog (`delta_since` + chunked `DeltaBatch`
+//!   encode/decode + client-side collapse) vs running the full in-process
+//!   reconciliation of the same 50-element difference — the gated
+//!   `delta_sync` metric; its speedup is the CPU-side win the
+//!   delta-subscription protocol exists to deliver.
 //!
 //! Run with `cargo run --release -p bench --bin bench_decode_path`.
 //! The CI bench gate (`check_bench`) compares every `fast_*` metric of the
@@ -307,6 +313,109 @@ fn bench_net_roundtrip(set_size: usize, d: usize) -> Row {
     }
 }
 
+fn bench_delta_sync(set_size: usize, changes: usize) -> Row {
+    use pbs_net::frame::{
+        delta_batch_frames, delta_chunk_capacity, read_frame, write_frame, Frame, DEFAULT_MAX_FRAME,
+    };
+    use pbs_net::store::{DeltaAnswer, MutableStore, SetStore};
+
+    let pool = keys(set_size + changes / 2, 0xDE17A);
+    let baseline = &pool[..set_size];
+    let store = MutableStore::new(baseline.iter().copied());
+    // `changes` changed elements in one batch: half inserts, half removes.
+    store.apply(&pool[set_size..], &baseline[..changes - changes / 2]);
+
+    // Fast path: what the server + client do on a granted delta
+    // subscription — read the changelog tail, chunk and frame it, CRC and
+    // parse it back, collapse into the client's net add/remove sets.
+    let capacity = delta_chunk_capacity(DEFAULT_MAX_FRAME);
+    let mut wire = Vec::new();
+    let fast = best_ns(25, || {
+        wire.clear();
+        let DeltaAnswer::Changes { batches, current } = store.delta_since(0) else {
+            panic!("changelog must be intact");
+        };
+        for batch in &batches {
+            for frame in delta_batch_frames(batch.epoch, &batch.added, &batch.removed, capacity) {
+                write_frame(&mut wire, &frame, DEFAULT_MAX_FRAME).expect("write delta");
+            }
+        }
+        write_frame(
+            &mut wire,
+            &Frame::DeltaDone { epoch: current },
+            DEFAULT_MAX_FRAME,
+        )
+        .expect("write done");
+        let mut cursor = wire.as_slice();
+        // The client's own collapse rule: pbs_net::DeltaFold, shared with
+        // client::sync so this metric cannot drift from what ships.
+        let mut fold = pbs_net::DeltaFold::new();
+        loop {
+            match read_frame(&mut cursor, DEFAULT_MAX_FRAME)
+                .expect("read delta")
+                .0
+            {
+                Frame::DeltaBatch {
+                    added: a,
+                    removed: r,
+                    ..
+                } => fold.fold(a, r),
+                Frame::DeltaDone { .. } => break,
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+        assert_eq!(fold.len(), changes);
+        black_box(fold);
+    });
+
+    // Reference: the same 50-element difference reconciled the classic way
+    // — both session state machines built from scratch (that O(|set|) cost
+    // is exactly what a real fallback session pays), one sketch/report
+    // round through the frame codec, reports applied.
+    let cfg = PbsConfig::default();
+    let params = Pbs::new(cfg).plan(changes);
+    let client_set = baseline;
+    let server_set = store.snapshot();
+    let seed = 77u64;
+    let reference = best_ns(3, || {
+        let mut alice = AliceSession::new(cfg, params, client_set, seed);
+        let mut bob = BobSession::new(cfg, params, &server_set, seed);
+        wire.clear();
+        let batch = alice.start_round();
+        write_frame(
+            &mut wire,
+            &Frame::Sketches { m: params.m, batch },
+            DEFAULT_MAX_FRAME,
+        )
+        .expect("write sketches");
+        let mut cursor = wire.as_slice();
+        let Frame::Sketches { batch, .. } = read_frame(&mut cursor, DEFAULT_MAX_FRAME)
+            .expect("read sketches")
+            .0
+        else {
+            panic!("expected sketches");
+        };
+        let reports = bob.handle_sketches(&batch);
+        wire.clear();
+        write_frame(&mut wire, &Frame::Reports(reports), DEFAULT_MAX_FRAME).expect("write reports");
+        let mut cursor = wire.as_slice();
+        let Frame::Reports(reports) = read_frame(&mut cursor, DEFAULT_MAX_FRAME)
+            .expect("read reports")
+            .0
+        else {
+            panic!("expected reports");
+        };
+        black_box(alice.apply_reports(&reports));
+    });
+
+    Row {
+        name: "delta_sync".into(),
+        detail: format!("|store|={set_size} changes={changes}"),
+        fast_ms: fast / 1e6,
+        reference_ms: reference / 1e6,
+    }
+}
+
 fn main() {
     let n = 100_000usize;
     let (iblt_insert, iblt_peel) = bench_iblt(n);
@@ -322,6 +431,8 @@ fn main() {
     bob.print();
     let net = bench_net_roundtrip(n / 2, 1000);
     net.print();
+    let delta = bench_delta_sync(n, 50);
+    delta.print();
 
     let threads = std::thread::available_parallelism()
         .map(|v| v.get())
@@ -364,7 +475,8 @@ fn main() {
     json.push_str("  ],\n");
     emit(&mut json, "poly_mul", &poly, ",");
     emit(&mut json, "bob_decode", &bob, ",");
-    emit(&mut json, "net_roundtrip", &net, "");
+    emit(&mut json, "net_roundtrip", &net, ",");
+    emit(&mut json, "delta_sync", &delta, "");
     json.push_str("}\n");
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_decode_path.json");

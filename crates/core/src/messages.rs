@@ -123,6 +123,14 @@ pub struct RoundStatus {
     /// `true` when every session's checksum has verified — reconciliation is
     /// complete.
     pub all_verified: bool,
+    /// Per-group layer reports in the batch that decoded successfully.
+    /// Together with [`RoundStatus::layers_failed`] this is the batch's
+    /// layer-verification rate — what
+    /// [`crate::AliceSession::next_pipeline_depth`] resizes an adaptive
+    /// pipeline depth from.
+    pub layers_decoded: u32,
+    /// Per-group layer reports in the batch whose BCH decode failed.
+    pub layers_failed: u32,
 }
 
 #[cfg(test)]

@@ -143,6 +143,11 @@ pub struct AliceSession {
     base_seed: u64,
     round: u32,
     round_trips: u32,
+    /// Layer depth of the last [`Self::start_rounds`] batch.
+    last_depth: u32,
+    /// `(decoded, failed)` per-group layer reports of the last
+    /// [`Self::apply_reports`] batch; `None` before the first batch.
+    last_layer_stats: Option<(u32, u32)>,
     groups: Vec<AliceGroup>,
     /// Elements whose membership Alice has toggled so far — once every group
     /// verifies, this is exactly `A△B`.
@@ -181,6 +186,8 @@ impl AliceSession {
             base_seed: seed,
             round: 0,
             round_trips: 0,
+            last_depth: 1,
+            last_layer_stats: None,
             groups,
             recovered: HashSet::new(),
             fakes_rejected: 0,
@@ -249,6 +256,7 @@ impl AliceSession {
         let base = self.round;
         self.round += layers;
         self.round_trips += 1;
+        self.last_depth = layers;
         // Assign the batch's bin seeds first (mutates the groups), then
         // sketch over shared references so the map body is pure.
         for group in self.groups.iter_mut().filter(|g| !g.verified) {
@@ -294,6 +302,7 @@ impl AliceSession {
     /// (with unpipelined batches that is the classic §3.2 rule).
     pub fn apply_reports(&mut self, reports: &[GroupReport]) -> RoundStatus {
         let mut recovered_this_round = 0usize;
+        let (mut layers_decoded, mut layers_failed) = (0u32, 0u32);
         // `false` until a session shows at least one successfully decoded
         // layer; sessions still `false` at the end of the batch are split.
         let mut any_decoded: HashMap<SessionId, bool> = HashMap::new();
@@ -309,6 +318,7 @@ impl AliceSession {
             };
             match &report.body {
                 GroupReportBody::DecodeFailed => {
+                    layers_failed += 1;
                     any_decoded.entry(report.session).or_insert(false);
                     // The failed layer still consumes its pending seed, so
                     // later layers of the session stay aligned.
@@ -318,11 +328,13 @@ impl AliceSession {
                     }
                 }
                 GroupReportBody::Decoded { bins, checksum } => {
+                    layers_decoded += 1;
                     any_decoded.insert(report.session, true);
                     recovered_this_round += self.apply_decoded(gi, bins, *checksum);
                 }
             }
         }
+        self.last_layer_stats = Some((layers_decoded, layers_failed));
 
         // Perform the three-way splits after the borrow of `self.groups` above.
         // Process from the highest index down so removals do not shift the
@@ -341,6 +353,36 @@ impl AliceSession {
             recovered_this_round,
             active_sessions: self.active_sessions(),
             all_verified: self.all_verified(),
+            layers_decoded,
+            layers_failed,
+        }
+    }
+
+    /// Pick the layer depth for the *next* pipelined batch, bounded by
+    /// `grant` (the depth the transport's handshake granted).
+    ///
+    /// Adaptive pipelining per §3.2's economics: a speculative layer is a
+    /// cheap win while decodes succeed (it resolves the next round's
+    /// retries inside the same trip) and pure waste while they fail (every
+    /// layer of an overloaded group fails identically until the group
+    /// splits). The controller therefore starts at the granted depth and
+    /// resizes per trip from the previous trip's layer-verification rate:
+    ///
+    /// * every layer decoded → deepen toward the grant (double),
+    /// * at least half the layers failed → back off toward 1 (halve),
+    /// * mixed outcomes → hold the current depth.
+    pub fn next_pipeline_depth(&self, grant: u32) -> u32 {
+        let grant = grant.max(1);
+        let Some((decoded, failed)) = self.last_layer_stats else {
+            return grant;
+        };
+        let previous = self.last_depth.max(1);
+        if failed == 0 {
+            previous.saturating_mul(2).min(grant)
+        } else if failed >= decoded {
+            (previous / 2).max(1)
+        } else {
+            previous.min(grant)
         }
     }
 
@@ -985,6 +1027,47 @@ mod tests {
         }
         assert!(a1.all_verified());
         assert_eq!(sorted(a1.into_recovered()), sorted(a2.into_recovered()));
+    }
+
+    #[test]
+    fn adaptive_depth_follows_the_layer_verification_rate() {
+        // Before any trip the controller starts at the negotiated grant.
+        let (cfg, params) = params_for(4);
+        let alice: Vec<u64> = (1..=500).collect();
+        let bob: Vec<u64> = (5..=500).collect();
+        let mut a = AliceSession::new(cfg, params, &alice, 99);
+        let mut b = BobSession::new(cfg, params, &bob, 99);
+        assert_eq!(a.next_pipeline_depth(4), 4);
+        assert_eq!(a.next_pipeline_depth(0), 1, "grant is clamped to >= 1");
+
+        // Well-parameterized: every layer decodes, so depth holds at the
+        // grant (and would deepen toward a larger one).
+        let sketches = a.start_rounds(2);
+        let reports = b.handle_sketches(&sketches);
+        let status = a.apply_reports(&reports);
+        assert!(status.layers_failed == 0 && status.layers_decoded > 0);
+        assert_eq!(a.next_pipeline_depth(4), 4);
+        assert_eq!(a.next_pipeline_depth(2), 2);
+
+        // Under-parameterized: every layer of every group fails, so the
+        // depth halves toward 1 trip after trip.
+        let (cfg, params) = params_for(1);
+        let alice: Vec<u64> = (1..=2_000).collect();
+        let bob: Vec<u64> = (201..=2_000).collect();
+        let mut a = AliceSession::new(cfg, params, &alice, 5);
+        let mut b = BobSession::new(cfg, params, &bob, 5);
+        let mut depth = a.next_pipeline_depth(4);
+        assert_eq!(depth, 4);
+        let mut seen = vec![depth];
+        for _ in 0..2 {
+            let sketches = a.start_rounds(depth);
+            let reports = b.handle_sketches(&sketches);
+            let status = a.apply_reports(&reports);
+            assert!(status.layers_failed >= status.layers_decoded);
+            depth = a.next_pipeline_depth(4);
+            seen.push(depth);
+        }
+        assert_eq!(seen, vec![4, 2, 1], "mostly-failed trips back off to 1");
     }
 
     #[test]

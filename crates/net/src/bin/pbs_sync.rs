@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! pbs-sync --connect ADDR (--set-file PATH | --range N [--drop K])
-//!          [--store NAME] [--pipeline L] [--protocol V]
+//!          [--store NAME] [--pipeline L|auto] [--protocol V]
+//!          [--since EPOCH | --epoch-cache FILE]
 //!          [--d D] [--seed S] [--quiet]
 //! ```
 //!
@@ -11,8 +12,18 @@
 //! `--range N --drop K` the local set is the server's `--range N` demo set
 //! minus its first `K` elements — an instant end-to-end smoke test.
 //! `--store NAME` addresses one of a multi-store server's named sets;
-//! `--pipeline L` packs `L` protocol rounds into each round trip (both
-//! need a v2 server).
+//! `--pipeline L` packs `L` protocol rounds into each round trip, and
+//! `--pipeline auto` lets the session resize the depth per trip from the
+//! previous trip's verification rate (store routing needs v2, auto runs
+//! fine anywhere).
+//!
+//! `--since EPOCH` asks a v3 server for a **delta subscription**: if the
+//! store's changelog still covers that epoch the server streams exactly
+//! the changes since it instead of reconciling. `--epoch-cache FILE`
+//! automates the epoch bookkeeping: the file (one per store) holds the
+//! epoch of the previous sync; it is read as `--since` and rewritten with
+//! the new baseline after every successful sync — so the first run is a
+//! full reconciliation and every later run a delta.
 
 use pbs_net::client::{sync, ClientConfig};
 use pbs_net::setio;
@@ -25,7 +36,10 @@ struct Args {
     drop: usize,
     store: String,
     pipeline: u32,
+    pipeline_auto: bool,
     protocol: Option<u16>,
+    since: Option<u64>,
+    epoch_cache: Option<PathBuf>,
     d: Option<u64>,
     seed: u64,
     quiet: bool,
@@ -34,7 +48,8 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: pbs-sync --connect ADDR (--set-file PATH | --range N [--drop K]) \
-         [--store NAME] [--pipeline L] [--protocol V] [--d D] [--seed S] [--quiet]"
+         [--store NAME] [--pipeline L|auto] [--protocol V] \
+         [--since EPOCH | --epoch-cache FILE] [--d D] [--seed S] [--quiet]"
     );
     std::process::exit(2);
 }
@@ -47,7 +62,10 @@ fn parse_args() -> Args {
         drop: 0,
         store: String::new(),
         pipeline: 1,
+        pipeline_auto: false,
         protocol: None,
+        since: None,
+        epoch_cache: None,
         d: None,
         seed: 0xA11CE,
         quiet: false,
@@ -61,8 +79,17 @@ fn parse_args() -> Args {
             "--range" => args.range = value().parse().ok(),
             "--drop" => args.drop = value().parse().unwrap_or(0),
             "--store" => args.store = value(),
-            "--pipeline" => args.pipeline = value().parse().unwrap_or(1),
+            "--pipeline" => {
+                let v = value();
+                if v == "auto" {
+                    args.pipeline_auto = true;
+                } else {
+                    args.pipeline = v.parse().unwrap_or(1);
+                }
+            }
             "--protocol" => args.protocol = value().parse().ok(),
+            "--since" => args.since = value().parse().ok(),
+            "--epoch-cache" => args.epoch_cache = Some(PathBuf::from(value())),
             "--d" => args.d = value().parse().ok(),
             "--seed" => args.seed = value().parse().unwrap_or(0xA11CE),
             "--quiet" => args.quiet = true,
@@ -73,6 +100,14 @@ fn parse_args() -> Args {
         usage();
     }
     args
+}
+
+/// Read a cached epoch: a file holding one decimal epoch number. A missing
+/// or unparseable file means "no baseline yet" — the sync runs in full.
+fn read_epoch_cache(path: &std::path::Path) -> Option<u64> {
+    std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
 }
 
 fn main() {
@@ -89,11 +124,16 @@ fn main() {
         _ => usage(),
     };
 
+    let delta_epoch = args
+        .since
+        .or_else(|| args.epoch_cache.as_deref().and_then(read_epoch_cache));
     let mut config = ClientConfig {
         known_d: args.d,
         seed: args.seed,
         store: args.store.clone(),
         pipeline: args.pipeline.max(1),
+        pipeline_auto: args.pipeline_auto,
+        delta_epoch,
         ..ClientConfig::default()
     };
     if let Some(v) = args.protocol {
@@ -104,6 +144,54 @@ fn main() {
         std::process::exit(1);
     });
 
+    // Persist the new epoch baseline for the next run's delta subscription.
+    if let (Some(path), Some(epoch)) = (&args.epoch_cache, report.epoch) {
+        if let Err(e) = std::fs::write(path, format!("{epoch}\n")) {
+            eprintln!("pbs-sync: cannot write {}: {e}", path.display());
+        }
+    }
+
+    if let Some(delta) = &report.delta {
+        println!(
+            "pbs-sync: {}{} delta subscription: epoch {} → {} in {} batches \
+             (+{} −{} net)",
+            args.connect,
+            if args.store.is_empty() {
+                String::new()
+            } else {
+                format!(" store {:?}", args.store)
+            },
+            delta.from_epoch,
+            delta.to_epoch,
+            delta.batches,
+            delta.added.len(),
+            delta.removed.len(),
+        );
+        println!(
+            "pbs-sync: wire: {} B sent / {} B received over {}+{} frames (v{})",
+            report.bytes_sent,
+            report.bytes_received,
+            report.frames_sent,
+            report.frames_received,
+            report.negotiated_version,
+        );
+        if !args.quiet {
+            for e in delta.added.iter().take(25) {
+                println!("  +{e}");
+            }
+            for e in delta.removed.iter().take(25) {
+                println!("  -{e}");
+            }
+            let more = (delta.added.len() + delta.removed.len()).saturating_sub(50);
+            if more > 0 {
+                println!("  … {more} more");
+            }
+        }
+        return;
+    }
+    if report.delta_fallback {
+        println!("pbs-sync: delta epoch not servable; fell back to full reconciliation");
+    }
     println!(
         "pbs-sync: {}{} of set {} → |A△B| = {} ({} pushed to the server), \
          {} rounds in {} trips, d_param {}{}, verified: {}",
@@ -125,6 +213,9 @@ fn main() {
             .unwrap_or_default(),
         report.verified,
     );
+    if let Some(epoch) = report.epoch {
+        println!("pbs-sync: epoch baseline {epoch} established");
+    }
     println!(
         "pbs-sync: wire: {} B sent / {} B received over {}+{} frames (v{})",
         report.bytes_sent,

@@ -3,8 +3,8 @@
 //! ```text
 //! pbs-syncd [--listen ADDR] [--set-file PATH | --range N]
 //!           [--store NAME=SPEC]... [--watch-dir DIR [--watch-every SECS]]
-//!           [--workers W] [--round-cap R] [--max-pipeline L]
-//!           [--protocol V] [--stats-every SECS]
+//!           [--changelog-cap N] [--workers W] [--round-cap R]
+//!           [--max-pipeline L] [--protocol V] [--stats-every SECS]
 //! ```
 //!
 //! Serves the `docs/WIRE.md` protocol. One process serves any number of
@@ -20,6 +20,13 @@
 //!   every `--watch-every` seconds (default 5); edits to a file are
 //!   applied to its store as an epoch-stamped change batch between
 //!   sessions, and new files become new stores without a restart.
+//!
+//! Watched stores serve the v3 **delta-subscription** path: a returning
+//! client carrying the epoch of its previous sync receives exactly the
+//! changes since it. `--changelog-cap N` sets how many change batches each
+//! watched store retains (default 1024) — a client older than the retained
+//! window is told to run a full reconciliation instead; 0 disables the
+//! delta feed entirely.
 //!
 //! Per-store and server-wide stats are printed every `--stats-every`
 //! seconds and the process runs until killed.
@@ -39,6 +46,7 @@ struct Args {
     stores: Vec<(String, String)>,
     watch_dir: Option<PathBuf>,
     watch_every: u64,
+    changelog_cap: usize,
     workers: Option<usize>,
     round_cap: Option<u32>,
     max_pipeline: Option<u32>,
@@ -50,8 +58,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: pbs-syncd [--listen ADDR] [--set-file PATH | --range N] \
          [--store NAME=SPEC]... [--watch-dir DIR [--watch-every SECS]] \
-         [--workers W] [--round-cap R] [--max-pipeline L] [--protocol V] \
-         [--stats-every SECS]\n\
+         [--changelog-cap N] [--workers W] [--round-cap R] [--max-pipeline L] \
+         [--protocol V] [--stats-every SECS]\n\
          SPEC is a set-file path or range:N; at least one store is required"
     );
     std::process::exit(2);
@@ -65,6 +73,7 @@ fn parse_args() -> Args {
         stores: Vec::new(),
         watch_dir: None,
         watch_every: 5,
+        changelog_cap: pbs_net::store::DEFAULT_CHANGELOG_CAPACITY,
         workers: None,
         round_cap: None,
         max_pipeline: None,
@@ -87,6 +96,11 @@ fn parse_args() -> Args {
             }
             "--watch-dir" => args.watch_dir = Some(PathBuf::from(value())),
             "--watch-every" => args.watch_every = value().parse().unwrap_or(5),
+            "--changelog-cap" => {
+                args.changelog_cap = value()
+                    .parse()
+                    .unwrap_or(pbs_net::store::DEFAULT_CHANGELOG_CAPACITY)
+            }
             "--workers" => args.workers = value().parse().ok(),
             "--round-cap" => args.round_cap = value().parse().ok(),
             "--max-pipeline" => args.max_pipeline = value().parse().ok(),
@@ -128,6 +142,7 @@ fn scan_watch_dir(
     dir: &std::path::Path,
     registry: &StoreRegistry,
     watched: &mut HashMap<String, (PathBuf, Arc<MutableStore>, FileStamp)>,
+    changelog_cap: usize,
 ) {
     let entries = match std::fs::read_dir(dir) {
         Ok(entries) => entries,
@@ -165,7 +180,7 @@ fn scan_watch_dir(
                         continue;
                     }
                 };
-                let store = Arc::new(MutableStore::new(elements));
+                let store = Arc::new(MutableStore::with_log_capacity(elements, changelog_cap));
                 registry.register(name.clone(), Arc::clone(&store) as Arc<dyn SetStore>);
                 println!(
                     "pbs-syncd: watching {} as store {name:?} ({} elements)",
@@ -232,15 +247,16 @@ fn main() {
     // then a poller thread keeps them live.
     let mut watched = HashMap::new();
     if let Some(dir) = &args.watch_dir {
-        scan_watch_dir(dir, &registry, &mut watched);
+        scan_watch_dir(dir, &registry, &mut watched, args.changelog_cap);
         let dir = dir.clone();
         let registry = Arc::clone(&registry);
         let every = Duration::from_secs(args.watch_every.max(1));
+        let changelog_cap = args.changelog_cap;
         std::thread::Builder::new()
             .name("pbs-syncd-watch".into())
             .spawn(move || loop {
                 std::thread::sleep(every);
-                scan_watch_dir(&dir, &registry, &mut watched);
+                scan_watch_dir(&dir, &registry, &mut watched, changelog_cap);
             })
             .expect("spawn watch thread");
     }
@@ -288,7 +304,8 @@ fn main() {
         let s = stats.snapshot();
         println!(
             "pbs-syncd: total: sessions {}/{} ok (failed {}), rounds {} in {} trips, \
-             bytes in/out {}/{}, decode failures {}, elements ingested {}",
+             bytes in/out {}/{}, decode failures {}, elements ingested {}, \
+             delta {} served / {} resyncs ({} elements)",
             s.sessions_completed,
             s.sessions_started,
             s.sessions_failed,
@@ -298,6 +315,9 @@ fn main() {
             s.bytes_out,
             s.decode_failures,
             s.elements_received,
+            s.delta_sessions,
+            s.delta_fallbacks,
+            s.delta_elements,
         );
         for name in registry.names() {
             let Some(entry) = registry.get(&name) else {
@@ -306,13 +326,15 @@ fn main() {
             let p = entry.stats().snapshot();
             println!(
                 "pbs-syncd:   store {}: sessions {}/{} ok, rounds {} in {} trips, \
-                 ingested {}, size {}",
+                 ingested {}, delta {} served / {} resyncs, size {}",
                 if name.is_empty() { "(default)" } else { &name },
                 p.sessions_completed,
                 p.sessions_started,
                 p.rounds,
                 p.round_trips,
                 p.elements_received,
+                p.delta_sessions,
+                p.delta_fallbacks,
                 entry.store().element_count(),
             );
         }

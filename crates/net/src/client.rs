@@ -2,7 +2,13 @@
 //! server and returns the reconciled difference with full transport
 //! accounting. On v2 sessions the client can address a named server-side
 //! store ([`ClientConfig::store`]) and pipeline several protocol rounds
-//! into each request-response round trip ([`ClientConfig::pipeline`]).
+//! into each request-response round trip ([`ClientConfig::pipeline`], or
+//! [`ClientConfig::pipeline_auto`] for a per-trip adaptive depth). On v3
+//! sessions a client holding the epoch of its previous sync
+//! ([`ClientConfig::delta_epoch`]) is served the changes since that epoch
+//! as a delta stream ([`SyncReport::delta`]) instead of running a
+//! reconciliation, falling back transparently when the server's changelog
+//! cannot cover the epoch.
 
 use crate::frame::{EstimatorMsg, Frame, Hello, MAX_STORE_NAME, PROTOCOL_VERSION};
 use crate::{FramedStream, NetError, TransportConfig};
@@ -47,11 +53,28 @@ pub struct ClientConfig {
     /// [`pbs_core::AliceSession::start_rounds`]). Negotiated in the
     /// handshake: the session uses `min` of this request and the server's
     /// grant (`ServerConfig::max_pipeline_depth`, default 4), and falls
-    /// back to 1 when the server negotiates v1.
+    /// back to 1 when the server negotiates v1. Ignored when
+    /// [`ClientConfig::pipeline_auto`] is set.
     pub pipeline: u32,
+    /// Adaptive pipeline depth: request the server's full grant in the
+    /// handshake, start the session at the granted depth, then resize every
+    /// trip from the previous trip's layer-verification rate
+    /// ([`pbs_core::AliceSession::next_pipeline_depth`] — deepen toward the
+    /// grant while every layer decodes, back off toward 1 while most
+    /// fail). `pbs-sync --pipeline auto`.
+    pub pipeline_auto: bool,
     /// Protocol version to propose, normally [`PROTOCOL_VERSION`]. Set to
     /// 1 to emulate a legacy client (no store routing, no pipelining).
     pub protocol_version: u16,
+    /// The store epoch this client last synced at. `Some(e)` asks a v3
+    /// server for a delta subscription: when the store's changelog still
+    /// covers `e`, the server streams exactly the changes since `e`
+    /// ([`SyncReport::delta`]) instead of reconciling — O(|changes|) bytes
+    /// — and when it cannot, the sync transparently falls back to a full
+    /// reconciliation ([`SyncReport::delta_fallback`]). Requires
+    /// `protocol_version >= 3`; the epoch to pass is the
+    /// [`SyncReport::epoch`] of the previous sync against the same store.
+    pub delta_epoch: Option<u64>,
 }
 
 impl Default for ClientConfig {
@@ -65,7 +88,98 @@ impl Default for ClientConfig {
             max_d: 1 << 18,
             store: String::new(),
             pipeline: 1,
+            pipeline_auto: false,
             protocol_version: PROTOCOL_VERSION,
+            delta_epoch: None,
+        }
+    }
+}
+
+/// Outcome of a delta-subscription sync ([`SyncReport::delta`]): the net
+/// changes between the client's cached epoch and the server's current one,
+/// collapsed across batches (an element added then removed nets out).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeltaReport {
+    /// The epoch the client subscribed from.
+    pub from_epoch: u64,
+    /// The epoch the stream ended at — the next sync's `delta_epoch`.
+    pub to_epoch: u64,
+    /// Net elements to insert, sorted.
+    pub added: Vec<u64>,
+    /// Net elements to remove, sorted.
+    pub removed: Vec<u64>,
+    /// `DeltaBatch` frames received.
+    pub batches: u64,
+}
+
+impl DeltaReport {
+    /// Apply the net changes to a local element set (removes, then adds).
+    pub fn apply_to(&self, set: &mut HashSet<u64>) {
+        for e in &self.removed {
+            set.remove(e);
+        }
+        set.extend(self.added.iter().copied());
+    }
+}
+
+/// Accumulator folding a delta stream into net add/remove sets, in arrival
+/// order: a remove cancels an earlier add and vice versa (stream order is
+/// changelog order, so the fold is exact). This is *the* collapse rule of
+/// the v3 client — the `delta_sync` bench uses the same type, so the gated
+/// metric always measures the shipped algorithm.
+#[derive(Debug, Default)]
+pub struct DeltaFold {
+    added: HashSet<u64>,
+    removed: HashSet<u64>,
+    batches: u64,
+}
+
+impl DeltaFold {
+    /// An empty fold.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one `DeltaBatch` frame's lists, in stream order.
+    pub fn fold(
+        &mut self,
+        added: impl IntoIterator<Item = u64>,
+        removed: impl IntoIterator<Item = u64>,
+    ) {
+        self.batches += 1;
+        for e in removed {
+            if !self.added.remove(&e) {
+                self.removed.insert(e);
+            }
+        }
+        for e in added {
+            self.removed.remove(&e);
+            self.added.insert(e);
+        }
+    }
+
+    /// Net changed elements so far (adds plus removes).
+    pub fn len(&self) -> usize {
+        self.added.len() + self.removed.len()
+    }
+
+    /// `true` when the folded stream nets out to no change.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Finish into a sorted [`DeltaReport`] spanning the given epochs.
+    pub fn into_report(self, from_epoch: u64, to_epoch: u64) -> DeltaReport {
+        let mut added: Vec<u64> = self.added.into_iter().collect();
+        let mut removed: Vec<u64> = self.removed.into_iter().collect();
+        added.sort_unstable();
+        removed.sort_unstable();
+        DeltaReport {
+            from_epoch,
+            to_epoch,
+            added,
+            removed,
+            batches: self.batches,
         }
     }
 }
@@ -92,6 +206,19 @@ pub struct SyncReport {
     pub estimated_d: Option<f64>,
     /// The protocol version the server negotiated.
     pub negotiated_version: u16,
+    /// The epoch baseline this sync established, when the server's store
+    /// keeps epochs (v3): after a delta sync, the epoch the stream ended
+    /// at; after a full reconciliation, the epoch of the snapshot it ran
+    /// against. Feed it back as [`ClientConfig::delta_epoch`] next time.
+    pub epoch: Option<u64>,
+    /// The delta stream this sync was served from, when the requested
+    /// [`ClientConfig::delta_epoch`] was granted. `None` on full
+    /// reconciliations.
+    pub delta: Option<DeltaReport>,
+    /// `true` when a requested delta subscription could not be served
+    /// (changelog trimmed, pre-v3 server, epoch-less store) and the sync
+    /// fell back to a full reconciliation.
+    pub delta_fallback: bool,
     /// Wire bytes sent, framing included.
     pub bytes_sent: u64,
     /// Wire bytes received, framing included.
@@ -153,6 +280,11 @@ pub fn sync(
             "named stores require protocol v2".into(),
         ));
     }
+    if config.delta_epoch.is_some() && config.protocol_version < 3 {
+        return Err(NetError::Protocol(
+            "delta subscriptions require protocol v3".into(),
+        ));
+    }
     // The encoder would byte-truncate an over-long name (possibly
     // mid-codepoint), silently addressing a *different* store than the
     // caller asked for — refuse up front instead, mirroring the registry's
@@ -168,9 +300,18 @@ pub fn sync(
     let mut framed = FramedStream::from_tcp(stream, &config.transport)?;
 
     // ---- Handshake ----
+    // An adaptive-pipeline client asks for the largest representable depth;
+    // the grant that comes back is the server's own cap, the ceiling the
+    // per-trip controller then works under.
+    let requested_depth = if config.pipeline_auto {
+        u8::MAX as u32
+    } else {
+        config.pipeline.max(1)
+    };
     let mut hello = Hello::from_config(&config.pbs, config.seed, known_d.unwrap_or(0))
         .with_store(config.store.clone())
-        .with_pipeline(config.pipeline.max(1));
+        .with_pipeline(requested_depth);
+    hello.delta_epoch = config.delta_epoch;
     hello.version = config.protocol_version;
     framed.send(&Frame::Hello(hello))?;
     let negotiated = match framed.recv()? {
@@ -200,14 +341,66 @@ pub fn sync(
     // grants at most its own per-frame cap, and the session uses the
     // granted depth — a deeper request degrades instead of having a
     // mid-session frame refused. v1 sessions are always unpipelined.
-    let pipeline = if negotiated.version >= 2 {
-        config
-            .pipeline
-            .max(1)
-            .min(negotiated.pipeline.max(1) as u32)
+    let grant = if negotiated.version >= 2 {
+        requested_depth.min(negotiated.pipeline.max(1) as u32)
     } else {
         1
     };
+
+    // ---- Delta subscription (v3) ----
+    // When the handshake carried our cached epoch and the session stayed
+    // v3, the server's very next frames settle the question: a granted
+    // subscription streams DeltaBatch frames ending in DeltaDone (and the
+    // sync is over — no reconciliation ran), a FullResyncRequired drops us
+    // into the classic protocol below.
+    let mut delta_fallback = false;
+    if let Some(since) = config.delta_epoch {
+        if negotiated.version >= 3 {
+            let mut fold = DeltaFold::new();
+            loop {
+                match framed.recv()? {
+                    Frame::DeltaBatch {
+                        added: batch_added,
+                        removed: batch_removed,
+                        ..
+                    } => fold.fold(batch_added, batch_removed),
+                    Frame::DeltaDone { epoch } => {
+                        return Ok(SyncReport {
+                            recovered: Vec::new(),
+                            pushed: Vec::new(),
+                            verified: true,
+                            rounds: 0,
+                            round_trips: 0,
+                            d_param: 0,
+                            estimated_d: None,
+                            negotiated_version: negotiated.version,
+                            epoch: Some(epoch),
+                            delta: Some(fold.into_report(since, epoch)),
+                            delta_fallback: false,
+                            bytes_sent: framed.bytes_out(),
+                            bytes_received: framed.bytes_in(),
+                            frames_sent: framed.frames_out(),
+                            frames_received: framed.frames_in(),
+                        });
+                    }
+                    Frame::FullResyncRequired { .. } => {
+                        delta_fallback = true;
+                        break;
+                    }
+                    other => {
+                        return Err(NetError::Protocol(format!(
+                            "expected delta stream, got frame type {}",
+                            other.type_byte()
+                        )))
+                    }
+                }
+            }
+        } else {
+            // A pre-v3 responder cannot serve deltas at all; the classic
+            // session below is the fallback.
+            delta_fallback = true;
+        }
+    }
 
     // ---- Difference parameterization ----
     let mut estimated_d = None;
@@ -248,7 +441,14 @@ pub fn sync(
     while alice.round() < config.round_cap {
         // Pipelined: one frame speculatively carries the next `layers`
         // rounds' sketches; the server answers every layer in one reply.
-        let layers = pipeline.min(config.round_cap - alice.round());
+        // In auto mode the depth is re-picked every trip from the previous
+        // trip's layer-verification rate, never above the grant.
+        let depth = if config.pipeline_auto {
+            alice.next_pipeline_depth(grant)
+        } else {
+            grant
+        };
+        let layers = depth.min(config.round_cap - alice.round());
         let batch = alice.start_rounds(layers);
         framed.send(&Frame::Sketches { m: params.m, batch })?;
         let reports = match framed.recv()? {
@@ -289,15 +489,19 @@ pub fn sync(
         )));
     }
     framed.send(&Frame::Done(pushed.clone()))?;
-    match framed.recv()? {
-        Frame::Done(_) => {}
+    // On a v3 session against an epoch-capable store the ack is a
+    // DeltaDone carrying the epoch baseline this reconciliation
+    // established — what the next sync passes as `delta_epoch`.
+    let epoch = match framed.recv()? {
+        Frame::Done(_) => None,
+        Frame::DeltaDone { epoch } => Some(epoch),
         other => {
             return Err(NetError::Protocol(format!(
                 "expected Done ack, got frame type {}",
                 other.type_byte()
             )))
         }
-    }
+    };
 
     Ok(SyncReport {
         recovered,
@@ -308,6 +512,9 @@ pub fn sync(
         d_param,
         estimated_d,
         negotiated_version: negotiated.version,
+        epoch,
+        delta: None,
+        delta_fallback,
         bytes_sent: framed.bytes_out(),
         bytes_received: framed.bytes_in(),
         frames_sent: framed.frames_out(),

@@ -30,7 +30,15 @@ use std::io::{Read, Write};
 ///   rounds' layers). The `Hello` payload is self-describing: its
 ///   `version` field governs whether the store-name field follows, so
 ///   both encodings coexist on one port.
-pub const PROTOCOL_VERSION: u16 = 2;
+/// * **v3** — adds the delta-subscription path: a `Hello` may carry the
+///   client's last-known store epoch ([`Hello::delta_epoch`]); when the
+///   server's changelog still covers it, the session short-circuits
+///   reconciliation entirely and streams [`Frame::DeltaBatch`] frames
+///   ending in [`Frame::DeltaDone`], or answers
+///   [`Frame::FullResyncRequired`] and falls back to the classic session.
+///   On epoch-capable stores the final `Done` ack is replaced by a
+///   `DeltaDone` carrying the new epoch baseline.
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Largest store name (in bytes) a `Hello` may carry or a server accepts.
 pub const MAX_STORE_NAME: usize = 64;
@@ -46,6 +54,63 @@ pub const DEFAULT_MAX_FRAME: u32 = 1 << 24;
 
 /// Bytes of framing added around every frame body: length prefix + CRC.
 pub const FRAME_OVERHEAD: u64 = 8;
+
+/// Fixed bytes of a [`Frame::DeltaBatch`] body before the element words:
+/// type byte + epoch + element width + the two element counts.
+pub const DELTA_BATCH_HEADER: u32 = 1 + 8 + 1 + 4 + 4;
+
+/// Byte width the elements of a delta chunk are packed at: the smallest
+/// width that fits the largest element present (1..=8). Elements in a
+/// 32-bit universe cost 4 bytes on the wire, not 8 — the delta stream's
+/// dominant term, so it is packed where the fixed-width reconciliation
+/// frames are not.
+pub fn delta_element_width(added: &[u64], removed: &[u64]) -> u8 {
+    let max = added.iter().chain(removed).copied().max().unwrap_or(0);
+    ((64 - max.leading_zeros() as usize).div_ceil(8)).max(1) as u8
+}
+
+/// Most elements (added plus removed) packed into one [`Frame::DeltaBatch`]
+/// before a changelog batch is split across frames: what fits under
+/// `max_frame`, additionally clamped to 2¹⁶ elements so a huge batch is
+/// streamed in bounded chunks rather than materialized as one frame.
+pub fn delta_chunk_capacity(max_frame: u32) -> usize {
+    const CHUNK_CAP: usize = 1 << 16;
+    ((max_frame.saturating_sub(DELTA_BATCH_HEADER) / 8) as usize).clamp(1, CHUNK_CAP)
+}
+
+/// Split one changelog batch into [`Frame::DeltaBatch`] frames of at most
+/// `capacity` elements each (the chunking rule of `docs/WIRE.md`): the add
+/// list ships first, then the remove list, a frame may carry the tail of
+/// one and the head of the other, and every chunk repeats the batch's
+/// epoch. Chunks never span two changelog batches — each batch's epoch
+/// stamp is preserved. An empty (never effective) batch still produces one
+/// empty frame.
+pub fn delta_batch_frames(
+    epoch: u64,
+    added: &[u64],
+    removed: &[u64],
+    capacity: usize,
+) -> Vec<Frame> {
+    let capacity = capacity.max(1);
+    let mut frames = Vec::new();
+    let (mut added, mut removed) = (added, removed);
+    loop {
+        let take_a = added.len().min(capacity);
+        let (chunk_a, rest_a) = added.split_at(take_a);
+        let take_r = removed.len().min(capacity - take_a);
+        let (chunk_r, rest_r) = removed.split_at(take_r);
+        (added, removed) = (rest_a, rest_r);
+        frames.push(Frame::DeltaBatch {
+            epoch,
+            added: chunk_a.to_vec(),
+            removed: chunk_r.to_vec(),
+        });
+        if added.is_empty() && removed.is_empty() {
+            break;
+        }
+    }
+    frames
+}
 
 /// Machine-readable cause carried by an [`Frame::Error`] frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -152,6 +217,14 @@ pub struct Hello {
     /// client never discovers the server's cap by having a mid-session
     /// frame refused. v2 only; 0 is normalized to 1.
     pub pipeline: u8,
+    /// The store epoch this client last synced at (v3). `Some(e)` asks the
+    /// server for a delta subscription: if the named store's changelog
+    /// still reaches back to `e`, the server streams the changes since `e`
+    /// instead of running a reconciliation; otherwise it answers
+    /// [`Frame::FullResyncRequired`] and the session proceeds classically.
+    /// `None` (the only thing a pre-v3 `Hello` can say) requests a normal
+    /// reconciliation session.
+    pub delta_epoch: Option<u64>,
 }
 
 impl Hello {
@@ -170,6 +243,7 @@ impl Hello {
             known_d,
             store: String::new(),
             pipeline: 1,
+            delta_epoch: None,
         }
     }
 
@@ -183,6 +257,13 @@ impl Hello {
     /// grants at most its own cap).
     pub fn with_pipeline(mut self, layers: u32) -> Self {
         self.pipeline = layers.clamp(1, u8::MAX as u32) as u8;
+        self
+    }
+
+    /// Request a delta subscription from the given last-known store epoch
+    /// (requires a v3 session).
+    pub fn with_delta_epoch(mut self, epoch: u64) -> Self {
+        self.delta_epoch = Some(epoch);
         self
     }
 
@@ -273,6 +354,36 @@ pub enum Frame {
         /// Human-readable detail (may be empty; capped at 64 KiB on decode).
         message: String,
     },
+    /// Server → client (v3): one chunk of the delta stream — the effective
+    /// add/remove lists of one changelog batch. A batch larger than the
+    /// frame cap is split across several `DeltaBatch` frames carrying the
+    /// same `epoch`; the epoch is *reached* only once the last chunk of the
+    /// batch (and authoritatively, the closing [`Frame::DeltaDone`]) has
+    /// been applied.
+    DeltaBatch {
+        /// The epoch the originating changelog batch produced.
+        epoch: u64,
+        /// Elements the batch inserted.
+        added: Vec<u64>,
+        /// Elements the batch removed.
+        removed: Vec<u64>,
+    },
+    /// Server → client (v3): end of a delta stream, or — on an
+    /// epoch-capable store — the final transfer ack, in either case
+    /// carrying the epoch baseline the client now stands at.
+    DeltaDone {
+        /// The client's new epoch baseline.
+        epoch: u64,
+    },
+    /// Server → client (v3): the requested [`Hello::delta_epoch`] cannot be
+    /// served incrementally (changelog trimmed past it, epoch from this
+    /// store's future, or a store without a changelog). Not an error: the
+    /// session continues with the classic reconciliation, which
+    /// re-establishes an epoch baseline.
+    FullResyncRequired {
+        /// The store's current epoch (0 when the store keeps no epochs).
+        epoch: u64,
+    },
 }
 
 const TYPE_HELLO: u8 = 1;
@@ -281,6 +392,9 @@ const TYPE_SKETCHES: u8 = 3;
 const TYPE_REPORTS: u8 = 4;
 const TYPE_DONE: u8 = 5;
 const TYPE_ERROR: u8 = 6;
+const TYPE_DELTA_BATCH: u8 = 7;
+const TYPE_DELTA_DONE: u8 = 8;
+const TYPE_FULL_RESYNC: u8 = 9;
 
 const EST_KIND_BANK: u8 = 1;
 const EST_KIND_ESTIMATE: u8 = 2;
@@ -320,6 +434,9 @@ impl Frame {
             Frame::Reports(_) => TYPE_REPORTS,
             Frame::Done(_) => TYPE_DONE,
             Frame::Error { .. } => TYPE_ERROR,
+            Frame::DeltaBatch { .. } => TYPE_DELTA_BATCH,
+            Frame::DeltaDone { .. } => TYPE_DELTA_DONE,
+            Frame::FullResyncRequired { .. } => TYPE_FULL_RESYNC,
         }
     }
 
@@ -340,12 +457,22 @@ impl Frame {
                 out.extend_from_slice(&h.seed.to_le_bytes());
                 out.extend_from_slice(&h.known_d.to_le_bytes());
                 // v1 peers expect the payload to end here; the store-name
-                // and pipeline fields exist only in the v2 shape.
+                // and pipeline fields exist only in the v2 shape, and the
+                // delta-epoch field only in the v3 shape.
                 if h.version >= 2 {
                     let name = &h.store.as_bytes()[..h.store.len().min(MAX_STORE_NAME)];
                     out.push(name.len() as u8);
                     out.extend_from_slice(name);
                     out.push(h.pipeline);
+                }
+                if h.version >= 3 {
+                    match h.delta_epoch {
+                        Some(epoch) => {
+                            out.push(1);
+                            out.extend_from_slice(&epoch.to_le_bytes());
+                        }
+                        None => out.push(0),
+                    }
                 }
             }
             Frame::EstimatorExchange(EstimatorMsg::TowBank(bank)) => {
@@ -375,6 +502,26 @@ impl Frame {
                 out.extend_from_slice(&(msg.len() as u16).to_le_bytes());
                 out.extend_from_slice(msg);
             }
+            Frame::DeltaBatch {
+                epoch,
+                added,
+                removed,
+            } => {
+                // Elements are packed at the width of the largest one, a
+                // self-describing per-chunk choice (the decoder widens back
+                // to u64 from the width byte).
+                let width = delta_element_width(added, removed) as usize;
+                out.extend_from_slice(&epoch.to_le_bytes());
+                out.push(width as u8);
+                out.extend_from_slice(&(added.len() as u32).to_le_bytes());
+                out.extend_from_slice(&(removed.len() as u32).to_le_bytes());
+                for &e in added.iter().chain(removed) {
+                    out.extend_from_slice(&e.to_le_bytes()[..width]);
+                }
+            }
+            Frame::DeltaDone { epoch } | Frame::FullResyncRequired { epoch } => {
+                out.extend_from_slice(&epoch.to_le_bytes());
+            }
         }
         out
     }
@@ -402,6 +549,7 @@ impl Frame {
                     known_d: take_u64(&mut buf)?,
                     store: String::new(),
                     pipeline: 1,
+                    delta_epoch: None,
                 };
                 if hello.version >= 2 {
                     let len = take_u8(&mut buf)? as usize;
@@ -411,6 +559,13 @@ impl Frame {
                     let raw = take(&mut buf, len)?;
                     hello.store = String::from_utf8_lossy(raw).into_owned();
                     hello.pipeline = take_u8(&mut buf)?.max(1);
+                }
+                if hello.version >= 3 {
+                    match take_u8(&mut buf)? {
+                        0 => {}
+                        1 => hello.delta_epoch = Some(take_u64(&mut buf)?),
+                        other => return Err(FrameError::Payload(WireError::BadTag(other))),
+                    }
                 }
                 if !buf.is_empty() {
                     return Err(FrameError::Payload(WireError::Truncated));
@@ -463,6 +618,43 @@ impl Frame {
                 Ok(Frame::Error {
                     code,
                     message: String::from_utf8_lossy(msg).into_owned(),
+                })
+            }
+            TYPE_DELTA_BATCH => {
+                let epoch = take_u64(&mut buf)?;
+                let width = take_u8(&mut buf)? as usize;
+                if !(1..=8).contains(&width) {
+                    return Err(FrameError::Payload(WireError::BadTag(width as u8)));
+                }
+                let added_count = take_u32(&mut buf)? as usize;
+                let removed_count = take_u32(&mut buf)? as usize;
+                // Exact-length check before any allocation: the counts must
+                // describe precisely the bytes present.
+                if buf.len() != (added_count + removed_count) * width {
+                    return Err(FrameError::Payload(WireError::Truncated));
+                }
+                let mut words = buf.chunks_exact(width).map(|c| {
+                    let mut bytes = [0u8; 8];
+                    bytes[..width].copy_from_slice(c);
+                    u64::from_le_bytes(bytes)
+                });
+                let added: Vec<u64> = words.by_ref().take(added_count).collect();
+                let removed: Vec<u64> = words.collect();
+                Ok(Frame::DeltaBatch {
+                    epoch,
+                    added,
+                    removed,
+                })
+            }
+            TYPE_DELTA_DONE | TYPE_FULL_RESYNC => {
+                let epoch = take_u64(&mut buf)?;
+                if !buf.is_empty() {
+                    return Err(FrameError::Payload(WireError::Truncated));
+                }
+                Ok(if ty == TYPE_DELTA_DONE {
+                    Frame::DeltaDone { epoch }
+                } else {
+                    Frame::FullResyncRequired { epoch }
                 })
             }
             other => Err(FrameError::BadType(other)),
@@ -541,7 +733,8 @@ mod tests {
     fn hello_round_trip() {
         let hello = Hello::from_config(&PbsConfig::default(), 0xDEAD_BEEF, 42)
             .with_store("blocks")
-            .with_pipeline(3);
+            .with_pipeline(3)
+            .with_delta_epoch(77);
         let back = round_trip(&Frame::Hello(hello.clone()), DEFAULT_MAX_FRAME);
         assert_eq!(back, Frame::Hello(hello));
         let Frame::Hello(h) = back else {
@@ -550,6 +743,7 @@ mod tests {
         assert_eq!(h.config().unwrap(), PbsConfig::default());
         assert_eq!(h.store, "blocks");
         assert_eq!(h.pipeline, 3);
+        assert_eq!(h.delta_epoch, Some(77));
     }
 
     #[test]
@@ -557,12 +751,12 @@ mod tests {
         let mut hello = Hello::from_config(&PbsConfig::default(), 7, 0);
         hello.version = 1;
         let v1_len = Frame::Hello(hello.clone()).encode_body().len();
-        let v2_len = Frame::Hello(Hello::from_config(&PbsConfig::default(), 7, 0))
+        let v3_len = Frame::Hello(Hello::from_config(&PbsConfig::default(), 7, 0))
             .encode_body()
             .len();
-        // The v2 shape adds exactly the one-byte length prefix of an empty
-        // store name plus the pipeline byte.
-        assert_eq!(v2_len, v1_len + 2);
+        // The v3 shape adds exactly the one-byte length prefix of an empty
+        // store name, the pipeline byte and the absent-epoch flag byte.
+        assert_eq!(v3_len, v1_len + 3);
         let back = round_trip(&Frame::Hello(hello.clone()), DEFAULT_MAX_FRAME);
         assert_eq!(back, Frame::Hello(hello.clone()));
         // A v1 Hello carrying a (stripped) store name decodes with the
@@ -584,9 +778,10 @@ mod tests {
         };
         assert_eq!(h.store.len(), MAX_STORE_NAME);
         // …and the decoder refuses a hand-crafted longer length byte.
-        // (The length byte sits before the name and the pipeline byte.)
+        // (The length byte sits before the name, the pipeline byte and the
+        // v3 delta-epoch flag byte.)
         let mut forged = body.clone();
-        let len_at = body.len() - 2 - MAX_STORE_NAME;
+        let len_at = body.len() - 3 - MAX_STORE_NAME;
         forged[len_at] = MAX_STORE_NAME as u8 + 1;
         forged.push(b'x');
         assert!(Frame::decode_body(&forged).is_err());
@@ -647,6 +842,103 @@ mod tests {
         let mut h3 = Hello::from_config(&PbsConfig::default(), 1, 0);
         h3.target_success = f64::NAN;
         assert!(h3.config().is_err());
+    }
+
+    #[test]
+    fn v2_hello_drops_the_delta_epoch() {
+        // A v2-shaped Hello cannot carry an epoch: the field round-trips to
+        // None, exactly as the store name does on a v1 shape.
+        let mut hello = Hello::from_config(&PbsConfig::default(), 7, 0).with_delta_epoch(42);
+        hello.version = 2;
+        let Frame::Hello(h) = round_trip(&Frame::Hello(hello), DEFAULT_MAX_FRAME) else {
+            unreachable!()
+        };
+        assert_eq!(h.delta_epoch, None);
+    }
+
+    #[test]
+    fn delta_frames_round_trip() {
+        for frame in [
+            Frame::DeltaBatch {
+                epoch: u64::MAX,
+                added: vec![1, 2, 3],
+                removed: vec![9],
+            },
+            Frame::DeltaBatch {
+                epoch: 0,
+                added: vec![],
+                removed: vec![],
+            },
+            Frame::DeltaDone { epoch: 17 },
+            Frame::FullResyncRequired { epoch: 0 },
+        ] {
+            assert_eq!(round_trip(&frame, 1024), frame);
+        }
+        // Forged counts that disagree with the bytes present are refused.
+        let body = Frame::DeltaBatch {
+            epoch: 3,
+            added: vec![5, 6],
+            removed: vec![7],
+        }
+        .encode_body();
+        let mut forged = body.clone();
+        forged[10] = 200; // added_count (offset 9 is the width byte)
+        assert!(Frame::decode_body(&forged).is_err());
+        let mut bad_width = body.clone();
+        bad_width[9] = 9;
+        assert!(Frame::decode_body(&bad_width).is_err());
+        let mut truncated = body;
+        truncated.pop();
+        assert!(Frame::decode_body(&truncated).is_err());
+    }
+
+    #[test]
+    fn delta_chunking_respects_capacity_and_epoch_stamps() {
+        let added: Vec<u64> = (1..=10).collect();
+        let removed: Vec<u64> = (100..=104).collect();
+        let frames = delta_batch_frames(9, &added, &removed, 4);
+        assert_eq!(frames.len(), 4); // 15 elements at 4 per frame
+        let mut got_added = Vec::new();
+        let mut got_removed = Vec::new();
+        for frame in &frames {
+            let Frame::DeltaBatch {
+                epoch,
+                added,
+                removed,
+            } = frame
+            else {
+                panic!("unexpected frame {frame:?}");
+            };
+            assert_eq!(*epoch, 9, "every chunk repeats the batch epoch");
+            assert!(added.len() + removed.len() <= 4);
+            got_added.extend_from_slice(added);
+            got_removed.extend_from_slice(removed);
+        }
+        // Order preserved: adds first, then removes, never interleaved out
+        // of order.
+        assert_eq!(got_added, added);
+        assert_eq!(got_removed, removed);
+        // The third frame straddles the add/remove boundary.
+        let Frame::DeltaBatch {
+            added: a,
+            removed: r,
+            ..
+        } = &frames[2]
+        else {
+            unreachable!()
+        };
+        assert_eq!((a.len(), r.len()), (2, 2));
+        // An empty batch still yields one (empty) frame.
+        assert_eq!(delta_batch_frames(1, &[], &[], 4).len(), 1);
+        // Capacity math: the chunk capacity fills a frame exactly.
+        let cap = delta_chunk_capacity(1024);
+        assert_eq!(cap, (1024 - DELTA_BATCH_HEADER as usize) / 8);
+        let full: Vec<u64> = (0..cap as u64).collect();
+        let frames = delta_batch_frames(1, &full, &[], cap);
+        assert_eq!(frames.len(), 1);
+        assert!(frames[0].encode_body().len() <= 1024);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &frames[0], 1024).expect("fits under the cap");
     }
 
     #[test]

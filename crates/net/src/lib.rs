@@ -22,8 +22,14 @@
 //!   store.
 //! * [`client`] — [`client::sync`]: drives an [`pbs_core::AliceSession`]
 //!   against a server (optionally pipelining several protocol rounds per
-//!   round trip) and returns the reconciled difference plus transport
-//!   accounting.
+//!   round trip, with a fixed or per-trip adaptive depth) and returns the
+//!   reconciled difference plus transport accounting.
+//!
+//! Protocol v3 adds the **delta-subscription** path: a client carrying the
+//! epoch of its previous sync ([`ClientConfig::delta_epoch`]) is served
+//! exactly the changes since that epoch from the store's changelog —
+//! O(|changes|) bytes, no reconciliation — and falls back to the classic
+//! session when the changelog cannot cover the epoch. See `docs/WIRE.md`.
 //!
 //! The loopback integration test (`tests/loopback.rs`) reconciles
 //! 100k-element sets over real sockets and checks the measured wire bytes
@@ -61,10 +67,10 @@ pub mod server;
 pub mod setio;
 pub mod store;
 
-pub use client::{sync, ClientConfig, SyncReport};
+pub use client::{sync, ClientConfig, DeltaFold, DeltaReport, SyncReport};
 pub use frame::{Frame, Hello, PROTOCOL_VERSION};
 pub use server::{Server, ServerConfig};
-pub use store::{InMemoryStore, MutableStore, SetStore, StoreRegistry};
+pub use store::{ChangeBatch, DeltaAnswer, InMemoryStore, MutableStore, SetStore, StoreRegistry};
 
 use pbs_core::wire::WireError;
 use std::io::{Read, Write};

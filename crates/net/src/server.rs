@@ -5,9 +5,14 @@
 //! (with store routing through the [`StoreRegistry`] on v2 sessions) →
 //! optional estimator exchange → sketch/report rounds (possibly pipelined:
 //! one `Sketches` frame may carry several consecutive rounds' layers) →
-//! final element transfer. The server is the *responder* throughout — it
-//! never sends a frame except in reply — which keeps the per-connection
-//! state machine a simple read-dispatch loop. Hostile input is bounded at
+//! final element transfer. A v3 `Hello` carrying the client's last-known
+//! store epoch short-circuits all of that when the store's changelog still
+//! covers the epoch: the server streams the changes since it (`DeltaBatch*`
+//! → `DeltaDone`) and the session ends without any reconciliation — the
+//! one place the server sends more than a single frame in reply. Otherwise
+//! the server is the *responder* throughout — it never sends a frame
+//! except in reply — which keeps the per-connection state machine a simple
+//! read-dispatch loop. Hostile input is bounded at
 //! every layer: frame sizes by the transport cap, handshake values by
 //! [`crate::frame::Hello::config`], the parameterized difference by
 //! [`ServerConfig::max_d`], rounds by [`ServerConfig::round_cap`],
@@ -16,8 +21,10 @@
 //! against the negotiated codec before they reach the BCH codec's
 //! `Sketch::combine` capacity assertion.
 
-use crate::frame::{ErrorCode, EstimatorMsg, Frame, PROTOCOL_VERSION};
-use crate::store::{RegisteredStore, StoreRegistry};
+use crate::frame::{
+    delta_batch_frames, delta_chunk_capacity, ErrorCode, EstimatorMsg, Frame, PROTOCOL_VERSION,
+};
+use crate::store::{DeltaAnswer, RegisteredStore, StoreRegistry};
 use crate::{FramedStream, NetError, TransportConfig};
 use estimator::{Estimator, TowEstimator};
 use pbs_core::{BobSession, Pbs, ESTIMATOR_SEED_SALT};
@@ -112,6 +119,16 @@ pub struct ServerStats {
     pub estimator_exchanges: AtomicU64,
     /// Elements ingested from clients' final transfers.
     pub elements_received: AtomicU64,
+    /// Sessions served entirely from the changelog — the v3 delta
+    /// short-circuit (no reconciliation ran).
+    pub delta_sessions: AtomicU64,
+    /// Delta requests answered with `FullResyncRequired` (changelog
+    /// trimmed, epoch from the future, or an epoch-less store).
+    pub delta_fallbacks: AtomicU64,
+    /// `DeltaBatch` frames streamed to subscribers.
+    pub delta_batches: AtomicU64,
+    /// Elements (adds plus removes) streamed in `DeltaBatch` frames.
+    pub delta_elements: AtomicU64,
 }
 
 /// A point-in-time copy of [`ServerStats`].
@@ -141,6 +158,14 @@ pub struct StatsSnapshot {
     pub estimator_exchanges: u64,
     /// Elements ingested from clients.
     pub elements_received: u64,
+    /// Sessions served entirely from the changelog (v3 delta path).
+    pub delta_sessions: u64,
+    /// Delta requests that fell back to a full reconciliation.
+    pub delta_fallbacks: u64,
+    /// `DeltaBatch` frames streamed.
+    pub delta_batches: u64,
+    /// Elements streamed in `DeltaBatch` frames.
+    pub delta_elements: u64,
 }
 
 impl ServerStats {
@@ -160,6 +185,10 @@ impl ServerStats {
             decode_failures: get(&self.decode_failures),
             estimator_exchanges: get(&self.estimator_exchanges),
             elements_received: get(&self.elements_received),
+            delta_sessions: get(&self.delta_sessions),
+            delta_fallbacks: get(&self.delta_fallbacks),
+            delta_batches: get(&self.delta_batches),
+            delta_elements: get(&self.delta_elements),
         }
     }
 }
@@ -452,9 +481,60 @@ fn run_session(
         .min(config.max_pipeline_depth.clamp(1, u8::MAX as u32) as u8);
     framed.send(&Frame::Hello(negotiated))?;
 
+    // ---- Delta subscription (v3) ----
+    // A client that carries its last-known epoch short-circuits
+    // reconciliation entirely when the store's changelog still covers it:
+    // the server streams the changes since that epoch (chunked under the
+    // frame cap) and the session is over — O(|changes|) bytes instead of
+    // O(d) sketch rounds over the full set. When the changelog cannot
+    // serve the epoch, the session falls back to the classic protocol
+    // below, whose final ack re-establishes an epoch baseline.
+    if negotiated_version >= 3 {
+        if let Some(since) = hello.delta_epoch {
+            match store.delta_since(since) {
+                DeltaAnswer::Changes { batches, current } => {
+                    counters.add(|s| &s.delta_sessions, 1);
+                    let capacity = delta_chunk_capacity(config.transport.max_frame);
+                    for batch in &batches {
+                        counters.add(
+                            |s| &s.delta_elements,
+                            (batch.added.len() + batch.removed.len()) as u64,
+                        );
+                        for frame in
+                            delta_batch_frames(batch.epoch, &batch.added, &batch.removed, capacity)
+                        {
+                            // Per chunk, not per batch: one huge batch
+                            // chunks into many frames, and a stalled
+                            // subscriber must not pin the worker past the
+                            // session deadline between two sends.
+                            if let Some(err) = over_deadline(framed) {
+                                return Err(err);
+                            }
+                            counters.add(|s| &s.delta_batches, 1);
+                            framed.send(&frame)?;
+                        }
+                    }
+                    framed.send(&Frame::DeltaDone { epoch: current })?;
+                    return Ok(());
+                }
+                DeltaAnswer::Trimmed { current } => {
+                    counters.add(|s| &s.delta_fallbacks, 1);
+                    framed.send(&Frame::FullResyncRequired { epoch: current })?;
+                }
+                DeltaAnswer::Unsupported => {
+                    counters.add(|s| &s.delta_fallbacks, 1);
+                    framed.send(&Frame::FullResyncRequired { epoch: 0 })?;
+                }
+            }
+        }
+    }
+
     // One snapshot for the whole session: the estimator and the Bob state
-    // machine must describe the same set.
-    let snapshot = store.snapshot();
+    // machine must describe the same set. On an epoch-capable store the
+    // epoch of this snapshot is the baseline the final ack hands the
+    // client: replaying any later change batch over the union the session
+    // converges on is idempotent, so the baseline is always replay-safe.
+    let (snapshot, snapshot_epoch) = store.epoch_snapshot();
 
     // ---- Difference parameterization (a priori or estimated) ----
     let d_param = if hello.known_d > 0 {
@@ -607,7 +687,20 @@ fn run_session(
                         }
                         store.apply_missing(&elements);
                         counters.add(|s| &s.elements_received, elements.len() as u64);
-                        framed.send(&Frame::Done(Vec::new()))?;
+                        // On a v3 session against an epoch-capable store,
+                        // the ack carries the *snapshot* epoch this session
+                        // reconciled against — the client's new delta
+                        // baseline. (Not the post-ingest epoch: changes
+                        // that landed after the snapshot were invisible to
+                        // this session and must be replayed by the next
+                        // delta sync; the client's own transfer replaying
+                        // with them is idempotent.)
+                        match snapshot_epoch {
+                            Some(epoch) if negotiated_version >= 3 => {
+                                framed.send(&Frame::DeltaDone { epoch })?
+                            }
+                            _ => framed.send(&Frame::Done(Vec::new()))?,
+                        }
                         return Ok(());
                     }
                     other => {

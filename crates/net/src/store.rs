@@ -21,12 +21,45 @@ use crate::server::ServerStats;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::{Arc, RwLock};
 
+/// What a store can answer when a delta subscriber asks for the changes
+/// since an epoch ([`SetStore::delta_since`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaAnswer {
+    /// The store keeps no epochs/changelog at all — every subscriber must
+    /// run a full reconciliation.
+    Unsupported,
+    /// The changelog no longer reaches back to the requested epoch (it was
+    /// trimmed past it, the epoch lies in this store's future — e.g. the
+    /// server restarted with a fresh store — or the epoch space is
+    /// exhausted). The subscriber must re-establish a baseline with a full
+    /// reconciliation.
+    Trimmed {
+        /// The store's current epoch.
+        current: u64,
+    },
+    /// The changes since the requested epoch, oldest first (empty when the
+    /// subscriber is already current), plus the epoch they lead to — read
+    /// atomically, so replaying `batches` over the subscriber's state
+    /// yields exactly the store at `current`.
+    Changes {
+        /// Change batches after the requested epoch, oldest first.
+        batches: Vec<ChangeBatch>,
+        /// The store's epoch once every batch is applied.
+        current: u64,
+    },
+}
+
 /// The element store a server reconciles against.
 ///
 /// `snapshot` is taken once per session (estimator and `BobSession` must
 /// see the same set); `apply_missing` receives the client's final `Done`
 /// transfer — the elements the client holds and this store lacks — so the
 /// two sides converge on the union.
+///
+/// The two epoch methods ([`SetStore::epoch_snapshot`],
+/// [`SetStore::delta_since`]) have defaults describing a store without a
+/// changelog; [`MutableStore`] overrides them to serve the wire protocol's
+/// v3 delta-subscription path.
 pub trait SetStore: Send + Sync + 'static {
     /// The current element set.
     fn snapshot(&self) -> Vec<u64>;
@@ -36,6 +69,17 @@ pub trait SetStore: Send + Sync + 'static {
     /// snapshot; implementors with a cheap count should override it.
     fn element_count(&self) -> usize {
         self.snapshot().len()
+    }
+    /// The current element set together with the epoch it corresponds to
+    /// (`None` when the store keeps no epochs). Epoch-capable stores must
+    /// read the two atomically.
+    fn epoch_snapshot(&self) -> (Vec<u64>, Option<u64>) {
+        (self.snapshot(), None)
+    }
+    /// The changes since `epoch`, for delta subscribers. The default
+    /// answers [`DeltaAnswer::Unsupported`].
+    fn delta_since(&self, _epoch: u64) -> DeltaAnswer {
+        DeltaAnswer::Unsupported
     }
 }
 
@@ -138,12 +182,25 @@ impl MutableStore {
     /// delta feed: every [`MutableStore::changes_since`] call from an older
     /// epoch reports truncation).
     pub fn with_log_capacity(elements: impl IntoIterator<Item = u64>, log_capacity: usize) -> Self {
+        Self::with_epoch_origin(elements, 0, log_capacity)
+    }
+
+    /// Create a store whose epoch counter starts at `origin` instead of 0 —
+    /// e.g. to resume a persisted store at the epoch it was saved at, so
+    /// subscribers holding cached epochs keep working across a restart.
+    /// `origin == u64::MAX` constructs the store with its epoch space
+    /// already exhausted (see [`MutableStore::apply`]).
+    pub fn with_epoch_origin(
+        elements: impl IntoIterator<Item = u64>,
+        origin: u64,
+        log_capacity: usize,
+    ) -> Self {
         MutableStore {
             inner: RwLock::new(MutableInner {
                 elements: elements.into_iter().collect(),
-                epoch: 0,
+                epoch: origin,
                 log: VecDeque::new(),
-                base_epoch: 0,
+                base_epoch: origin,
                 log_capacity,
             }),
         }
@@ -175,6 +232,15 @@ impl MutableStore {
     /// present element or removing an absent one is ignored, and a batch
     /// with no effective change does not bump the epoch. An element in both
     /// lists is treated as an insert (adds win).
+    ///
+    /// **Epoch exhaustion.** Epochs increase strictly monotonically, so at
+    /// `u64::MAX` (unreachable in practice — one batch per nanosecond for
+    /// five centuries) the counter cannot advance without handing two
+    /// different states the same stamp. The store then pins the epoch at
+    /// `u64::MAX`, drops the changelog and permanently disables the delta
+    /// feed: every [`MutableStore::changes_since`] /
+    /// [`SetStore::delta_since`] call reports truncation, forcing readers
+    /// back to full reconciliation — degraded, never wrong.
     pub fn apply(&self, added: &[u64], removed: &[u64]) -> u64 {
         let mut inner = self.inner.write().unwrap();
         // Hash the add list first: a linear `added.contains` per removed
@@ -194,7 +260,13 @@ impl MutableStore {
         if added.is_empty() && removed.is_empty() {
             return inner.epoch;
         }
-        inner.epoch += 1;
+        let Some(next) = inner.epoch.checked_add(1) else {
+            // Epoch space exhausted: stay at u64::MAX with the feed off.
+            inner.log.clear();
+            inner.base_epoch = u64::MAX;
+            return inner.epoch;
+        };
+        inner.epoch = next;
         let batch = ChangeBatch {
             epoch: inner.epoch,
             added,
@@ -209,25 +281,24 @@ impl MutableStore {
             inner.base_epoch = inner.epoch;
             inner.log.clear();
         }
+        if inner.epoch == u64::MAX {
+            // The counter can never advance again; disable the feed now so
+            // no reader ever mistakes the pinned epoch for "current".
+            inner.log.clear();
+            inner.base_epoch = u64::MAX;
+        }
         inner.epoch
     }
 
     /// Every change batch after `epoch`, oldest first — empty when the
     /// reader is already current. Returns `None` when the changelog no
-    /// longer reaches back to `epoch` (the reader must re-snapshot).
+    /// longer reaches back to `epoch` (the reader must re-snapshot); see
+    /// [`MutableStore::apply`] for the exhausted-epoch case.
     pub fn changes_since(&self, epoch: u64) -> Option<Vec<ChangeBatch>> {
-        let inner = self.inner.read().unwrap();
-        if epoch < inner.base_epoch {
-            return None;
+        match self.delta_since(epoch) {
+            DeltaAnswer::Changes { batches, .. } => Some(batches),
+            _ => None,
         }
-        Some(
-            inner
-                .log
-                .iter()
-                .filter(|b| b.epoch > epoch)
-                .cloned()
-                .collect(),
-        )
     }
 
     /// The current elements together with the epoch they correspond to —
@@ -249,6 +320,33 @@ impl SetStore for MutableStore {
 
     fn element_count(&self) -> usize {
         self.len()
+    }
+
+    fn epoch_snapshot(&self) -> (Vec<u64>, Option<u64>) {
+        let (elements, epoch) = self.snapshot_with_epoch();
+        (elements, Some(epoch))
+    }
+
+    fn delta_since(&self, epoch: u64) -> DeltaAnswer {
+        let inner = self.inner.read().unwrap();
+        // A reader from this store's future (a cached epoch surviving a
+        // server restart with a fresh store), a reader older than the
+        // retained log, or an exhausted epoch counter: all must rebuild
+        // their baseline with a full reconciliation.
+        if epoch > inner.epoch || epoch < inner.base_epoch || inner.epoch == u64::MAX {
+            return DeltaAnswer::Trimmed {
+                current: inner.epoch,
+            };
+        }
+        DeltaAnswer::Changes {
+            batches: inner
+                .log
+                .iter()
+                .filter(|b| b.epoch > epoch)
+                .cloned()
+                .collect(),
+            current: inner.epoch,
+        }
     }
 }
 
@@ -466,6 +564,140 @@ mod tests {
         let (snapshot, epoch) = store.snapshot_with_epoch();
         assert_eq!(epoch, 1);
         assert_eq!(snapshot.len(), 3);
+    }
+
+    #[test]
+    fn epoch_exhaustion_pins_the_counter_and_kills_the_feed() {
+        // "Wraparound" must never happen: the counter saturates at
+        // u64::MAX and the delta feed turns itself off instead of handing
+        // two states the same stamp.
+        let store = MutableStore::with_epoch_origin([1u64], u64::MAX - 2, 64);
+        assert_eq!(store.epoch(), u64::MAX - 2);
+        assert_eq!(store.apply(&[2], &[]), u64::MAX - 1);
+        // The feed still works below the ceiling.
+        assert_eq!(store.changes_since(u64::MAX - 2).unwrap().len(), 1);
+        // This batch lands exactly on u64::MAX: recorded, feed disabled.
+        assert_eq!(store.apply(&[3], &[]), u64::MAX);
+        assert!(store.changes_since(u64::MAX - 1).is_none());
+        assert!(store.changes_since(u64::MAX).is_none());
+        assert_eq!(
+            store.delta_since(u64::MAX),
+            DeltaAnswer::Trimmed { current: u64::MAX }
+        );
+        // Further effective mutations still apply to the set, with the
+        // epoch pinned — monotonicity is never violated.
+        assert_eq!(store.apply(&[4], &[1]), u64::MAX);
+        assert!(store.contains(4) && !store.contains(1));
+        assert_eq!(store.epoch(), u64::MAX);
+        // A store constructed already-exhausted behaves the same.
+        let dead = MutableStore::with_epoch_origin([9u64], u64::MAX, 8);
+        assert_eq!(dead.apply(&[10], &[]), u64::MAX);
+        assert!(dead.changes_since(u64::MAX).is_none());
+    }
+
+    #[test]
+    fn future_epochs_demand_a_resync() {
+        // A subscriber whose cached epoch outruns this store (fresh store
+        // after a restart) must not be handed an empty delta and believe
+        // itself current.
+        let store = MutableStore::new([1u64, 2]);
+        store.apply(&[3], &[]);
+        assert!(store.changes_since(5).is_none());
+        assert_eq!(store.delta_since(5), DeltaAnswer::Trimmed { current: 1 });
+        assert_eq!(
+            store.delta_since(1),
+            DeltaAnswer::Changes {
+                batches: vec![],
+                current: 1
+            }
+        );
+    }
+
+    #[test]
+    fn add_then_remove_batches_collapse_under_replay() {
+        let store = MutableStore::new([1u64]);
+        // Same element added then removed in consecutive batches: a delta
+        // reader replaying both must end without it…
+        store.apply(&[7], &[]);
+        store.apply(&[], &[7]);
+        // …and added-then-re-added stays present.
+        store.apply(&[8], &[]);
+        // Within ONE batch, adds win over removes of the same element.
+        let epoch = store.apply(&[9], &[9]);
+        assert_eq!(epoch, 4);
+        assert!(store.contains(9));
+        let changes = store.changes_since(0).unwrap();
+        assert_eq!(changes.len(), 4);
+        assert_eq!(changes[3].added, vec![9]);
+        assert!(changes[3].removed.is_empty());
+        let mut replay: HashSet<u64> = [1u64].into_iter().collect();
+        for batch in &changes {
+            for e in &batch.removed {
+                replay.remove(e);
+            }
+            replay.extend(batch.added.iter().copied());
+        }
+        let mut replayed: Vec<u64> = replay.into_iter().collect();
+        replayed.sort_unstable();
+        assert_eq!(replayed, vec![1, 8, 9]);
+        assert!(!replayed.contains(&7), "add-then-remove must collapse");
+    }
+
+    #[test]
+    fn epoch_snapshot_is_atomic_under_concurrent_apply() {
+        // Writers always insert/remove elements in pairs (2k, 2k+1) within
+        // one batch; every snapshot must observe both-or-neither of each
+        // pair, and replaying the changes since the snapshot's epoch must
+        // reproduce a later snapshot exactly.
+        let store = Arc::new(MutableStore::new(
+            (0u64..64).flat_map(|k| [2 * k, 2 * k + 1]),
+        ));
+        let writers: Vec<_> = (0..2u64)
+            .map(|w| {
+                let store = Arc::clone(&store);
+                std::thread::spawn(move || {
+                    for i in 0..200u64 {
+                        let k = 1000 + w * 1000 + (i % 97);
+                        if i % 3 == 0 {
+                            store.apply(&[], &[2 * k, 2 * k + 1]);
+                        } else {
+                            store.apply(&[2 * k, 2 * k + 1], &[]);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..200 {
+            let (snapshot, epoch) = store.snapshot_with_epoch();
+            let set: HashSet<u64> = snapshot.iter().copied().collect();
+            for &e in &snapshot {
+                let partner = e ^ 1;
+                assert!(
+                    set.contains(&partner),
+                    "snapshot at epoch {epoch} tore a pair: {e} without {partner}"
+                );
+            }
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        // Replay consistency once writers are quiet: old snapshot + the
+        // changes since its epoch == current snapshot.
+        let (old, old_epoch) = store.snapshot_with_epoch();
+        store.apply(&[5_000_001], &[0]);
+        store.apply(&[5_000_003], &[1]);
+        let mut replay: HashSet<u64> = old.into_iter().collect();
+        for batch in store.changes_since(old_epoch).expect("log intact") {
+            for e in &batch.removed {
+                replay.remove(e);
+            }
+            replay.extend(batch.added.iter().copied());
+        }
+        let (mut now, _) = store.snapshot_with_epoch();
+        now.sort_unstable();
+        let mut replayed: Vec<u64> = replay.into_iter().collect();
+        replayed.sort_unstable();
+        assert_eq!(now, replayed);
     }
 
     #[test]

@@ -92,7 +92,10 @@ proptest! {
         success_millionths in 0u64..1_000_000,
         store in prop::collection::vec(32u8..127, 0..64),
         pipeline in 1u8..=255,
+        has_epoch in any::<bool>(),
+        epoch in any::<u64>(),
     ) {
+        let delta_epoch = has_epoch.then_some(epoch);
         let hello = Hello {
             version,
             universe_bits,
@@ -103,20 +106,61 @@ proptest! {
             estimator_sketches: delta % 256 + 1,
             seed,
             known_d,
-            // The store/pipeline fields only exist on the wire for v2
-            // shapes; a v1 Hello must round-trip to their defaults.
+            // The store/pipeline fields only exist on the wire for v2+
+            // shapes and the delta epoch for v3+: older shapes must
+            // round-trip the missing fields to their defaults.
             store: String::from_utf8(store).unwrap(),
             pipeline,
+            delta_epoch,
         };
         let frame = Frame::Hello(hello.clone());
-        if hello.version >= 2 {
-            prop_assert_eq!(round_trip(&frame), frame);
-        } else {
-            let mut v1 = hello;
-            v1.store = String::new();
-            v1.pipeline = 1;
-            prop_assert_eq!(round_trip(&frame), Frame::Hello(v1));
+        let mut expect = hello;
+        if expect.version < 3 {
+            expect.delta_epoch = None;
         }
+        if expect.version < 2 {
+            expect.store = String::new();
+            expect.pipeline = 1;
+        }
+        prop_assert_eq!(round_trip(&frame), Frame::Hello(expect));
+    }
+
+    #[test]
+    fn delta_frames_round_trip(
+        epoch in any::<u64>(),
+        added in prop::collection::vec(any::<u64>(), 0..80),
+        removed in prop::collection::vec(any::<u64>(), 0..80),
+    ) {
+        let batch = Frame::DeltaBatch { epoch, added, removed };
+        prop_assert_eq!(round_trip(&batch), batch);
+        let done = Frame::DeltaDone { epoch };
+        prop_assert_eq!(round_trip(&done), done);
+        let resync = Frame::FullResyncRequired { epoch };
+        prop_assert_eq!(round_trip(&resync), resync);
+    }
+
+    #[test]
+    fn delta_chunking_is_lossless(
+        epoch in any::<u64>(),
+        added in prop::collection::vec(any::<u64>(), 0..200),
+        removed in prop::collection::vec(any::<u64>(), 0..200),
+        capacity in 1usize..50,
+    ) {
+        let frames = pbs_net::frame::delta_batch_frames(epoch, &added, &removed, capacity);
+        let mut got_added = Vec::new();
+        let mut got_removed = Vec::new();
+        for frame in &frames {
+            let decoded = round_trip(frame);
+            let Frame::DeltaBatch { epoch: e, added: a, removed: r } = decoded else {
+                panic!("chunking produced a non-DeltaBatch frame");
+            };
+            prop_assert_eq!(e, epoch);
+            prop_assert!(a.len() + r.len() <= capacity);
+            got_added.extend(a);
+            got_removed.extend(r);
+        }
+        prop_assert_eq!(got_added, added);
+        prop_assert_eq!(got_removed, removed);
     }
 
     #[test]

@@ -1,0 +1,340 @@
+//! Protocol fuzz harness: a seeded generator builds *valid* v1/v2/v3 frame
+//! streams, mutates them (truncation, bit flips, frame reordering,
+//! duplicated frames, oversized length prefixes, raw garbage) and replays
+//! them against a live server.
+//!
+//! The properties: the server worker never panics (detected two ways —
+//! the stats invariant `started == completed + failed` would break if a
+//! worker unwound mid-session, and the post-fuzz good syncs would hang if
+//! the pool lost threads), every fuzzed session ends in an `Error` frame
+//! or a connection close (never a hang beyond the configured timeouts, and
+//! never a malformed reply — the client-side frame decoder validates every
+//! byte the server sends back), and afterwards the server still serves
+//! real reconciliations.
+//!
+//! Deterministic by default (`FUZZ_SEED` fixed in CI); export `FUZZ_SEED`
+//! to explore a different corner locally. The seed is printed so any
+//! failure is reproducible.
+
+use pbs_core::{AliceSession, Pbs, PbsConfig};
+use pbs_net::client::{sync, ClientConfig};
+use pbs_net::frame::{write_frame, EstimatorMsg, Frame, Hello, DEFAULT_MAX_FRAME};
+use pbs_net::server::{InMemoryStore, Server, ServerConfig};
+use pbs_net::store::{MutableStore, StoreRegistry};
+use pbs_net::{FramedStream, NetError, TransportConfig};
+use std::collections::HashSet;
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// xorshift64* — tiny, seedable, good enough to drive mutations.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+fn fuzz_seed() -> u64 {
+    std::env::var("FUZZ_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xF0CC_5EED_2026)
+}
+
+fn keys(count: usize, salt: u64) -> Vec<u64> {
+    let mut seen = HashSet::with_capacity(count);
+    let mut out = Vec::with_capacity(count);
+    let mut x = salt | 1;
+    while out.len() < count {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let key = (x >> 16 & 0xFFFF_FFFF) | 1;
+        if seen.insert(key) {
+            out.push(key);
+        }
+    }
+    out
+}
+
+fn encode(frames: &[Frame]) -> Vec<Vec<u8>> {
+    frames
+        .iter()
+        .map(|f| {
+            let mut buf = Vec::new();
+            write_frame(&mut buf, f, DEFAULT_MAX_FRAME).expect("valid frame");
+            buf
+        })
+        .collect()
+}
+
+/// The valid frame streams the mutator starts from: one client-side byte
+/// stream per protocol generation, each of which completes cleanly when
+/// replayed unmutated.
+fn valid_streams(client_set: &[u64], d: u64) -> Vec<Vec<Vec<u8>>> {
+    let cfg = PbsConfig::default();
+    let seed = 0xF0CCu64;
+    let sketch_round = |layers: u32| {
+        let params = Pbs::new(cfg).plan(d as usize);
+        let mut alice = AliceSession::new(cfg, params, client_set, seed);
+        Frame::Sketches {
+            m: params.m,
+            batch: alice.start_rounds(layers),
+        }
+    };
+    let hello = |version: u16| {
+        let mut h = Hello::from_config(&cfg, seed, d);
+        h.version = version;
+        h
+    };
+    vec![
+        // v1 classic: hello, one round, final transfer.
+        encode(&[
+            Frame::Hello(hello(1)),
+            sketch_round(1),
+            Frame::Done(client_set[..4].to_vec()),
+        ]),
+        // v2: named store, two pipelined layers.
+        encode(&[
+            Frame::Hello(hello(2).with_store("live").with_pipeline(2)),
+            sketch_round(2),
+            Frame::Done(vec![client_set[0]]),
+        ]),
+        // v3 delta subscription against the live store's changelog.
+        encode(&[Frame::Hello(
+            hello(3).with_store("live").with_delta_epoch(0),
+        )]),
+        // v3 full session plus frames that are well-formed but make no
+        // sense from a client (delta frames, estimator estimate) — the
+        // state machine must refuse, not crash.
+        encode(&[
+            Frame::Hello(hello(3)),
+            Frame::EstimatorExchange(EstimatorMsg::Estimate {
+                d_param: 9,
+                d_hat: 9.0,
+            }),
+            Frame::DeltaBatch {
+                epoch: 3,
+                added: vec![1, 2],
+                removed: vec![9],
+            },
+        ]),
+    ]
+}
+
+/// Apply one seeded mutation to a frame stream, returning the raw bytes to
+/// put on the wire.
+fn mutate(rng: &mut Rng, frames: &[Vec<u8>]) -> Vec<u8> {
+    let mut frames: Vec<Vec<u8>> = frames.to_vec();
+    match rng.below(7) {
+        0 => {
+            // Truncate the flattened stream mid-byte.
+            let mut bytes: Vec<u8> = frames.concat();
+            bytes.truncate(rng.below(bytes.len().max(1)));
+            return bytes;
+        }
+        1 => {
+            // Flip 1..=16 random bits anywhere in the stream.
+            let mut bytes: Vec<u8> = frames.concat();
+            if !bytes.is_empty() {
+                for _ in 0..rng.below(16) + 1 {
+                    let at = rng.below(bytes.len());
+                    bytes[at] ^= 1 << rng.below(8);
+                }
+            }
+            return bytes;
+        }
+        2 => {
+            // Reorder two frames.
+            if frames.len() >= 2 {
+                let a = rng.below(frames.len());
+                let b = rng.below(frames.len());
+                frames.swap(a, b);
+            }
+        }
+        3 => {
+            // Duplicate a frame.
+            let at = rng.below(frames.len());
+            frames.insert(at, frames[at].clone());
+        }
+        4 => {
+            // Oversize: patch a length prefix to a hostile value.
+            let at = rng.below(frames.len());
+            let huge = (DEFAULT_MAX_FRAME + 1 + rng.next() as u32 % 1024).to_le_bytes();
+            frames[at][..4].copy_from_slice(&huge);
+        }
+        5 => {
+            // Append raw garbage after a valid prefix.
+            let keep = rng.below(frames.len() + 1);
+            frames.truncate(keep);
+            let mut garbage = vec![0u8; rng.below(200) + 8];
+            for b in &mut garbage {
+                *b = rng.next() as u8;
+            }
+            frames.push(garbage);
+        }
+        _ => {
+            // Replace the whole stream with garbage.
+            let mut garbage = vec![0u8; rng.below(400) + 1];
+            for b in &mut garbage {
+                *b = rng.next() as u8;
+            }
+            return garbage;
+        }
+    }
+    frames.concat()
+}
+
+#[test]
+fn fuzzed_streams_never_break_the_server() {
+    let seed = fuzz_seed();
+    println!("fuzz_session: FUZZ_SEED={seed}");
+    let mut rng = Rng(seed | 1);
+
+    let pool = keys(600, 0xF0CCB0B);
+    let server_set: Vec<u64> = pool[..590].to_vec();
+    let client_set: Vec<u64> = pool[10..].to_vec();
+
+    let registry = Arc::new(StoreRegistry::new());
+    registry.register("", Arc::new(InMemoryStore::new(server_set.iter().copied())));
+    let live = Arc::new(MutableStore::new(server_set.iter().copied()));
+    live.apply(&pool[590..], &[]);
+    registry.register("live", Arc::clone(&live) as Arc<_>);
+
+    // Short server-side read timeout: a truncated stream must release the
+    // worker quickly instead of pinning it for the default 30 s.
+    let transport = TransportConfig {
+        read_timeout: Some(Duration::from_millis(200)),
+        write_timeout: Some(Duration::from_millis(500)),
+        ..TransportConfig::default()
+    };
+    let server = Server::bind_registry(
+        "127.0.0.1:0",
+        Arc::clone(&registry),
+        ServerConfig {
+            transport,
+            workers: 2,
+            round_cap: 8,
+            session_deadline: Duration::from_secs(5),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    let streams = valid_streams(&client_set, 20);
+
+    // Sanity: the first three seed streams complete cleanly unmutated;
+    // the fourth is deliberately protocol-violating and must be refused
+    // with an Error frame (not a crash, not a hang).
+    for (i, stream) in streams.iter().enumerate() {
+        let outcome = replay(addr, &stream.concat());
+        if i < 3 {
+            assert!(
+                !matches!(outcome, Outcome::ServerError),
+                "valid stream {i} was refused"
+            );
+        } else {
+            assert!(
+                matches!(outcome, Outcome::ServerError),
+                "protocol-violating stream {i} was not refused with an Error frame"
+            );
+        }
+    }
+
+    // Nothing else to assert per iteration: replay() itself asserts that
+    // every reply frame decodes and that the session terminates in an
+    // Error frame or a close.
+    let mut closes = 0u32;
+    let mut error_frames = 0u32;
+    for _ in 0..64u32 {
+        let which = rng.below(streams.len());
+        let bytes = mutate(&mut rng, &streams[which]);
+        match replay(addr, &bytes) {
+            Outcome::Clean | Outcome::Closed => closes += 1,
+            Outcome::ServerError => error_frames += 1,
+        }
+    }
+    println!("fuzz_session: {closes} closes, {error_frames} error frames");
+
+    // The server must still reconcile for real — with more sequential
+    // clients than workers, so a single panicked worker thread could not
+    // hide.
+    for i in 0..4u64 {
+        let config = ClientConfig {
+            seed: 0xAF7E_0000 + i,
+            known_d: Some(20),
+            ..ClientConfig::default()
+        };
+        let report = sync(addr, &client_set, &config).expect("post-fuzz sync");
+        assert!(report.verified, "post-fuzz sync {i} failed to verify");
+    }
+
+    // Worker-panic detector: an unwound worker can neither mark its
+    // session completed nor failed.
+    let stats = server.shutdown();
+    assert_eq!(
+        stats.sessions_started,
+        stats.sessions_completed + stats.sessions_failed,
+        "a session vanished — a worker must have panicked"
+    );
+    assert!(stats.sessions_completed >= 3 + 4); // clean seed replays + good syncs
+}
+
+enum Outcome {
+    /// The server replied and closed cleanly (EOF after valid frames).
+    Clean,
+    /// The connection was closed/reset/timed out without an `Error` frame.
+    Closed,
+    /// The server answered with a well-formed `Error` frame.
+    ServerError,
+}
+
+/// Blind-write `bytes`, then drain the server's replies until the session
+/// terminates. Panics (failing the test) only if a reply frame fails to
+/// decode as a valid frame — everything else is a legal way for a fuzzed
+/// session to end.
+fn replay(addr: std::net::SocketAddr, bytes: &[u8]) -> Outcome {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream
+        .set_write_timeout(Some(Duration::from_millis(500)))
+        .unwrap();
+    // The server may refuse and close while we are still writing; EPIPE /
+    // reset here is expected.
+    let mut w = &stream;
+    let _ = w.write_all(bytes);
+    let _ = w.flush();
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+
+    let mut framed = FramedStream::new(&stream, DEFAULT_MAX_FRAME);
+    let mut got_any = false;
+    loop {
+        match framed.recv() {
+            Ok(_) => got_any = true,
+            Err(NetError::Remote { .. }) => return Outcome::ServerError,
+            Err(NetError::Io(_)) => {
+                return if got_any {
+                    Outcome::Clean
+                } else {
+                    Outcome::Closed
+                }
+            }
+            Err(other) => panic!("server sent an undecodable reply: {other}"),
+        }
+    }
+}

@@ -760,6 +760,136 @@ fn v1_v2_downgrade_handshake() {
 }
 
 #[test]
+fn adaptive_pipeline_matches_the_best_fixed_depth_at_d_1000() {
+    // The `--pipeline auto` acceptance criterion: on the d = 1000 loopback
+    // run, the adaptive controller (start at the grant, deepen on clean
+    // trips, back off on mostly-failed ones) must complete in no more
+    // round trips than the best fixed depth in {1, 2, 3, 4} on the same
+    // seed. Everything here is deterministic for a fixed seed, so this is
+    // an exact pin, not a statistical one.
+    let d = 1000usize;
+    let pool = distinct_keys(100_000 + d / 2, 0xADA_971E);
+    let (alice_set, bob_set) = two_sided_pair(&pool, d);
+    let truth: Vec<u64> = sorted(
+        pool[..d.div_ceil(2)]
+            .iter()
+            .chain(&pool[100_000 - d / 2 + d.div_ceil(2)..])
+            .copied()
+            .collect(),
+    );
+    let seed = 0xAD_A901u64;
+
+    let run = |pipeline: u32, auto: bool| {
+        let store = Arc::new(InMemoryStore::new(bob_set.iter().copied()));
+        let server = Server::bind(
+            "127.0.0.1:0",
+            Arc::clone(&store) as Arc<_>,
+            ServerConfig::default(),
+        )
+        .expect("bind");
+        let config = ClientConfig {
+            seed,
+            pipeline,
+            pipeline_auto: auto,
+            ..ClientConfig::default()
+        };
+        let report = sync(server.local_addr(), &alice_set, &config).expect("sync");
+        assert!(report.verified, "pipeline={pipeline} auto={auto}");
+        assert_eq!(sorted(report.recovered.clone()), truth);
+        server.shutdown();
+        report
+    };
+
+    let fixed_trips: Vec<u32> = [1u32, 2, 3, 4]
+        .iter()
+        .map(|&k| run(k, false).round_trips)
+        .collect();
+    let auto = run(1, true);
+    let best = *fixed_trips.iter().min().expect("four runs");
+    assert!(
+        auto.round_trips <= best,
+        "auto took {} trips; fixed depths took {:?}",
+        auto.round_trips,
+        fixed_trips
+    );
+    // And it must genuinely beat the unpipelined protocol.
+    assert!(auto.round_trips < fixed_trips[0]);
+}
+
+#[test]
+fn delta_requests_downgrade_cleanly() {
+    let pool = distinct_keys(2_000, 0xD317A);
+    let (alice_set, bob_set) = two_sided_pair(&pool, 20);
+
+    // A client pinned below v3 refuses a delta request locally.
+    {
+        let config = ClientConfig {
+            protocol_version: 2,
+            delta_epoch: Some(4),
+            ..ClientConfig::default()
+        };
+        match sync("127.0.0.1:1", &alice_set, &config) {
+            Err(NetError::Protocol(msg)) => assert!(msg.contains("v3"), "{msg}"),
+            other => panic!("expected local refusal, got {other:?}"),
+        }
+    }
+
+    // A v3 client with an epoch cache against a v2-pinned server: the
+    // negotiated session has no delta semantics, so the sync silently
+    // falls back to a full reconciliation with no epoch baseline.
+    {
+        let store = Arc::new(MutableStore::new(bob_set.iter().copied()));
+        let server = Server::bind(
+            "127.0.0.1:0",
+            Arc::clone(&store) as Arc<_>,
+            ServerConfig {
+                protocol_version: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind");
+        let config = ClientConfig {
+            delta_epoch: Some(0),
+            known_d: Some(20),
+            seed: 5,
+            ..ClientConfig::default()
+        };
+        let report = sync(server.local_addr(), &alice_set, &config).expect("downgraded sync");
+        assert!(report.verified);
+        assert_eq!(report.negotiated_version, 2);
+        assert!(report.delta_fallback);
+        assert!(report.delta.is_none());
+        assert_eq!(report.epoch, None, "v2 sessions carry no epoch ack");
+        let stats = server.shutdown();
+        // The downgrade never reached the delta machinery.
+        assert_eq!(stats.delta_sessions + stats.delta_fallbacks, 0);
+    }
+
+    // On a full v3 session against an epoch-capable store, even a classic
+    // (no-epoch-cache) sync receives the epoch baseline in its ack.
+    {
+        let store = Arc::new(MutableStore::new(bob_set.iter().copied()));
+        let server = Server::bind(
+            "127.0.0.1:0",
+            Arc::clone(&store) as Arc<_>,
+            ServerConfig::default(),
+        )
+        .expect("bind");
+        let config = ClientConfig {
+            known_d: Some(20),
+            seed: 6,
+            ..ClientConfig::default()
+        };
+        let report = sync(server.local_addr(), &alice_set, &config).expect("v3 sync");
+        assert!(report.verified);
+        assert_eq!(report.negotiated_version, PROTOCOL_VERSION);
+        assert_eq!(report.epoch, Some(0), "baseline = the snapshot epoch");
+        assert!(report.delta.is_none() && !report.delta_fallback);
+        server.shutdown();
+    }
+}
+
+#[test]
 fn pipeline_depth_is_negotiated_down_to_the_server_cap() {
     // A client asking for depth 8 against a server capped at 2 must not be
     // refused mid-session: the handshake grants 2 and the sync proceeds at

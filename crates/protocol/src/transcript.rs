@@ -175,6 +175,18 @@ impl Transcript {
             .sum()
     }
 
+    /// Total serialized bytes for messages carrying the given label — e.g.
+    /// the `"delta-batch"` ledger a delta-subscription run keeps beside its
+    /// reconciliation bytes, so tests can pin "delta bytes are
+    /// O(|changes|)" against measured encodings rather than wall time.
+    pub fn wire_bytes_for_label(&self, label: &str) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.label == label)
+            .map(|r| r.wire_bytes)
+            .sum()
+    }
+
     /// Total serialized bytes in the given direction (see
     /// [`MessageRecord::wire_bytes`]).
     pub fn wire_bytes_in_direction(&self, direction: Direction) -> u64 {
@@ -245,6 +257,8 @@ mod tests {
         assert_eq!(t.wire_bytes_in_direction(Direction::AliceToBob), 120 + 2);
         assert_eq!(t.wire_bytes_in_direction(Direction::BobToAlice), 33);
         assert_eq!(t.wire_bytes_total(), 155);
+        assert_eq!(t.wire_bytes_for_label("framed-sketch"), 120);
+        assert_eq!(t.wire_bytes_for_label("absent"), 0);
         // The paper-accounting aggregate is untouched by wire sizes
         // (bits summed per direction, then rounded: ceil(100/8) + ceil(64/8)).
         assert_eq!(t.stats().total_bytes(), 13 + 8);
