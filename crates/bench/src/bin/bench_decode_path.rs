@@ -20,7 +20,12 @@
 //!   encode/decode + client-side collapse) vs running the full in-process
 //!   reconciliation of the same 50-element difference — the gated
 //!   `delta_sync` metric; its speedup is the CPU-side win the
-//!   delta-subscription protocol exists to deliver.
+//!   delta-subscription protocol exists to deliver,
+//! * the durable-store recovery path: reopening a 100k-element store from
+//!   its newest snapshot plus a 5-batch WAL tail vs replaying its entire
+//!   2000-batch churny change history from a genesis WAL — the gated
+//!   `wal_recovery` metric; its speedup is what snapshot compaction buys
+//!   every restart.
 //!
 //! Run with `cargo run --release -p bench --bin bench_decode_path`.
 //! The CI bench gate (`check_bench`) compares every `fast_*` metric of the
@@ -416,6 +421,97 @@ fn bench_delta_sync(set_size: usize, changes: usize) -> Row {
     }
 }
 
+/// The durable-store recovery path: reopening a store that was compacted
+/// (newest snapshot + a short WAL tail) vs replaying the entire change
+/// history from a genesis WAL. Both land on the identical (set, epoch);
+/// the speedup is what snapshot compaction buys every restart.
+fn bench_wal_recovery(batches: usize, batch_size: usize, tail: usize) -> Row {
+    use pbs_net::store::ChangeBatch;
+    use pbs_net::wal::{recover, DurableOptions, Wal};
+
+    let root = std::env::temp_dir().join(format!("pbs_bench_wal_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let genesis_dir = root.join("genesis");
+    let compacted_dir = root.join("compacted");
+    std::fs::create_dir_all(&genesis_dir).expect("create bench dir");
+    std::fs::create_dir_all(&compacted_dir).expect("create bench dir");
+
+    // snapshot_every: usize::MAX — compaction is driven by hand below.
+    let options = DurableOptions {
+        snapshot_every: usize::MAX,
+        ..DurableOptions::default()
+    };
+    // Churn: every batch adds `batch_size` elements and removes 3/4 of the
+    // previous batch's adds, so the change *history* is several times the
+    // final *state* — the regime snapshots exist for.
+    let churn = batch_size * 3 / 4;
+    let pool = keys(batches * batch_size, 0x57A1);
+    let mut genesis = Wal::open(&genesis_dir, options).expect("open genesis WAL");
+    let mut compacted = Wal::open(&compacted_dir, options).expect("open compacted WAL");
+    let mut state: std::collections::HashSet<u64> =
+        std::collections::HashSet::with_capacity(batches * batch_size);
+    let mut log_tail: Vec<ChangeBatch> = Vec::new();
+    let mut prev_added: &[u64] = &[];
+    for i in 0..batches {
+        let epoch = (i + 1) as u64;
+        let added = &pool[i * batch_size..(i + 1) * batch_size];
+        let removed = &prev_added[..churn.min(prev_added.len())];
+        genesis.append(epoch, added, removed).expect("append");
+        if i + tail == batches {
+            // Snapshot everything before the tail, then log only the tail.
+            let snap: Vec<u64> = state.iter().copied().collect();
+            compacted
+                .compact(&snap, epoch - 1, &log_tail)
+                .expect("compact");
+        }
+        if i + tail >= batches {
+            compacted
+                .append(epoch, added, removed)
+                .expect("append tail");
+        }
+        for e in removed {
+            state.remove(e);
+        }
+        state.extend(added.iter().copied());
+        log_tail.push(ChangeBatch {
+            epoch,
+            added: added.to_vec(),
+            removed: removed.to_vec(),
+        });
+        if log_tail.len() > tail {
+            log_tail.remove(0);
+        }
+        prev_added = added;
+    }
+
+    let cap = pbs_net::store::DEFAULT_CHANGELOG_CAPACITY;
+    let fast_state = recover(&compacted_dir, cap).expect("recover compacted");
+    let reference_state = recover(&genesis_dir, cap).expect("recover genesis");
+    assert_eq!(fast_state.epoch, reference_state.epoch, "epoch diverged");
+    assert_eq!(
+        fast_state.elements, reference_state.elements,
+        "recovered set diverged"
+    );
+
+    let fast = best_ns(15, || {
+        black_box(recover(&compacted_dir, cap).expect("recover compacted"));
+    });
+    let reference = best_ns(3, || {
+        black_box(recover(&genesis_dir, cap).expect("recover genesis"));
+    });
+    let _ = std::fs::remove_dir_all(&root);
+
+    Row {
+        name: "wal_recovery".into(),
+        detail: format!(
+            "|store|={} history={batches}x{batch_size} tail={tail}",
+            batches * batch_size - (batches - 1) * churn
+        ),
+        fast_ms: fast / 1e6,
+        reference_ms: reference / 1e6,
+    }
+}
+
 fn main() {
     let n = 100_000usize;
     let (iblt_insert, iblt_peel) = bench_iblt(n);
@@ -433,6 +529,8 @@ fn main() {
     net.print();
     let delta = bench_delta_sync(n, 50);
     delta.print();
+    let wal = bench_wal_recovery(2000, 200, 5);
+    wal.print();
 
     let threads = std::thread::available_parallelism()
         .map(|v| v.get())
@@ -476,7 +574,8 @@ fn main() {
     emit(&mut json, "poly_mul", &poly, ",");
     emit(&mut json, "bob_decode", &bob, ",");
     emit(&mut json, "net_roundtrip", &net, ",");
-    emit(&mut json, "delta_sync", &delta, "");
+    emit(&mut json, "delta_sync", &delta, ",");
+    emit(&mut json, "wal_recovery", &wal, "");
     json.push_str("}\n");
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_decode_path.json");

@@ -4,6 +4,7 @@
 //! pbs-sync --connect ADDR (--set-file PATH | --range N [--drop K])
 //!          [--store NAME] [--pipeline L|auto] [--protocol V]
 //!          [--since EPOCH | --epoch-cache FILE]
+//!          [--retry N [--retry-base-ms MS]]
 //!          [--d D] [--seed S] [--quiet]
 //! ```
 //!
@@ -23,11 +24,19 @@
 //! automates the epoch bookkeeping: the file (one per store) holds the
 //! epoch of the previous sync; it is read as `--since` and rewritten with
 //! the new baseline after every successful sync — so the first run is a
-//! full reconciliation and every later run a delta.
+//! full reconciliation and every later run a delta. The cache write is
+//! atomic (temp file + rename): a crash mid-write can never leave a
+//! corrupt baseline that wedges the next `--since`.
+//!
+//! `--retry N` rides out transient connect/IO failures (a restarting
+//! server, a reset connection) with up to `N` attempts under exponential
+//! backoff + jitter, starting from `--retry-base-ms` (default 100).
+//! Protocol errors never retry.
 
-use pbs_net::client::{sync, ClientConfig};
+use pbs_net::client::{sync_with_retry, ClientConfig, RetryPolicy};
 use pbs_net::setio;
 use std::path::PathBuf;
+use std::time::Duration;
 
 struct Args {
     connect: String,
@@ -40,6 +49,8 @@ struct Args {
     protocol: Option<u16>,
     since: Option<u64>,
     epoch_cache: Option<PathBuf>,
+    retry: u32,
+    retry_base_ms: u64,
     d: Option<u64>,
     seed: u64,
     quiet: bool,
@@ -49,7 +60,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: pbs-sync --connect ADDR (--set-file PATH | --range N [--drop K]) \
          [--store NAME] [--pipeline L|auto] [--protocol V] \
-         [--since EPOCH | --epoch-cache FILE] [--d D] [--seed S] [--quiet]"
+         [--since EPOCH | --epoch-cache FILE] [--retry N [--retry-base-ms MS]] \
+         [--d D] [--seed S] [--quiet]"
     );
     std::process::exit(2);
 }
@@ -66,6 +78,8 @@ fn parse_args() -> Args {
         protocol: None,
         since: None,
         epoch_cache: None,
+        retry: 1,
+        retry_base_ms: 100,
         d: None,
         seed: 0xA11CE,
         quiet: false,
@@ -90,6 +104,8 @@ fn parse_args() -> Args {
             "--protocol" => args.protocol = value().parse().ok(),
             "--since" => args.since = value().parse().ok(),
             "--epoch-cache" => args.epoch_cache = Some(PathBuf::from(value())),
+            "--retry" => args.retry = value().parse().unwrap_or(1),
+            "--retry-base-ms" => args.retry_base_ms = value().parse().unwrap_or(100),
             "--d" => args.d = value().parse().ok(),
             "--seed" => args.seed = value().parse().unwrap_or(0xA11CE),
             "--quiet" => args.quiet = true,
@@ -139,14 +155,27 @@ fn main() {
     if let Some(v) = args.protocol {
         config.protocol_version = v;
     }
-    let report = sync(&args.connect, &set, &config).unwrap_or_else(|e| {
-        eprintln!("pbs-sync: {e}");
-        std::process::exit(1);
-    });
+    let policy = RetryPolicy {
+        attempts: args.retry.max(1),
+        base_delay: Duration::from_millis(args.retry_base_ms.max(1)),
+        ..RetryPolicy::default()
+    };
+    let (report, attempts) =
+        sync_with_retry(&args.connect, &set, &config, &policy).unwrap_or_else(|e| {
+            eprintln!("pbs-sync: {e}");
+            std::process::exit(1);
+        });
+    if attempts > 1 {
+        println!(
+            "pbs-sync: succeeded on attempt {attempts}/{}",
+            policy.attempts
+        );
+    }
 
-    // Persist the new epoch baseline for the next run's delta subscription.
+    // Persist the new epoch baseline for the next run's delta subscription
+    // — atomically, so a crash mid-write can never leave a torn baseline.
     if let (Some(path), Some(epoch)) = (&args.epoch_cache, report.epoch) {
-        if let Err(e) = std::fs::write(path, format!("{epoch}\n")) {
+        if let Err(e) = setio::write_file_atomic(path, format!("{epoch}\n").as_bytes()) {
             eprintln!("pbs-sync: cannot write {}: {e}", path.display());
         }
     }

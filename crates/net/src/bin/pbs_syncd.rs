@@ -3,7 +3,8 @@
 //! ```text
 //! pbs-syncd [--listen ADDR] [--set-file PATH | --range N]
 //!           [--store NAME=SPEC]... [--watch-dir DIR [--watch-every SECS]]
-//!           [--changelog-cap N] [--workers W] [--round-cap R]
+//!           [--changelog-cap N] [--data-dir DIR] [--snapshot-every N]
+//!           [--fsync] [--workers W] [--round-cap R]
 //!           [--max-pipeline L] [--protocol V] [--stats-every SECS]
 //! ```
 //!
@@ -16,7 +17,7 @@
 //! * `--store NAME=SPEC` — a named store; `SPEC` is a set-file path or
 //!   `range:N` for a deterministic demo set.
 //! * `--watch-dir DIR` — every `*.set` file in `DIR` becomes a live
-//!   [`MutableStore`] named after the file stem. The directory is polled
+//!   [`pbs_net::store::MutableStore`] named after the file stem. The directory is polled
 //!   every `--watch-every` seconds (default 5); edits to a file are
 //!   applied to its store as an epoch-stamped change batch between
 //!   sessions, and new files become new stores without a restart.
@@ -28,16 +29,27 @@
 //! window is told to run a full reconciliation instead; 0 disables the
 //! delta feed entirely.
 //!
+//! **Durability** (`--data-dir DIR`): every store — default, named, and
+//! watched — becomes a persistent [`pbs_net::store::MutableStore`]: effective change
+//! batches are written ahead to a per-store WAL under `DIR` before memory
+//! is mutated, compacted into snapshots every `--snapshot-every` batches,
+//! and recovered (tolerating torn WAL tails) on restart, so store epochs
+//! continue exactly where they left off and surviving client
+//! `--epoch-cache` baselines stay warm. Without `--data-dir` everything is
+//! in-memory, as before.
+//!
 //! Per-store and server-wide stats are printed every `--stats-every`
 //! seconds and the process runs until killed.
 
 use pbs_net::server::{Server, ServerConfig};
 use pbs_net::setio;
-use pbs_net::store::{InMemoryStore, MutableStore, SetStore, StoreRegistry};
-use std::collections::HashMap;
+use pbs_net::store::{InMemoryStore, SetStore, StoreOptions, StoreRegistry};
+use pbs_net::wal::{DurableOptions, DEFAULT_SNAPSHOT_EVERY};
+use pbs_net::watch::DirWatcher;
+use std::collections::HashSet;
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::{Duration, SystemTime};
+use std::time::Duration;
 
 struct Args {
     listen: String,
@@ -47,6 +59,9 @@ struct Args {
     watch_dir: Option<PathBuf>,
     watch_every: u64,
     changelog_cap: usize,
+    data_dir: Option<PathBuf>,
+    snapshot_every: usize,
+    fsync: bool,
     workers: Option<usize>,
     round_cap: Option<u32>,
     max_pipeline: Option<u32>,
@@ -58,7 +73,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: pbs-syncd [--listen ADDR] [--set-file PATH | --range N] \
          [--store NAME=SPEC]... [--watch-dir DIR [--watch-every SECS]] \
-         [--changelog-cap N] [--workers W] [--round-cap R] [--max-pipeline L] \
+         [--changelog-cap N] [--data-dir DIR] [--snapshot-every N] [--fsync] \
+         [--workers W] [--round-cap R] [--max-pipeline L] \
          [--protocol V] [--stats-every SECS]\n\
          SPEC is a set-file path or range:N; at least one store is required"
     );
@@ -74,6 +90,9 @@ fn parse_args() -> Args {
         watch_dir: None,
         watch_every: 5,
         changelog_cap: pbs_net::store::DEFAULT_CHANGELOG_CAPACITY,
+        data_dir: None,
+        snapshot_every: DEFAULT_SNAPSHOT_EVERY,
+        fsync: false,
         workers: None,
         round_cap: None,
         max_pipeline: None,
@@ -101,6 +120,11 @@ fn parse_args() -> Args {
                     .parse()
                     .unwrap_or(pbs_net::store::DEFAULT_CHANGELOG_CAPACITY)
             }
+            "--data-dir" => args.data_dir = Some(PathBuf::from(value())),
+            "--snapshot-every" => {
+                args.snapshot_every = value().parse().unwrap_or(DEFAULT_SNAPSHOT_EVERY)
+            }
+            "--fsync" => args.fsync = true,
             "--workers" => args.workers = value().parse().ok(),
             "--round-cap" => args.round_cap = value().parse().ok(),
             "--max-pipeline" => args.max_pipeline = value().parse().ok(),
@@ -129,90 +153,43 @@ fn load_spec(name: &str, spec: &str) -> Vec<u64> {
     })
 }
 
-/// The (mtime, length) fingerprint change detection keys on. Either field
-/// changing triggers a re-read; the diff-based apply is idempotent, so a
-/// spurious re-read is harmless, while a plain `mtime >` comparison would
-/// silently drop edits landing inside one mtime granule (second-granular
-/// on many filesystems).
-type FileStamp = (SystemTime, u64);
-
-/// One pass over the watch directory: register stores for new `*.set`
-/// files, apply edits of known files as change batches.
-fn scan_watch_dir(
-    dir: &std::path::Path,
-    registry: &StoreRegistry,
-    watched: &mut HashMap<String, (PathBuf, Arc<MutableStore>, FileStamp)>,
-    changelog_cap: usize,
+/// Register one fixed (non-watched) store: durable under `--data-dir`
+/// (recovered state converged to `elements` with one diff batch, so a
+/// restart with unchanged contents is a no-op and epochs continue), plain
+/// in-memory otherwise.
+fn register_fixed_store(
+    registry: &Arc<StoreRegistry>,
+    name: &str,
+    elements: Vec<u64>,
+    durable: Option<DurableOptions>,
 ) {
-    let entries = match std::fs::read_dir(dir) {
-        Ok(entries) => entries,
-        Err(e) => {
-            eprintln!("pbs-syncd: cannot read {}: {e}", dir.display());
-            return;
-        }
+    let Some(options) = durable else {
+        registry.register(name, Arc::new(InMemoryStore::new(elements)));
+        return;
     };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        if path.extension().and_then(|e| e.to_str()) != Some("set") {
-            continue;
-        }
-        let Some(name) = path
-            .file_stem()
-            .and_then(|s| s.to_str())
-            .map(str::to_string)
-        else {
-            continue;
-        };
-        if name.len() > pbs_net::frame::MAX_STORE_NAME {
-            eprintln!("pbs-syncd: skipping {}: name too long", path.display());
-            continue;
-        }
-        let stamp: FileStamp = entry
-            .metadata()
-            .map(|m| (m.modified().unwrap_or(SystemTime::UNIX_EPOCH), m.len()))
-            .unwrap_or((SystemTime::UNIX_EPOCH, 0));
-        match watched.get_mut(&name) {
-            None => {
-                let elements = match setio::load_set(&path) {
-                    Ok(elements) => elements,
-                    Err(e) => {
-                        eprintln!("pbs-syncd: cannot load {}: {e}", path.display());
-                        continue;
-                    }
-                };
-                let store = Arc::new(MutableStore::with_log_capacity(elements, changelog_cap));
-                registry.register(name.clone(), Arc::clone(&store) as Arc<dyn SetStore>);
-                println!(
-                    "pbs-syncd: watching {} as store {name:?} ({} elements)",
-                    path.display(),
-                    store.len()
-                );
-                watched.insert(name, (path, store, stamp));
-            }
-            Some((_, store, last_stamp)) if stamp != *last_stamp => {
-                let Ok(target) = setio::load_set(&path) else {
-                    eprintln!(
-                        "pbs-syncd: ignoring unparseable update of {}",
-                        path.display()
-                    );
-                    continue;
-                };
-                let target: std::collections::HashSet<u64> = target.into_iter().collect();
-                let current: std::collections::HashSet<u64> =
-                    store.snapshot().into_iter().collect();
-                let added: Vec<u64> = target.difference(&current).copied().collect();
-                let removed: Vec<u64> = current.difference(&target).copied().collect();
-                let epoch = store.apply(&added, &removed);
-                *last_stamp = stamp;
-                if !added.is_empty() || !removed.is_empty() {
-                    println!(
-                        "pbs-syncd: store {name:?} now epoch {epoch} (+{} −{})",
-                        added.len(),
-                        removed.len()
-                    );
-                }
-            }
-            Some(_) => {}
+    let (store, recovery) = registry
+        .register_durable(name, options, StoreOptions::default())
+        .unwrap_or_else(|e| {
+            eprintln!("pbs-syncd: cannot open durable store {name:?}: {e}");
+            std::process::exit(1);
+        });
+    if recovery.epoch > 0 || recovery.truncated_bytes > 0 {
+        println!(
+            "pbs-syncd: store {name:?} recovered at epoch {} ({} elements, \
+             {} WAL records replayed, {} torn bytes dropped)",
+            recovery.epoch, recovery.elements, recovery.wal_records, recovery.truncated_bytes
+        );
+    }
+    let target: HashSet<u64> = elements.into_iter().collect();
+    let current: HashSet<u64> = store.snapshot().into_iter().collect();
+    let added: Vec<u64> = target.difference(&current).copied().collect();
+    let removed: Vec<u64> = current.difference(&target).copied().collect();
+    if !added.is_empty() || !removed.is_empty() {
+        store.apply(&added, &removed);
+        // Fold the (possibly large) seed batch into a snapshot so the next
+        // restart recovers from one file instead of replaying it.
+        if let Err(e) = store.compact_now() {
+            eprintln!("pbs-syncd: snapshot of store {name:?} failed: {e}");
         }
     }
 }
@@ -220,6 +197,14 @@ fn scan_watch_dir(
 fn main() {
     let args = parse_args();
     let registry = Arc::new(StoreRegistry::new());
+    let durable = args.data_dir.as_ref().map(|dir| {
+        registry.set_persistence_root(dir);
+        DurableOptions {
+            log_capacity: args.changelog_cap,
+            snapshot_every: args.snapshot_every,
+            sync_writes: args.fsync,
+        }
+    });
 
     // Default store from --set-file / --range.
     match (&args.set_file, args.range) {
@@ -228,35 +213,32 @@ fn main() {
                 eprintln!("pbs-syncd: cannot load {}: {e}", path.display());
                 std::process::exit(1);
             });
-            registry.register("", Arc::new(InMemoryStore::new(elements)));
+            register_fixed_store(&registry, "", elements, durable);
         }
         (None, Some(n)) => {
-            registry.register("", Arc::new(InMemoryStore::new(setio::demo_set(n, 0xB0B))));
+            register_fixed_store(&registry, "", setio::demo_set(n, 0xB0B), durable);
         }
         (None, None) => {}
         _ => usage(),
     }
     // Named stores.
     for (name, spec) in &args.stores {
-        registry.register(
-            name.clone(),
-            Arc::new(InMemoryStore::new(load_spec(name, spec))),
-        );
+        register_fixed_store(&registry, name, load_spec(name, spec), durable);
     }
     // Watched stores: one synchronous scan so they exist before we listen,
     // then a poller thread keeps them live.
-    let mut watched = HashMap::new();
     if let Some(dir) = &args.watch_dir {
-        scan_watch_dir(dir, &registry, &mut watched, args.changelog_cap);
-        let dir = dir.clone();
-        let registry = Arc::clone(&registry);
+        let mut watcher = DirWatcher::new(dir, Arc::clone(&registry), args.changelog_cap);
+        if let Some(options) = durable {
+            watcher = watcher.durable(options);
+        }
+        watcher.scan();
         let every = Duration::from_secs(args.watch_every.max(1));
-        let changelog_cap = args.changelog_cap;
         std::thread::Builder::new()
             .name("pbs-syncd-watch".into())
             .spawn(move || loop {
                 std::thread::sleep(every);
-                scan_watch_dir(&dir, &registry, &mut watched, changelog_cap);
+                watcher.scan();
             })
             .expect("spawn watch thread");
     }

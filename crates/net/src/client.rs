@@ -16,6 +16,7 @@ use estimator::{Estimator, TowEstimator};
 use pbs_core::{AliceSession, Pbs, PbsConfig, ESTIMATOR_SEED_SALT};
 use std::collections::HashSet;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// Client-side configuration of one sync.
 #[derive(Debug, Clone)]
@@ -520,4 +521,183 @@ pub fn sync(
         frames_sent: framed.frames_out(),
         frames_received: framed.frames_in(),
     })
+}
+
+/// Bounded retry with exponential backoff and deterministic jitter, for
+/// riding out transient connect/IO failures — most importantly a server
+/// restarting into its recovered state (`pbs-sync --retry`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, the first included (1 = no retry). Clamped to ≥ 1.
+    pub attempts: u32,
+    /// Backoff before the second attempt; doubles per further attempt.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+    /// Seed of the deterministic jitter sequence (so tests and reproduced
+    /// runs sleep identically). Each delay is drawn uniformly from
+    /// `[backoff/2, backoff]` — "equal jitter", which de-synchronizes a
+    /// fleet of clients hammering a restarting server while keeping the
+    /// exponential envelope.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 5,
+            base_delay: Duration::from_millis(100),
+            max_delay: Duration::from_secs(5),
+            jitter_seed: 0x5EED_CAFE,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered delay before attempt `attempt + 1` (`attempt` is
+    /// 1-based: pass 1 after the first failure). Advances `rng` (xorshift).
+    pub fn backoff(&self, attempt: u32, rng: &mut u64) -> Duration {
+        let exp = attempt.saturating_sub(1).min(20);
+        let full = self
+            .base_delay
+            .saturating_mul(1u32 << exp)
+            .min(self.max_delay);
+        let mut x = (*rng).max(1);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *rng = x;
+        let half = full / 2;
+        let span_nanos = full.saturating_sub(half).as_nanos().max(1) as u64;
+        half + Duration::from_nanos(x % span_nanos)
+    }
+}
+
+/// `true` for failures worth retrying: connection-level I/O errors
+/// (refused, reset, aborted, timed out, broken pipe, unexpected EOF) — the
+/// shapes a restarting or briefly overloaded server produces. Protocol
+/// violations, peer-reported errors, and framing corruption are never
+/// transient: retrying them would re-run a sync that is wrong, not unlucky.
+pub fn is_transient(err: &NetError) -> bool {
+    use std::io::ErrorKind;
+    match err {
+        NetError::Io(e) => matches!(
+            e.kind(),
+            ErrorKind::ConnectionRefused
+                | ErrorKind::ConnectionReset
+                | ErrorKind::ConnectionAborted
+                | ErrorKind::NotConnected
+                | ErrorKind::BrokenPipe
+                | ErrorKind::TimedOut
+                | ErrorKind::WouldBlock
+                | ErrorKind::UnexpectedEof
+                | ErrorKind::Interrupted
+        ),
+        NetError::Frame(_) | NetError::Remote { .. } | NetError::Protocol(_) => false,
+    }
+}
+
+/// [`sync`] with bounded retry: transient failures ([`is_transient`])
+/// back off exponentially (with jitter) and try again, up to
+/// [`RetryPolicy::attempts`]; anything else — and the last transient
+/// failure once attempts are exhausted — is returned as-is. On success the
+/// report comes back with the 1-based attempt number that succeeded.
+pub fn sync_with_retry<A: ToSocketAddrs>(
+    addr: A,
+    set: &[u64],
+    config: &ClientConfig,
+    policy: &RetryPolicy,
+) -> Result<(SyncReport, u32), NetError> {
+    let attempts = policy.attempts.max(1);
+    let mut rng = policy.jitter_seed;
+    let mut attempt = 1;
+    loop {
+        match sync(&addr, set, config) {
+            Ok(report) => return Ok((report, attempt)),
+            Err(e) if attempt < attempts && is_transient(&e) => {
+                let delay = policy.backoff(attempt, &mut rng);
+                eprintln!(
+                    "pbs-sync: transient failure on attempt {attempt}/{attempts}: {e}; \
+                     retrying in {delay:?}"
+                );
+                std::thread::sleep(delay);
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_classification() {
+        let io = |kind| NetError::Io(std::io::Error::new(kind, "x"));
+        assert!(is_transient(&io(std::io::ErrorKind::ConnectionRefused)));
+        assert!(is_transient(&io(std::io::ErrorKind::ConnectionReset)));
+        assert!(is_transient(&io(std::io::ErrorKind::UnexpectedEof)));
+        assert!(is_transient(&io(std::io::ErrorKind::TimedOut)));
+        assert!(!is_transient(&io(std::io::ErrorKind::PermissionDenied)));
+        assert!(!is_transient(&NetError::Protocol("bad".into())));
+        assert!(!is_transient(&NetError::Frame(crate::FrameError::BadCrc)));
+        assert!(!is_transient(&NetError::Remote {
+            code: crate::frame::ErrorCode::Internal,
+            message: "boom".into(),
+        }));
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_with_bounded_jitter() {
+        let policy = RetryPolicy {
+            attempts: 8,
+            base_delay: Duration::from_millis(100),
+            max_delay: Duration::from_secs(2),
+            jitter_seed: 42,
+        };
+        let mut rng = policy.jitter_seed;
+        let mut prev_full = Duration::ZERO;
+        for attempt in 1..=8u32 {
+            let d = policy.backoff(attempt, &mut rng);
+            let full = policy
+                .base_delay
+                .saturating_mul(1u32 << (attempt - 1).min(20))
+                .min(policy.max_delay);
+            assert!(
+                d >= full / 2 && d <= full,
+                "attempt {attempt}: {d:?} vs {full:?}"
+            );
+            assert!(full >= prev_full, "envelope is monotone");
+            prev_full = full;
+        }
+        assert_eq!(prev_full, Duration::from_secs(2), "cap reached");
+        // Determinism: the same seed replays the same delays.
+        let (mut a, mut b) = (policy.jitter_seed, policy.jitter_seed);
+        for attempt in 1..=5 {
+            assert_eq!(
+                policy.backoff(attempt, &mut a),
+                policy.backoff(attempt, &mut b)
+            );
+        }
+    }
+
+    #[test]
+    fn non_transient_errors_do_not_retry() {
+        // A protocol-invalid config fails immediately even with a generous
+        // policy (no sleeping, no attempts burned).
+        let config = ClientConfig {
+            protocol_version: 99,
+            ..ClientConfig::default()
+        };
+        let policy = RetryPolicy {
+            attempts: 10,
+            base_delay: Duration::from_secs(10),
+            ..RetryPolicy::default()
+        };
+        let start = std::time::Instant::now();
+        let err = sync_with_retry("127.0.0.1:1", &[1], &config, &policy).unwrap_err();
+        assert!(matches!(err, NetError::Protocol(_)));
+        assert!(start.elapsed() < Duration::from_secs(1));
+    }
 }

@@ -66,11 +66,17 @@ pub mod frame;
 pub mod server;
 pub mod setio;
 pub mod store;
+pub mod wal;
+pub mod watch;
 
-pub use client::{sync, ClientConfig, DeltaFold, DeltaReport, SyncReport};
+pub use client::{
+    is_transient, sync, sync_with_retry, ClientConfig, DeltaFold, DeltaReport, RetryPolicy,
+    SyncReport,
+};
 pub use frame::{Frame, Hello, PROTOCOL_VERSION};
 pub use server::{Server, ServerConfig};
 pub use store::{ChangeBatch, DeltaAnswer, InMemoryStore, MutableStore, SetStore, StoreRegistry};
+pub use wal::{CrashPoint, DurableOptions, RecoveryReport};
 
 use pbs_core::wire::WireError;
 use std::io::{Read, Write};

@@ -43,6 +43,58 @@ pub fn load_set(path: &Path) -> std::io::Result<Vec<u64>> {
     Ok(out)
 }
 
+/// Parse as much of a set file as is valid: like [`load_set`], but a
+/// malformed line stops the parse instead of failing it, returning the
+/// elements of the longest valid prefix plus whether anything was cut.
+/// This is the read the `--watch-dir` poller uses — a file caught torn
+/// mid-write (or truncated by a crashed producer) yields the elements that
+/// were fully written, rather than wedging the store on stale contents.
+pub fn load_set_prefix(path: &Path) -> std::io::Result<(Vec<u64>, bool)> {
+    let file = std::fs::File::open(path)?;
+    let mut out = Vec::new();
+    for line in BufReader::new(file).lines() {
+        let Ok(line) = line else {
+            return Ok((out, true));
+        };
+        let token = line.split('#').next().unwrap_or("").trim();
+        if token.is_empty() {
+            continue;
+        }
+        let value = match token
+            .strip_prefix("0x")
+            .or_else(|| token.strip_prefix("0X"))
+        {
+            Some(hex) => u64::from_str_radix(hex, 16),
+            None => token.parse::<u64>(),
+        };
+        match value {
+            Ok(v) if v != 0 => out.push(v),
+            _ => return Ok((out, true)),
+        }
+    }
+    Ok((out, false))
+}
+
+/// Write `contents` to `path` atomically: temp file in the same directory,
+/// fsync, rename. A crash mid-write can leave a stray temp file but never
+/// a half-written `path` — the discipline every persistent artifact of the
+/// binaries (epoch caches, snapshots) uses.
+pub fn write_file_atomic(path: &Path, contents: &[u8]) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut tmp_name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| "file".into());
+    tmp_name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = path.with_file_name(tmp_name);
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(contents)?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
 /// A deterministic pseudo-random demo set of `n` nonzero 32-bit-universe
 /// elements — the `--range` option of both binaries, handy for trying the
 /// pair without writing set files.
@@ -73,6 +125,40 @@ mod tests {
         assert!(load_set(&path).is_err());
         std::fs::write(&path, "not-a-number\n").unwrap();
         assert!(load_set(&path).is_err());
+    }
+
+    #[test]
+    fn prefix_load_survives_torn_tails() {
+        let dir = std::env::temp_dir().join("pbs_net_setio_prefix_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("set.txt");
+        std::fs::write(&path, "7\n16\n42\n").unwrap();
+        assert_eq!(load_set_prefix(&path).unwrap(), (vec![7, 16, 42], false));
+        // A torn tail (non-numeric garbage) cuts the parse, keeps the prefix.
+        std::fs::write(&path, "7\n16\n4x!\n99\n").unwrap();
+        assert_eq!(load_set_prefix(&path).unwrap(), (vec![7, 16], true));
+        // The zero element also stops the prefix (it can never be served).
+        std::fs::write(&path, "7\n0\n99\n").unwrap();
+        assert_eq!(load_set_prefix(&path).unwrap(), (vec![7], true));
+        std::fs::write(&path, "").unwrap();
+        assert_eq!(load_set_prefix(&path).unwrap(), (vec![], false));
+    }
+
+    #[test]
+    fn atomic_write_replaces_in_place() {
+        let dir = std::env::temp_dir().join("pbs_net_setio_atomic_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("epoch");
+        write_file_atomic(&path, b"41\n").unwrap();
+        write_file_atomic(&path, b"42\n").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"42\n");
+        // No temp droppings left behind.
+        let stray = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .count();
+        assert_eq!(stray, 0);
     }
 
     #[test]

@@ -18,7 +18,10 @@
 //! they snapshotted.
 
 use crate::server::ServerStats;
+use crate::wal::{self, DurableOptions, RecoveryReport, Wal};
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::io;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, RwLock};
 
 /// What a store can answer when a delta subscriber asks for the changes
@@ -151,6 +154,10 @@ struct MutableInner {
     /// older than this can no longer catch up incrementally.
     base_epoch: u64,
     log_capacity: usize,
+    /// The persistence backend, when this store is durable: every effective
+    /// batch is written ahead to the WAL before memory is mutated, and
+    /// snapshots compact the log periodically (see [`crate::wal`]).
+    wal: Option<Wal>,
 }
 
 /// A [`SetStore`] that supports server-side mutation between sessions,
@@ -202,8 +209,84 @@ impl MutableStore {
                 log: VecDeque::new(),
                 base_epoch: origin,
                 log_capacity,
+                wal: None,
             }),
         }
+    }
+
+    /// Open a durable store backed by the directory `dir`: recover the
+    /// persisted state (newest valid snapshot + WAL tail, truncating any
+    /// torn final record — see [`wal::recover`]) and attach the WAL so
+    /// every further effective batch is written through before memory is
+    /// mutated. A missing or empty directory opens as the empty store at
+    /// epoch 0. Epochs continue exactly where the persisted store left
+    /// off, so subscribers' cached epochs stay valid across restarts.
+    pub fn open_durable(dir: &Path, options: DurableOptions) -> io::Result<MutableStore> {
+        Ok(Self::open_durable_report(dir, options)?.0)
+    }
+
+    /// [`MutableStore::open_durable`], additionally returning the recovery
+    /// summary (replayed records, truncated bytes, rejected snapshots).
+    pub fn open_durable_report(
+        dir: &Path,
+        options: DurableOptions,
+    ) -> io::Result<(MutableStore, RecoveryReport)> {
+        let recovered = wal::recover(dir, options.log_capacity)?;
+        let report = recovered.report();
+        let wal = Wal::open(dir, options)?;
+        let base_epoch = recovered
+            .log
+            .first()
+            .map(|b| b.epoch - 1)
+            .unwrap_or(recovered.epoch);
+        let store = MutableStore {
+            inner: RwLock::new(MutableInner {
+                elements: recovered.elements,
+                epoch: recovered.epoch,
+                log: recovered.log.into(),
+                base_epoch,
+                log_capacity: options.log_capacity,
+                wal: Some(wal),
+            }),
+        };
+        Ok((store, report))
+    }
+
+    /// `true` when this store writes through to a WAL.
+    pub fn is_durable(&self) -> bool {
+        self.inner.read().unwrap().wal.is_some()
+    }
+
+    /// Force a snapshot + log compaction now (durable stores only; a no-op
+    /// otherwise). Useful after seeding a store's initial contents so a
+    /// restart recovers them from one snapshot instead of a WAL replay.
+    pub fn compact_now(&self) -> io::Result<()> {
+        let mut inner = self.inner.write().unwrap();
+        Self::compact_inner(&mut inner)
+    }
+
+    /// Fault-injection hook for the crash-recovery tests: arm a
+    /// [`wal::CrashPoint`] so the next matching persistence operation does
+    /// its partial work and fails like a killed process. No-op on
+    /// non-durable stores.
+    pub fn inject_crash(&self, point: Option<wal::CrashPoint>) {
+        if let Some(wal) = self.inner.write().unwrap().wal.as_mut() {
+            wal.inject_crash(point);
+        }
+    }
+
+    fn compact_inner(inner: &mut MutableInner) -> io::Result<()> {
+        if inner.wal.is_none() {
+            return Ok(());
+        }
+        let elements: Vec<u64> = inner.elements.iter().copied().collect();
+        let log: Vec<ChangeBatch> = inner.log.iter().cloned().collect();
+        let epoch = inner.epoch;
+        inner
+            .wal
+            .as_mut()
+            .expect("checked above")
+            .compact(&elements, epoch, &log)
     }
 
     /// The store's current epoch. Epoch 0 is the construction state; every
@@ -242,33 +325,75 @@ impl MutableStore {
     /// [`SetStore::delta_since`] call reports truncation, forcing readers
     /// back to full reconciliation — degraded, never wrong.
     pub fn apply(&self, added: &[u64], removed: &[u64]) -> u64 {
+        match self.try_apply(added, removed) {
+            Ok(epoch) => epoch,
+            Err(e) => {
+                // The write-ahead append failed, so the batch was rejected
+                // and memory is unchanged — degraded (the feed misses the
+                // batch), never silently divergent from disk.
+                eprintln!("pbs store: durable apply failed, batch dropped: {e}");
+                self.epoch()
+            }
+        }
+    }
+
+    /// [`MutableStore::apply`] with the durability error surfaced. On a
+    /// durable store the effective changes are computed first, written
+    /// ahead to the WAL, and only then applied to memory — an `Err` from
+    /// the append leaves both memory *and* the store's logical state
+    /// exactly as before the call. An `Err` from the post-apply compaction
+    /// (snapshotting) means the batch itself *was* applied and is durable
+    /// in the WAL; only the snapshot is missing, and the next compaction
+    /// retries it. Non-durable stores never return `Err`.
+    pub fn try_apply(&self, added: &[u64], removed: &[u64]) -> io::Result<u64> {
         let mut inner = self.inner.write().unwrap();
         // Hash the add list first: a linear `added.contains` per removed
         // element would make a full-file replacement O(|added|·|removed|)
         // inside the write lock, stalling every session on the store.
+        // Effective changes are computed against the *unmutated* set so the
+        // WAL append strictly precedes the state change.
         let add_set: HashSet<u64> = added.iter().copied().collect();
+        let mut seen = HashSet::new();
         let removed: Vec<u64> = removed
             .iter()
             .copied()
-            .filter(|e| !add_set.contains(e) && inner.elements.remove(e))
+            .filter(|e| !add_set.contains(e) && inner.elements.contains(e) && seen.insert(*e))
             .collect();
+        seen.clear();
         let added: Vec<u64> = added
             .iter()
             .copied()
-            .filter(|&e| inner.elements.insert(e))
+            .filter(|&e| !inner.elements.contains(&e) && seen.insert(e))
             .collect();
         if added.is_empty() && removed.is_empty() {
-            return inner.epoch;
+            return Ok(inner.epoch);
         }
         let Some(next) = inner.epoch.checked_add(1) else {
             // Epoch space exhausted: stay at u64::MAX with the feed off.
+            // The changes still land in the set.
+            for e in &removed {
+                inner.elements.remove(e);
+            }
+            inner.elements.extend(added.iter().copied());
             inner.log.clear();
             inner.base_epoch = u64::MAX;
-            return inner.epoch;
+            // The WAL's strict epoch sequencing cannot express a pinned
+            // counter; persist the post-batch state as a snapshot instead.
+            Self::compact_inner(&mut inner)?;
+            return Ok(inner.epoch);
+        };
+        // Write-ahead: the batch must be on disk before memory changes.
+        let compaction_due = match inner.wal.as_mut() {
+            Some(wal) => wal.append(next, &added, &removed)?,
+            None => false,
         };
         inner.epoch = next;
+        for e in &removed {
+            inner.elements.remove(e);
+        }
+        inner.elements.extend(added.iter().copied());
         let batch = ChangeBatch {
-            epoch: inner.epoch,
+            epoch: next,
             added,
             removed,
         };
@@ -287,7 +412,10 @@ impl MutableStore {
             inner.log.clear();
             inner.base_epoch = u64::MAX;
         }
-        inner.epoch
+        if compaction_due {
+            Self::compact_inner(&mut inner)?;
+        }
+        Ok(inner.epoch)
     }
 
     /// Every change batch after `epoch`, oldest first — empty when the
@@ -412,6 +540,31 @@ impl std::fmt::Debug for RegisteredStore {
 #[derive(Debug, Default)]
 pub struct StoreRegistry {
     stores: RwLock<HashMap<String, Arc<RegisteredStore>>>,
+    /// When set, [`StoreRegistry::register_durable`] roots each store's
+    /// persistence directory here.
+    persistence_root: RwLock<Option<PathBuf>>,
+}
+
+/// The directory name a store's persistent state lives under, inside a
+/// registry's persistence root. The default store (empty name) maps to
+/// `default`; named stores map to `store-<name>` with every byte outside
+/// `[A-Za-z0-9._-]` replaced by `_` so any wire-addressable name yields a
+/// portable path component.
+pub fn store_dir_name(name: &str) -> String {
+    if name.is_empty() {
+        return "default".to_string();
+    }
+    let sanitized: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    format!("store-{sanitized}")
 }
 
 impl StoreRegistry {
@@ -466,6 +619,48 @@ impl StoreRegistry {
             .unwrap()
             .insert(name, Arc::clone(&entry));
         entry
+    }
+
+    /// Root every [`StoreRegistry::register_durable`] store's persistence
+    /// directory under `root` (created on first use).
+    pub fn set_persistence_root(&self, root: impl Into<PathBuf>) {
+        *self.persistence_root.write().unwrap() = Some(root.into());
+    }
+
+    /// The configured persistence root, if any.
+    pub fn persistence_root(&self) -> Option<PathBuf> {
+        self.persistence_root.read().unwrap().clone()
+    }
+
+    /// The persistence directory a store named `name` maps to (`None`
+    /// without a persistence root). See [`store_dir_name`].
+    pub fn store_dir(&self, name: &str) -> Option<PathBuf> {
+        self.persistence_root()
+            .map(|r| r.join(store_dir_name(name)))
+    }
+
+    /// Open (recovering any persisted state) and register a durable
+    /// [`MutableStore`] under `name`, rooted at
+    /// [`StoreRegistry::store_dir`]. Returns the concrete store handle (for
+    /// feeding mutations) plus the recovery summary. Errors when no
+    /// persistence root is configured or the directory cannot be opened.
+    pub fn register_durable(
+        &self,
+        name: impl Into<String>,
+        durable: DurableOptions,
+        options: StoreOptions,
+    ) -> io::Result<(Arc<MutableStore>, RecoveryReport)> {
+        let name = name.into();
+        let dir = self.store_dir(&name).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "registry has no persistence root",
+            )
+        })?;
+        let (store, report) = MutableStore::open_durable_report(&dir, durable)?;
+        let store = Arc::new(store);
+        self.register_with(name, Arc::clone(&store) as Arc<dyn SetStore>, options);
+        Ok((store, report))
     }
 
     /// Look a store up by name.
@@ -727,5 +922,79 @@ mod tests {
     #[should_panic(expected = "wire limit")]
     fn registry_rejects_unaddressable_names() {
         StoreRegistry::new().register("x".repeat(65), Arc::new(InMemoryStore::default()));
+    }
+
+    #[test]
+    fn durable_store_round_trips_across_reopen() {
+        let dir = std::env::temp_dir().join(format!("pbs_store_durable_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let options = DurableOptions {
+            log_capacity: 8,
+            snapshot_every: 3,
+            sync_writes: false,
+        };
+        let (want_set, want_epoch) = {
+            let store = MutableStore::open_durable(&dir, options).unwrap();
+            assert!(store.is_durable() && store.epoch() == 0 && store.is_empty());
+            store.apply(&[1, 2, 3], &[]);
+            store.apply(&[4], &[1]);
+            SetStore::apply_missing(&store, &[5, 6]);
+            store.apply(&[], &[2]);
+            store.snapshot_with_epoch()
+        };
+        assert_eq!(want_epoch, 4);
+        let (store, report) = MutableStore::open_durable_report(&dir, options).unwrap();
+        assert_eq!(store.epoch(), want_epoch, "epoch continuity across reopen");
+        assert_eq!(report.truncated_bytes, 0);
+        assert!(report.snapshot_epoch >= 3, "snapshot_every=3 compacted");
+        let (mut got, _) = store.snapshot_with_epoch();
+        let mut want = want_set;
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want);
+        // The changelog survived too: a subscriber from epoch 1 gets the
+        // exact batches 2..=4.
+        let changes = store.changes_since(1).expect("covered by recovered log");
+        assert_eq!(changes.len(), 3);
+        assert_eq!(changes[0].epoch, 2);
+        // And the store keeps appending where it left off.
+        assert_eq!(store.apply(&[7], &[]), 5);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn registry_register_durable_roots_and_recovers() {
+        let dir = std::env::temp_dir().join(format!("pbs_registry_durable_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(store_dir_name(""), "default");
+        assert_eq!(store_dir_name("blocks"), "store-blocks");
+        assert_eq!(store_dir_name("a/b c"), "store-a_b_c");
+        let registry = StoreRegistry::new();
+        assert!(
+            registry
+                .register_durable("x", DurableOptions::default(), StoreOptions::default())
+                .is_err(),
+            "no persistence root configured"
+        );
+        registry.set_persistence_root(&dir);
+        let (store, _) = registry
+            .register_durable("blocks", DurableOptions::default(), StoreOptions::default())
+            .unwrap();
+        store.apply(&[10, 11], &[]);
+        assert!(registry.get("blocks").is_some());
+        assert_eq!(
+            registry.store_dir("blocks").unwrap(),
+            dir.join("store-blocks")
+        );
+        // A second registry over the same root recovers the store.
+        let registry2 = StoreRegistry::new();
+        registry2.set_persistence_root(&dir);
+        let (store2, report) = registry2
+            .register_durable("blocks", DurableOptions::default(), StoreOptions::default())
+            .unwrap();
+        assert_eq!(report.epoch, 1);
+        assert_eq!(store2.epoch(), 1);
+        assert!(store2.contains(10) && store2.contains(11));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

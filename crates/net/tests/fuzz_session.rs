@@ -17,7 +17,7 @@
 //! failure is reproducible.
 
 use pbs_core::{AliceSession, Pbs, PbsConfig};
-use pbs_net::client::{sync, ClientConfig};
+use pbs_net::client::{sync_with_retry, ClientConfig, RetryPolicy};
 use pbs_net::frame::{write_frame, EstimatorMsg, Frame, Hello, DEFAULT_MAX_FRAME};
 use pbs_net::server::{InMemoryStore, Server, ServerConfig};
 use pbs_net::store::{MutableStore, StoreRegistry};
@@ -271,14 +271,23 @@ fn fuzzed_streams_never_break_the_server() {
 
     // The server must still reconcile for real — with more sequential
     // clients than workers, so a single panicked worker thread could not
-    // hide.
+    // hide. Retried: this server runs a deliberately brutal 200 ms read
+    // timeout for the fuzz streams, which on a loaded box can clip a
+    // legitimate session between frames — exactly the transient class
+    // `RetryPolicy` exists for.
+    let policy = RetryPolicy {
+        attempts: 4,
+        base_delay: Duration::from_millis(50),
+        ..RetryPolicy::default()
+    };
     for i in 0..4u64 {
         let config = ClientConfig {
             seed: 0xAF7E_0000 + i,
             known_d: Some(20),
             ..ClientConfig::default()
         };
-        let report = sync(addr, &client_set, &config).expect("post-fuzz sync");
+        let (report, _) =
+            sync_with_retry(addr, &client_set, &config, &policy).expect("post-fuzz sync");
         assert!(report.verified, "post-fuzz sync {i} failed to verify");
     }
 
