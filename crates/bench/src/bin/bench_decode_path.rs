@@ -25,7 +25,12 @@
 //!   its newest snapshot plus a 5-batch WAL tail vs replaying its entire
 //!   2000-batch churny change history from a genesis WAL — the gated
 //!   `wal_recovery` metric; its speedup is what snapshot compaction buys
-//!   every restart.
+//!   every restart,
+//! * the live-push subscription path: apply→`DeltaDone` latency over one
+//!   parked push subscription vs a tight poll of one-shot delta syncs on
+//!   fresh connections, against a real loopback server — the gated
+//!   `push_latency` metric; its speedup is the per-event connect +
+//!   handshake that live push amortizes away.
 //!
 //! Run with `cargo run --release -p bench --bin bench_decode_path`.
 //! The CI bench gate (`check_bench`) compares every `fast_*` metric of the
@@ -512,6 +517,73 @@ fn bench_wal_recovery(batches: usize, batch_size: usize, tail: usize) -> Row {
     }
 }
 
+/// Live-push latency: the time from `MutableStore::apply` on the server to
+/// the subscriber holding the event's `DeltaDone`, over one parked push
+/// subscription (fast) vs a tight poll of one-shot delta syncs on fresh
+/// connections (reference). Both observe the same mutations over the same
+/// loopback server; the speedup is the per-event TCP connect + handshake
+/// that the push path amortizes away.
+fn bench_push_latency(set_size: usize, events: usize) -> Row {
+    use pbs_net::client::{sync, ClientConfig, SyncClient};
+    use pbs_net::server::{Server, ServerConfig};
+    use pbs_net::store::MutableStore;
+    use std::sync::Arc;
+
+    let store = Arc::new(MutableStore::new(keys(set_size, 0xF011)));
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::clone(&store) as Arc<_>,
+        ServerConfig::default(),
+    )
+    .expect("bind bench server");
+    let addr = server.local_addr();
+    let pool = keys(8 * events, 0xE7E27);
+    let mut pool = pool.iter().copied();
+
+    // Fast path: park one subscription; each event is pushed the moment it
+    // commits, and the loop blocks until that event's DeltaDone arrives.
+    let mut sub = SyncClient::connect(addr)
+        .expect("resolve")
+        .subscribe(store.epoch())
+        .expect("subscribe");
+    let mut epoch = sub.next().expect("catch-up").expect("catch-up ok").to_epoch;
+    let fast_ns = best_ns(2, || {
+        for _ in 0..events {
+            store.apply(&[pool.next().expect("element pool")], &[]);
+            let target = epoch + 1;
+            while epoch < target {
+                epoch = sub.next().expect("push").expect("push ok").to_epoch;
+            }
+        }
+    }) / events as f64;
+    drop(sub);
+
+    // Reference: the tightest possible poll — one fresh connection per
+    // probe, served by the same delta short-circuit (the mutation lands
+    // before the probe, so every event costs exactly one poll; a real
+    // poller pays this *per interval*, event or not).
+    let mut base_epoch = store.epoch();
+    let reference_ns = best_ns(2, || {
+        for _ in 0..events {
+            store.apply(&[pool.next().expect("element pool")], &[]);
+            let target = base_epoch + 1;
+            while base_epoch < target {
+                let config = ClientConfig::builder().delta_epoch(base_epoch).build();
+                let report = sync(addr, &[], &config).expect("poll sync");
+                base_epoch = report.delta.expect("delta poll granted").to_epoch;
+            }
+        }
+    }) / events as f64;
+    server.shutdown();
+
+    Row {
+        name: "push_latency".into(),
+        detail: format!("|store|={set_size} events={events}"),
+        fast_ms: fast_ns / 1e6,
+        reference_ms: reference_ns / 1e6,
+    }
+}
+
 fn main() {
     let n = 100_000usize;
     let (iblt_insert, iblt_peel) = bench_iblt(n);
@@ -531,6 +603,8 @@ fn main() {
     delta.print();
     let wal = bench_wal_recovery(2000, 200, 5);
     wal.print();
+    let push = bench_push_latency(n / 10, 20);
+    push.print();
 
     let threads = std::thread::available_parallelism()
         .map(|v| v.get())
@@ -575,7 +649,8 @@ fn main() {
     emit(&mut json, "bob_decode", &bob, ",");
     emit(&mut json, "net_roundtrip", &net, ",");
     emit(&mut json, "delta_sync", &delta, ",");
-    emit(&mut json, "wal_recovery", &wal, "");
+    emit(&mut json, "wal_recovery", &wal, ",");
+    emit(&mut json, "push_latency", &push, "");
     json.push_str("}\n");
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_decode_path.json");

@@ -32,8 +32,17 @@
 //! server, a reset connection) with up to `N` attempts under exponential
 //! backoff + jitter, starting from `--retry-base-ms` (default 100).
 //! Protocol errors never retry.
+//!
+//! `--follow` keeps the connection open as a **live subscription**: after
+//! establishing an epoch baseline (from `--since`/`--epoch-cache`, or by
+//! running one full sync first), every further store mutation the server
+//! commits is pushed down and printed as it happens, one line per delta
+//! stream; the epoch cache (when configured) is rewritten after every
+//! delta, so an interrupted follow resumes exactly where it stopped.
+//! The process exits 0 when the server closes the stream (shutdown) and
+//! non-zero when the subscription fails or is evicted.
 
-use pbs_net::client::{sync_with_retry, ClientConfig, RetryPolicy};
+use pbs_net::client::{sync_with_retry, ClientConfig, Pipeline, RetryPolicy, SyncClient};
 use pbs_net::setio;
 use std::path::PathBuf;
 use std::time::Duration;
@@ -54,13 +63,15 @@ struct Args {
     d: Option<u64>,
     seed: u64,
     quiet: bool,
+    follow: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: pbs-sync --connect ADDR (--set-file PATH | --range N [--drop K]) \
          [--store NAME] [--pipeline L|auto] [--protocol V] \
-         [--since EPOCH | --epoch-cache FILE] [--retry N [--retry-base-ms MS]] \
+         [--since EPOCH | --epoch-cache FILE] [--follow] \
+         [--retry N [--retry-base-ms MS]] \
          [--d D] [--seed S] [--quiet]"
     );
     std::process::exit(2);
@@ -83,6 +94,7 @@ fn parse_args() -> Args {
         d: None,
         seed: 0xA11CE,
         quiet: false,
+        follow: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -109,6 +121,7 @@ fn parse_args() -> Args {
             "--d" => args.d = value().parse().ok(),
             "--seed" => args.seed = value().parse().unwrap_or(0xA11CE),
             "--quiet" => args.quiet = true,
+            "--follow" => args.follow = true,
             _ => usage(),
         }
     }
@@ -124,6 +137,75 @@ fn read_epoch_cache(path: &std::path::Path) -> Option<u64> {
     std::fs::read_to_string(path)
         .ok()
         .and_then(|s| s.trim().parse().ok())
+}
+
+/// `--follow`: establish an epoch baseline, then stream pushed deltas to
+/// stdout until the server closes the subscription. Never returns.
+fn follow(args: &Args, set: &[u64], config: &ClientConfig, policy: &RetryPolicy) -> ! {
+    let baseline = match config.delta_epoch {
+        Some(epoch) => epoch,
+        None => {
+            // No cached epoch yet: one full sync establishes the baseline
+            // the subscription resumes from.
+            let (report, _) =
+                sync_with_retry(&args.connect, set, config, policy).unwrap_or_else(|e| {
+                    eprintln!("pbs-sync: {e}");
+                    std::process::exit(1);
+                });
+            let Some(epoch) = report.epoch else {
+                eprintln!("pbs-sync: server keeps no epochs for this store; cannot --follow");
+                std::process::exit(1);
+            };
+            println!(
+                "pbs-sync: baseline sync: |A△B| = {}, epoch {epoch}",
+                report.recovered.len()
+            );
+            epoch
+        }
+    };
+
+    let client = SyncClient::connect(&args.connect)
+        .unwrap_or_else(|e| {
+            eprintln!("pbs-sync: {e}");
+            std::process::exit(1);
+        })
+        .config(config.clone());
+    let subscription = client.subscribe(baseline).unwrap_or_else(|e| {
+        eprintln!("pbs-sync: {e}");
+        std::process::exit(1);
+    });
+    println!("pbs-sync: following from epoch {baseline}");
+    for delta in subscription {
+        let delta = delta.unwrap_or_else(|e| {
+            eprintln!("pbs-sync: subscription lost: {e}");
+            std::process::exit(1);
+        });
+        println!(
+            "pbs-sync: epoch {} → {} in {} batches (+{} −{} net)",
+            delta.from_epoch,
+            delta.to_epoch,
+            delta.batches,
+            delta.added.len(),
+            delta.removed.len(),
+        );
+        if !args.quiet {
+            for e in delta.added.iter().take(25) {
+                println!("  +{e}");
+            }
+            for e in delta.removed.iter().take(25) {
+                println!("  -{e}");
+            }
+        }
+        if let Some(path) = &args.epoch_cache {
+            if let Err(e) =
+                setio::write_file_atomic(path, format!("{}\n", delta.to_epoch).as_bytes())
+            {
+                eprintln!("pbs-sync: cannot write {}: {e}", path.display());
+            }
+        }
+    }
+    println!("pbs-sync: stream closed by server");
+    std::process::exit(0);
 }
 
 fn main() {
@@ -143,23 +225,34 @@ fn main() {
     let delta_epoch = args
         .since
         .or_else(|| args.epoch_cache.as_deref().and_then(read_epoch_cache));
-    let mut config = ClientConfig {
-        known_d: args.d,
-        seed: args.seed,
-        store: args.store.clone(),
-        pipeline: args.pipeline.max(1),
-        pipeline_auto: args.pipeline_auto,
-        delta_epoch,
-        ..ClientConfig::default()
-    };
-    if let Some(v) = args.protocol {
-        config.protocol_version = v;
+    let mut builder = ClientConfig::builder()
+        .seed(args.seed)
+        .store(args.store.clone())
+        .pipeline(if args.pipeline_auto {
+            Pipeline::Auto
+        } else {
+            Pipeline::Depth(args.pipeline)
+        });
+    if let Some(d) = args.d {
+        builder = builder.known_d(d);
     }
+    if let Some(epoch) = delta_epoch {
+        builder = builder.delta_epoch(epoch);
+    }
+    if let Some(v) = args.protocol {
+        builder = builder.protocol_version(v);
+    }
+    let config = builder.build();
     let policy = RetryPolicy {
         attempts: args.retry.max(1),
         base_delay: Duration::from_millis(args.retry_base_ms.max(1)),
         ..RetryPolicy::default()
     };
+
+    if args.follow {
+        follow(&args, &set, &config, &policy);
+    }
+
     let (report, attempts) =
         sync_with_retry(&args.connect, &set, &config, &policy).unwrap_or_else(|e| {
             eprintln!("pbs-sync: {e}");

@@ -4,8 +4,9 @@
 //! pbs-syncd [--listen ADDR] [--set-file PATH | --range N]
 //!           [--store NAME=SPEC]... [--watch-dir DIR [--watch-every SECS]]
 //!           [--changelog-cap N] [--data-dir DIR] [--snapshot-every N]
-//!           [--fsync] [--workers W] [--round-cap R]
-//!           [--max-pipeline L] [--protocol V] [--stats-every SECS]
+//!           [--fsync] [--event-workers W] [--max-subscribers N]
+//!           [--round-cap R] [--max-pipeline L] [--protocol V]
+//!           [--stats-every SECS]
 //! ```
 //!
 //! Serves the `docs/WIRE.md` protocol. One process serves any number of
@@ -38,6 +39,14 @@
 //! `--epoch-cache` baselines stay warm. Without `--data-dir` everything is
 //! in-memory, as before.
 //!
+//! Watched and durable stores also serve **live subscriptions**: a v3
+//! client that sends a `Subscribe` frame after its delta catch-up stays
+//! connected and has every further change batch pushed to it as the store
+//! mutates (`pbs-sync --follow`). `--event-workers W` (alias: `--workers`)
+//! sizes the event-loop worker pool each connection is multiplexed onto;
+//! `--max-subscribers N` caps concurrently parked subscribers
+//! server-wide.
+//!
 //! Per-store and server-wide stats are printed every `--stats-every`
 //! seconds and the process runs until killed.
 
@@ -63,6 +72,7 @@ struct Args {
     snapshot_every: usize,
     fsync: bool,
     workers: Option<usize>,
+    max_subscribers: Option<usize>,
     round_cap: Option<u32>,
     max_pipeline: Option<u32>,
     protocol: Option<u16>,
@@ -74,8 +84,8 @@ fn usage() -> ! {
         "usage: pbs-syncd [--listen ADDR] [--set-file PATH | --range N] \
          [--store NAME=SPEC]... [--watch-dir DIR [--watch-every SECS]] \
          [--changelog-cap N] [--data-dir DIR] [--snapshot-every N] [--fsync] \
-         [--workers W] [--round-cap R] [--max-pipeline L] \
-         [--protocol V] [--stats-every SECS]\n\
+         [--event-workers W] [--max-subscribers N] [--round-cap R] \
+         [--max-pipeline L] [--protocol V] [--stats-every SECS]\n\
          SPEC is a set-file path or range:N; at least one store is required"
     );
     std::process::exit(2);
@@ -94,6 +104,7 @@ fn parse_args() -> Args {
         snapshot_every: DEFAULT_SNAPSHOT_EVERY,
         fsync: false,
         workers: None,
+        max_subscribers: None,
         round_cap: None,
         max_pipeline: None,
         protocol: None,
@@ -125,7 +136,10 @@ fn parse_args() -> Args {
                 args.snapshot_every = value().parse().unwrap_or(DEFAULT_SNAPSHOT_EVERY)
             }
             "--fsync" => args.fsync = true,
-            "--workers" => args.workers = value().parse().ok(),
+            // --workers predates the event loop; both spellings size the
+            // same event-loop worker pool.
+            "--event-workers" | "--workers" => args.workers = value().parse().ok(),
+            "--max-subscribers" => args.max_subscribers = value().parse().ok(),
             "--round-cap" => args.round_cap = value().parse().ok(),
             "--max-pipeline" => args.max_pipeline = value().parse().ok(),
             "--protocol" => args.protocol = value().parse().ok(),
@@ -258,6 +272,9 @@ fn main() {
     if let Some(w) = args.workers {
         config.workers = w.max(1);
     }
+    if let Some(n) = args.max_subscribers {
+        config.max_subscribers = n;
+    }
     if let Some(r) = args.round_cap {
         config.round_cap = r.max(1);
     }
@@ -300,6 +317,15 @@ fn main() {
             s.delta_sessions,
             s.delta_fallbacks,
             s.delta_elements,
+        );
+        println!(
+            "pbs-syncd: push: {} subscriptions, {} batches / {} elements pushed, \
+             {} evicted, {} keepalive pings",
+            s.subscriptions,
+            s.push_batches,
+            s.push_elements,
+            s.subscribers_evicted,
+            s.keepalive_pings,
         );
         for name in registry.names() {
             let Some(entry) = registry.get(&name) else {

@@ -1,25 +1,64 @@
-//! The sync client: drives an [`AliceSession`] against a reconciliation
-//! server and returns the reconciled difference with full transport
-//! accounting. On v2 sessions the client can address a named server-side
-//! store ([`ClientConfig::store`]) and pipeline several protocol rounds
-//! into each request-response round trip ([`ClientConfig::pipeline`], or
-//! [`ClientConfig::pipeline_auto`] for a per-trip adaptive depth). On v3
-//! sessions a client holding the epoch of its previous sync
-//! ([`ClientConfig::delta_epoch`]) is served the changes since that epoch
-//! as a delta stream ([`SyncReport::delta`]) instead of running a
-//! reconciliation, falling back transparently when the server's changelog
-//! cannot cover the epoch.
+//! The sync client: [`SyncClient`] drives an [`AliceSession`] against a
+//! reconciliation server and returns the reconciled difference with full
+//! transport accounting. On v2 sessions the client can address a named
+//! server-side store ([`SyncClient::store`]) and pipeline several protocol
+//! rounds into each request-response round trip ([`SyncClient::pipeline`]
+//! with a fixed [`Pipeline::Depth`] or the per-trip adaptive
+//! [`Pipeline::Auto`]). On v3 sessions a client holding the epoch of its
+//! previous sync ([`SyncClient::delta_epoch`]) is served the changes since
+//! that epoch as a delta stream ([`SyncReport::delta`]) instead of running
+//! a reconciliation, falling back transparently when the server's
+//! changelog cannot cover the epoch — and can hold the connection open as
+//! a live push subscription ([`SyncClient::subscribe`], yielding a
+//! [`Subscription`] iterator of [`DeltaReport`]s as the store mutates).
+//!
+//! ```no_run
+//! use pbs_net::{Pipeline, RetryPolicy, SyncClient};
+//!
+//! let set: Vec<u64> = (1..=100).collect();
+//! let report = SyncClient::connect("127.0.0.1:7777")?
+//!     .store("inventory")
+//!     .pipeline(Pipeline::Auto)
+//!     .retry(RetryPolicy::default())
+//!     .sync(&set)?;
+//! assert!(report.verified);
+//! # Ok::<(), pbs_net::NetError>(())
+//! ```
 
 use crate::frame::{EstimatorMsg, Frame, Hello, MAX_STORE_NAME, PROTOCOL_VERSION};
 use crate::{FramedStream, NetError, TransportConfig};
 use estimator::{Estimator, TowEstimator};
 use pbs_core::{AliceSession, Pbs, PbsConfig, ESTIMATOR_SEED_SALT};
 use std::collections::HashSet;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+/// How many protocol rounds ride in each sketch/report round trip.
+///
+/// The builder-level view of the [`ClientConfig::pipeline`] /
+/// [`ClientConfig::pipeline_auto`] pair: a fixed depth ships that many
+/// rounds' sketches per frame, [`Pipeline::Auto`] requests the server's
+/// full grant and resizes every trip from the previous trip's
+/// layer-verification rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pipeline {
+    /// Fixed depth per round trip; `Depth(1)` is the classic
+    /// one-round-per-trip protocol. Clamped to ≥ 1.
+    Depth(u32),
+    /// Adaptive per-trip depth under the server's grant
+    /// ([`pbs_core::AliceSession::next_pipeline_depth`]).
+    Auto,
+}
+
 /// Client-side configuration of one sync.
+///
+/// Construct via [`ClientConfig::builder`] (or start from
+/// [`ClientConfig::default`] and assign fields); the struct is
+/// `#[non_exhaustive]` so new knobs can ship without breaking callers.
+/// Most code never touches it directly — [`SyncClient`] carries one
+/// internally and exposes the same knobs as builder methods.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct ClientConfig {
     /// Socket/framing knobs.
     pub transport: TransportConfig,
@@ -93,6 +132,101 @@ impl Default for ClientConfig {
             protocol_version: PROTOCOL_VERSION,
             delta_epoch: None,
         }
+    }
+}
+
+impl ClientConfig {
+    /// Start building a configuration from the defaults.
+    pub fn builder() -> ConfigBuilder {
+        ConfigBuilder::default()
+    }
+}
+
+/// Builder for [`ClientConfig`] — the only way to construct one outside
+/// this crate now that the struct is `#[non_exhaustive]` (field-by-field
+/// assignment onto a `default()` still works too).
+#[derive(Debug, Clone, Default)]
+pub struct ConfigBuilder {
+    config: ClientConfig,
+}
+
+impl ConfigBuilder {
+    /// Socket/framing knobs ([`ClientConfig::transport`]).
+    pub fn transport(mut self, transport: TransportConfig) -> Self {
+        self.config.transport = transport;
+        self
+    }
+
+    /// The PBS configuration proposed in the handshake
+    /// ([`ClientConfig::pbs`]).
+    pub fn pbs(mut self, pbs: PbsConfig) -> Self {
+        self.config.pbs = pbs;
+        self
+    }
+
+    /// A-priori difference cardinality ([`ClientConfig::known_d`];
+    /// the default `None` runs the estimator exchange).
+    pub fn known_d(mut self, d: u64) -> Self {
+        self.config.known_d = Some(d);
+        self
+    }
+
+    /// Session hash seed ([`ClientConfig::seed`]).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Client-side protocol-round cap ([`ClientConfig::round_cap`]).
+    pub fn round_cap(mut self, cap: u32) -> Self {
+        self.config.round_cap = cap;
+        self
+    }
+
+    /// Largest accepted difference parameterization
+    /// ([`ClientConfig::max_d`]).
+    pub fn max_d(mut self, max_d: u64) -> Self {
+        self.config.max_d = max_d;
+        self
+    }
+
+    /// Name of the server-side store to address
+    /// ([`ClientConfig::store`]).
+    pub fn store(mut self, name: impl Into<String>) -> Self {
+        self.config.store = name.into();
+        self
+    }
+
+    /// Pipeline depth policy ([`ClientConfig::pipeline`] /
+    /// [`ClientConfig::pipeline_auto`]).
+    pub fn pipeline(mut self, pipeline: Pipeline) -> Self {
+        match pipeline {
+            Pipeline::Depth(depth) => {
+                self.config.pipeline = depth.max(1);
+                self.config.pipeline_auto = false;
+            }
+            Pipeline::Auto => self.config.pipeline_auto = true,
+        }
+        self
+    }
+
+    /// Protocol version to propose
+    /// ([`ClientConfig::protocol_version`]).
+    pub fn protocol_version(mut self, version: u16) -> Self {
+        self.config.protocol_version = version;
+        self
+    }
+
+    /// Epoch of the previous sync, requesting a v3 delta stream
+    /// ([`ClientConfig::delta_epoch`]).
+    pub fn delta_epoch(mut self, epoch: u64) -> Self {
+        self.config.delta_epoch = Some(epoch);
+        self
+    }
+
+    /// Finish into the configuration.
+    pub fn build(self) -> ClientConfig {
+        self.config
     }
 }
 
@@ -230,7 +364,351 @@ pub struct SyncReport {
     pub frames_received: u64,
 }
 
+/// A configured connection target: the primary client entry point.
+///
+/// Built fluently from an address, then driven with [`SyncClient::sync`]
+/// (one reconciliation or delta sync per call, with optional bounded
+/// retry) or [`SyncClient::subscribe`] (a live push subscription):
+///
+/// ```no_run
+/// use pbs_net::{Pipeline, RetryPolicy, SyncClient};
+///
+/// let set: Vec<u64> = (1..=100).collect();
+/// let client = SyncClient::connect("127.0.0.1:7777")?
+///     .store("inventory")
+///     .pipeline(Pipeline::Auto)
+///     .retry(RetryPolicy::default());
+/// let report = client.sync(&set)?;
+/// for delta in client.subscribe(report.epoch.unwrap())? {
+///     let delta = delta?;
+///     println!("+{} -{} @{}", delta.added.len(), delta.removed.len(), delta.to_epoch);
+/// }
+/// # Ok::<(), pbs_net::NetError>(())
+/// ```
+///
+/// Every call opens its own TCP connection, so one client can be reused
+/// (and shared immutably) across any number of syncs.
+#[derive(Debug, Clone)]
+pub struct SyncClient {
+    addrs: Vec<SocketAddr>,
+    config: ClientConfig,
+    retry: Option<RetryPolicy>,
+}
+
+impl SyncClient {
+    /// Resolve `addr` and build a client with the default configuration.
+    ///
+    /// Name resolution happens once, here; the sockets themselves are
+    /// opened per [`SyncClient::sync`] / [`SyncClient::subscribe`] call.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, NetError> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        if addrs.is_empty() {
+            return Err(NetError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "address resolved to no socket addresses",
+            )));
+        }
+        Ok(SyncClient {
+            addrs,
+            config: ClientConfig::default(),
+            retry: None,
+        })
+    }
+
+    /// Address a named server-side store ([`ClientConfig::store`]).
+    pub fn store(mut self, name: impl Into<String>) -> Self {
+        self.config.store = name.into();
+        self
+    }
+
+    /// Pipeline depth policy ([`Pipeline`]).
+    pub fn pipeline(mut self, pipeline: Pipeline) -> Self {
+        match pipeline {
+            Pipeline::Depth(depth) => {
+                self.config.pipeline = depth.max(1);
+                self.config.pipeline_auto = false;
+            }
+            Pipeline::Auto => self.config.pipeline_auto = true,
+        }
+        self
+    }
+
+    /// Retry transient failures under `policy`
+    /// (see [`sync_with_retry`]; without this, failures surface on the
+    /// first attempt).
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Session hash seed ([`ClientConfig::seed`]).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// A-priori difference cardinality, skipping the estimator exchange
+    /// ([`ClientConfig::known_d`]).
+    pub fn known_d(mut self, d: u64) -> Self {
+        self.config.known_d = Some(d);
+        self
+    }
+
+    /// Largest accepted difference parameterization
+    /// ([`ClientConfig::max_d`]).
+    pub fn max_d(mut self, max_d: u64) -> Self {
+        self.config.max_d = max_d;
+        self
+    }
+
+    /// Client-side protocol-round cap ([`ClientConfig::round_cap`]).
+    pub fn round_cap(mut self, cap: u32) -> Self {
+        self.config.round_cap = cap;
+        self
+    }
+
+    /// Protocol version to propose
+    /// ([`ClientConfig::protocol_version`]).
+    pub fn protocol_version(mut self, version: u16) -> Self {
+        self.config.protocol_version = version;
+        self
+    }
+
+    /// Socket/framing knobs ([`ClientConfig::transport`]).
+    pub fn transport(mut self, transport: TransportConfig) -> Self {
+        self.config.transport = transport;
+        self
+    }
+
+    /// Epoch of the previous sync, requesting a v3 delta stream
+    /// ([`ClientConfig::delta_epoch`]).
+    pub fn delta_epoch(mut self, epoch: u64) -> Self {
+        self.config.delta_epoch = Some(epoch);
+        self
+    }
+
+    /// Replace the whole configuration — the escape hatch for knobs
+    /// without a dedicated builder method (PBS parameters, a
+    /// pre-assembled [`ClientConfig`]).
+    pub fn config(mut self, config: ClientConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The configuration a [`SyncClient::sync`] call would run with.
+    pub fn config_ref(&self) -> &ClientConfig {
+        &self.config
+    }
+
+    /// Run one sync (see the free [`sync`] for the report's semantics),
+    /// retrying transient failures when a policy was installed with
+    /// [`SyncClient::retry`].
+    pub fn sync(&self, set: &[u64]) -> Result<SyncReport, NetError> {
+        match &self.retry {
+            Some(policy) => {
+                sync_with_retry(&self.addrs[..], set, &self.config, policy).map(|(r, _)| r)
+            }
+            None => sync(&self.addrs[..], set, &self.config),
+        }
+    }
+
+    /// Open a live push subscription from `epoch`.
+    ///
+    /// The v3 handshake runs with `delta_epoch = Some(epoch)`; the
+    /// server's catch-up delta stream (everything between `epoch` and its
+    /// current state) becomes the first item the returned [`Subscription`]
+    /// yields, and a `Subscribe` frame then parks the session in the
+    /// server's streaming state: every subsequent store mutation is pushed
+    /// as another [`DeltaReport`]. Pass the [`SyncReport::epoch`] of a
+    /// previous sync against the same store (a fresh client therefore
+    /// syncs first, then subscribes from the epoch that sync returned).
+    ///
+    /// Fails with [`NetError::Remote`]/[`NetError::Protocol`] when the
+    /// server cannot serve the epoch (changelog trimmed, epoch-less store,
+    /// pre-v3 peer) — run a full [`SyncClient::sync`] and subscribe from
+    /// its epoch instead. Retry policies do not apply: a dropped
+    /// subscription must not silently skip epochs.
+    pub fn subscribe(&self, epoch: u64) -> Result<Subscription, NetError> {
+        let config = &self.config;
+        if config.protocol_version < 3 {
+            return Err(NetError::Protocol(
+                "subscriptions require protocol v3".into(),
+            ));
+        }
+        if config.store.len() > MAX_STORE_NAME {
+            return Err(NetError::Protocol(format!(
+                "store name of {} bytes exceeds the {MAX_STORE_NAME}-byte wire limit",
+                config.store.len()
+            )));
+        }
+
+        let stream = TcpStream::connect(&self.addrs[..])?;
+        let mut framed = FramedStream::from_tcp(stream, &config.transport)?;
+
+        let mut hello = Hello::from_config(&config.pbs, config.seed, 0)
+            .with_store(config.store.clone())
+            .with_pipeline(1);
+        hello.delta_epoch = Some(epoch);
+        hello.version = config.protocol_version;
+        framed.send(&Frame::Hello(hello))?;
+        let negotiated = match framed.recv()? {
+            Frame::Hello(h) => h,
+            other => {
+                return Err(NetError::Protocol(format!(
+                    "expected Hello reply, got frame type {}",
+                    other.type_byte()
+                )))
+            }
+        };
+        if negotiated.version < 3 {
+            return Err(NetError::Protocol(format!(
+                "server negotiated v{} — subscriptions require v3",
+                negotiated.version
+            )));
+        }
+
+        // Catch-up stream: the deltas between our epoch and the server's
+        // current one. A `FullResyncRequired` here means the changelog no
+        // longer covers `epoch` — subscribing would skip changes, so the
+        // caller must reconcile first.
+        let mut fold = DeltaFold::new();
+        let current = loop {
+            match framed.recv()? {
+                Frame::DeltaBatch { added, removed, .. } => fold.fold(added, removed),
+                Frame::DeltaDone { epoch } => break epoch,
+                Frame::FullResyncRequired { epoch } => {
+                    return Err(NetError::Protocol(format!(
+                        "server cannot serve deltas since epoch {epoch}; \
+                         run a full sync and subscribe from its epoch"
+                    )));
+                }
+                other => {
+                    return Err(NetError::Protocol(format!(
+                        "expected delta stream, got frame type {}",
+                        other.type_byte()
+                    )));
+                }
+            }
+        };
+
+        // Hold the session open: from here the server pushes.
+        framed.send(&Frame::Subscribe { epoch: current })?;
+        Ok(Subscription {
+            framed,
+            epoch: current,
+            initial: Some(fold.into_report(epoch, current)),
+            done: false,
+        })
+    }
+}
+
+/// A live push subscription (see [`SyncClient::subscribe`]): a blocking
+/// iterator of the delta streams the server pushes as the store mutates.
+///
+/// The first item is the catch-up delta between the subscribed epoch and
+/// the server's state at subscription time (possibly empty — it still
+/// carries the epoch baseline). Each subsequent item covers one or more
+/// coalesced store mutations. Keepalive `Ping`s are answered internally;
+/// the transport's read timeout bounds how long `next()` blocks without
+/// any server traffic (the server pings within its keepalive interval, so
+/// a healthy but idle subscription never times out as long as that
+/// interval is below the client's read timeout).
+///
+/// Iteration ends (`None`) when the server closes the stream — on server
+/// shutdown, for instance. A backpressure eviction
+/// (`FullResyncRequired`) or any transport/protocol failure yields one
+/// final `Err` and then ends; after an error the client's cached state is
+/// only valid up to [`Subscription::epoch`], so reconcile before
+/// resubscribing.
+#[derive(Debug)]
+pub struct Subscription {
+    framed: FramedStream<TcpStream>,
+    epoch: u64,
+    initial: Option<DeltaReport>,
+    done: bool,
+}
+
+impl Subscription {
+    /// The epoch the stream has advanced to — the `delta_epoch` to resume
+    /// from after a disconnect.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Total wire bytes received on this subscription so far (framing
+    /// included; handshake and catch-up included).
+    pub fn bytes_received(&self) -> u64 {
+        self.framed.bytes_in()
+    }
+
+    /// Frames received on this subscription so far (handshake and
+    /// catch-up included).
+    pub fn frames_received(&self) -> u64 {
+        self.framed.frames_in()
+    }
+
+    fn fail(&mut self, err: NetError) -> Option<Result<DeltaReport, NetError>> {
+        self.done = true;
+        Some(Err(err))
+    }
+}
+
+impl Iterator for Subscription {
+    type Item = Result<DeltaReport, NetError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        if let Some(initial) = self.initial.take() {
+            return Some(Ok(initial));
+        }
+        let mut fold = DeltaFold::new();
+        loop {
+            match self.framed.recv() {
+                Ok(Frame::DeltaBatch { added, removed, .. }) => fold.fold(added, removed),
+                Ok(Frame::DeltaDone { epoch }) => {
+                    let report = fold.into_report(self.epoch, epoch);
+                    self.epoch = epoch;
+                    return Some(Ok(report));
+                }
+                Ok(Frame::Ping { nonce }) => {
+                    // Liveness probe from an idle server; answering is what
+                    // keeps the subscription alive.
+                    if let Err(e) = self.framed.send(&Frame::Pong { nonce }) {
+                        return self.fail(e);
+                    }
+                }
+                Ok(Frame::FullResyncRequired { epoch }) => {
+                    return self.fail(NetError::Protocol(format!(
+                        "subscription evicted; full resync required (server epoch {epoch})"
+                    )));
+                }
+                Ok(other) => {
+                    return self.fail(NetError::Protocol(format!(
+                        "unexpected frame type {} on the subscription stream",
+                        other.type_byte()
+                    )));
+                }
+                // A clean close mid-silence is the server shutting the
+                // stream down, not a failure.
+                Err(NetError::Io(e))
+                    if e.kind() == std::io::ErrorKind::UnexpectedEof && fold.is_empty() =>
+                {
+                    self.done = true;
+                    return None;
+                }
+                Err(e) => return self.fail(e),
+            }
+        }
+    }
+}
+
 /// Reconcile `set` with the server at `addr`.
+///
+/// The free-function form predating [`SyncClient`]; prefer
+/// `SyncClient::connect(addr)?.sync(&set)`, which adds fluent
+/// configuration, retry policies, and subscriptions on the same type.
 ///
 /// On success the returned [`SyncReport`] carries `A△B`; the elements of
 /// `A \ B` were pushed to the server, so afterwards both parties can hold
@@ -597,7 +1075,10 @@ pub fn is_transient(err: &NetError) -> bool {
     }
 }
 
-/// [`sync`] with bounded retry: transient failures ([`is_transient`])
+/// [`sync`] with bounded retry — the free-function form of
+/// [`SyncClient::retry`], kept for callers not yet on the builder.
+///
+/// Transient failures ([`is_transient`])
 /// back off exponentially (with jitter) and try again, up to
 /// [`RetryPolicy::attempts`]; anything else — and the last transient
 /// failure once attempts are exhausted — is returned as-is. On success the
@@ -680,6 +1161,54 @@ mod tests {
                 policy.backoff(attempt, &mut b)
             );
         }
+    }
+
+    #[test]
+    fn builder_mirrors_field_assignment() {
+        let built = ClientConfig::builder()
+            .store("inventory")
+            .pipeline(Pipeline::Depth(3))
+            .seed(7)
+            .known_d(20)
+            .max_d(1 << 10)
+            .round_cap(9)
+            .protocol_version(2)
+            .build();
+        assert_eq!(built.store, "inventory");
+        assert_eq!(built.pipeline, 3);
+        assert!(!built.pipeline_auto);
+        assert_eq!(built.seed, 7);
+        assert_eq!(built.known_d, Some(20));
+        assert_eq!(built.max_d, 1 << 10);
+        assert_eq!(built.round_cap, 9);
+        assert_eq!(built.protocol_version, 2);
+        assert_eq!(built.delta_epoch, None);
+
+        // Auto overrides any fixed depth; Depth(0) clamps to 1.
+        let auto = ClientConfig::builder().pipeline(Pipeline::Auto).build();
+        assert!(auto.pipeline_auto);
+        let clamped = ClientConfig::builder().pipeline(Pipeline::Depth(0)).build();
+        assert_eq!(clamped.pipeline, 1);
+    }
+
+    #[test]
+    fn sync_client_builder_configures_and_resolves() {
+        let client = SyncClient::connect("127.0.0.1:9")
+            .expect("literal addr resolves")
+            .store("live")
+            .pipeline(Pipeline::Auto)
+            .seed(0xF00D)
+            .delta_epoch(42);
+        assert_eq!(client.config_ref().store, "live");
+        assert!(client.config_ref().pipeline_auto);
+        assert_eq!(client.config_ref().seed, 0xF00D);
+        assert_eq!(client.config_ref().delta_epoch, Some(42));
+
+        // subscribe() fail-fast checks run before any connect.
+        let v1 = SyncClient::connect("127.0.0.1:9")
+            .unwrap()
+            .protocol_version(1);
+        assert!(matches!(v1.subscribe(0), Err(NetError::Protocol(_))));
     }
 
     #[test]

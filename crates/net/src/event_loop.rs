@@ -1,0 +1,1462 @@
+//! The non-blocking server core: one acceptor thread hands connections to
+//! N event-loop workers, each running a [`crate::poll::Poller`] readiness
+//! loop over its sessions. No worker thread ever blocks on a session
+//! socket — a session is a resumable state machine
+//! (`Handshake → Estimate → Rounds → AwaitSubscribe → Streaming → Closing`)
+//! driven by readable/writable events over a buffered non-blocking framed
+//! stream, with per-session deadlines enforced by the loop's timer pass.
+//!
+//! This is what turns v3 subscriptions *live*: a session that finished its
+//! delta catch-up (or its classic reconciliation, on an epoch-capable
+//! store) parks in `AwaitSubscribe`; a [`Frame::Subscribe`] moves it to
+//! `Streaming`, where a [`crate::store::SetStore::register_notifier`] hook
+//! wakes the worker on every store mutation and the worker pushes the
+//! changes (`DeltaBatch*` → `DeltaDone` bursts) to every subscriber of
+//! that store. Slow consumers are evicted with `FullResyncRequired`
+//! instead of buffering without bound, and idle subscriptions are kept
+//! alive (and garbage-collected) with `Ping`/`Pong`.
+//!
+//! Wakeups use a loopback socket pair per worker (the portable std-only
+//! stand-in for a pipe): notifier closures and the acceptor enqueue a
+//! [`Notice`] on the worker's channel and write one byte to the wake
+//! socket, which the poll loop drains.
+
+use crate::crc::crc32;
+use crate::frame::{
+    delta_batch_frames, delta_chunk_capacity, ErrorCode, EstimatorMsg, Frame, FRAME_OVERHEAD,
+};
+use crate::poll::{Interest, Poller};
+use crate::server::{ServerConfig, ServerStats};
+use crate::store::{DeltaAnswer, RegisteredStore, SetStore, StoreRegistry};
+use crate::{FrameError, NetError};
+use analysis::OptimalParams;
+use estimator::{Estimator, TowEstimator};
+use pbs_core::{BobSession, Pbs, PbsConfig, ESTIMATOR_SEED_SALT};
+use std::collections::HashSet;
+use std::io::{self, Read, Write};
+use std::net::{Ipv4Addr, TcpListener, TcpStream};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Hard cap on how long a `Closing` session may take to drain its final
+/// frames before the socket is dropped anyway.
+const CLOSING_GRACE_CAP: Duration = Duration::from_secs(5);
+/// Read chunk size per `read(2)` call.
+const READ_CHUNK: usize = 16 * 1024;
+/// Compact the write buffer once this many drained bytes accumulate.
+const WRITE_COMPACT: usize = 64 * 1024;
+
+/// State shared by the acceptor and every worker.
+pub(crate) struct Shared {
+    pub registry: Arc<StoreRegistry>,
+    pub config: ServerConfig,
+    pub stats: Arc<ServerStats>,
+    /// Live `Streaming` sessions across all workers, against
+    /// `ServerConfig::max_subscribers`.
+    pub live_subscribers: AtomicUsize,
+}
+
+/// What a worker can be woken for.
+pub(crate) enum Notice {
+    /// A freshly accepted connection.
+    Conn(TcpStream),
+    /// A store mutated; push to its subscribers.
+    StoreChanged { store: String },
+    /// Close every session and exit.
+    Shutdown,
+}
+
+/// The write end of a worker's wake pipe (a loopback socket pair).
+/// Cheap to clone; safe to fire from any thread and from inside store
+/// notifier callbacks. A full pipe means a wake is already pending, so
+/// `WouldBlock` is success.
+#[derive(Clone)]
+pub(crate) struct WakeSender {
+    writer: Arc<TcpStream>,
+}
+
+impl WakeSender {
+    pub(crate) fn wake(&self) {
+        let _ = (&*self.writer).write(&[1u8]);
+    }
+}
+
+/// The handle the acceptor/server keeps per worker.
+pub(crate) struct WorkerLink {
+    pub tx: mpsc::Sender<Notice>,
+    pub wake: WakeSender,
+}
+
+impl Clone for WorkerLink {
+    fn clone(&self) -> Self {
+        WorkerLink {
+            tx: self.tx.clone(),
+            wake: self.wake.clone(),
+        }
+    }
+}
+
+/// A connected non-blocking loopback socket pair: the std-only portable
+/// stand-in for `pipe(2)`.
+fn wake_pair() -> io::Result<(TcpStream, TcpStream)> {
+    let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, 0))?;
+    let writer = TcpStream::connect(listener.local_addr()?)?;
+    let (reader, _) = listener.accept()?;
+    reader.set_nonblocking(true)?;
+    writer.set_nonblocking(true)?;
+    let _ = writer.set_nodelay(true);
+    Ok((reader, writer))
+}
+
+/// Spawn one event-loop worker. Returns its link plus the join handle.
+pub(crate) fn spawn_worker(
+    index: usize,
+    shared: Arc<Shared>,
+) -> io::Result<(WorkerLink, std::thread::JoinHandle<()>)> {
+    let (wake_reader, wake_writer) = wake_pair()?;
+    let (tx, rx) = mpsc::channel::<Notice>();
+    let link = WorkerLink {
+        tx: tx.clone(),
+        wake: WakeSender {
+            writer: Arc::new(wake_writer),
+        },
+    };
+    let worker_link = link.clone();
+    let join = std::thread::Builder::new()
+        .name(format!("pbs-net-worker-{index}"))
+        .spawn(move || {
+            Worker {
+                shared,
+                rx,
+                link: worker_link,
+                wake_reader,
+                poller: Poller::new(),
+                sessions: Vec::new(),
+                dirty_stores: HashSet::new(),
+                notified_stores: HashSet::new(),
+                ping_nonce: 0x5EED_0000,
+                shutting_down: false,
+            }
+            .run()
+        })?;
+    Ok((link, join))
+}
+
+// ---------------------------------------------------------------------------
+// Non-blocking framed stream
+// ---------------------------------------------------------------------------
+
+/// A non-blocking framed stream: explicit read/write buffers over a
+/// non-blocking `TcpStream`, with the same byte/frame accounting as the
+/// blocking [`crate::FramedStream`]. Frames are extracted from the read
+/// buffer only once complete (the length prefix is validated against the
+/// frame cap *before* the body is awaited, so a hostile prefix cannot
+/// reserve memory), and queued frames drain front-first whenever the
+/// socket is writable.
+struct NbStream {
+    stream: TcpStream,
+    max_frame: u32,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    write_head: usize,
+    bytes_in: u64,
+    bytes_out: u64,
+    frames_in: u64,
+    frames_out: u64,
+    peer_closed: bool,
+}
+
+impl NbStream {
+    fn new(stream: TcpStream, max_frame: u32) -> Self {
+        NbStream {
+            stream,
+            max_frame,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            write_head: 0,
+            bytes_in: 0,
+            bytes_out: 0,
+            frames_in: 0,
+            frames_out: 0,
+            peer_closed: false,
+        }
+    }
+
+    fn pending_out(&self) -> usize {
+        self.write_buf.len() - self.write_head
+    }
+
+    /// Encode `frame` into the write buffer (framing + CRC included).
+    fn queue(&mut self, frame: &Frame) -> Result<(), NetError> {
+        let body = frame.encode_body();
+        if body.len() as u64 > self.max_frame as u64 {
+            return Err(NetError::Frame(FrameError::TooLarge {
+                len: body.len().min(u32::MAX as usize) as u32,
+                max: self.max_frame,
+            }));
+        }
+        self.write_buf
+            .extend_from_slice(&(body.len() as u32).to_le_bytes());
+        self.write_buf
+            .extend_from_slice(&crc32(&body).to_le_bytes());
+        self.write_buf.extend_from_slice(&body);
+        self.frames_out += 1;
+        Ok(())
+    }
+
+    /// Drain the write buffer as far as the socket accepts. `Ok(true)`
+    /// when any bytes moved.
+    fn flush(&mut self) -> io::Result<bool> {
+        let mut progress = false;
+        while self.pending_out() > 0 {
+            match self.stream.write(&self.write_buf[self.write_head..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    self.write_head += n;
+                    self.bytes_out += n as u64;
+                    progress = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if self.pending_out() == 0 {
+            self.write_buf.clear();
+            self.write_head = 0;
+        } else if self.write_head > WRITE_COMPACT {
+            self.write_buf.drain(..self.write_head);
+            self.write_head = 0;
+        }
+        Ok(progress)
+    }
+
+    /// Read whatever the socket has. `Ok(true)` when any bytes arrived;
+    /// EOF sets `peer_closed` instead of erroring.
+    fn fill(&mut self) -> io::Result<bool> {
+        let mut any = false;
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.peer_closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.read_buf.extend_from_slice(&chunk[..n]);
+                    any = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(any)
+    }
+
+    /// Extract the next complete frame from the read buffer, if one is
+    /// fully buffered.
+    fn next_frame(&mut self) -> Result<Option<Frame>, NetError> {
+        if self.read_buf.len() < FRAME_OVERHEAD as usize {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.read_buf[..4].try_into().unwrap());
+        let crc = u32::from_le_bytes(self.read_buf[4..8].try_into().unwrap());
+        if len == 0 {
+            return Err(NetError::Frame(FrameError::BadType(0)));
+        }
+        if len > self.max_frame {
+            return Err(NetError::Frame(FrameError::TooLarge {
+                len,
+                max: self.max_frame,
+            }));
+        }
+        let total = FRAME_OVERHEAD as usize + len as usize;
+        if self.read_buf.len() < total {
+            return Ok(None);
+        }
+        let body = &self.read_buf[FRAME_OVERHEAD as usize..total];
+        if crc32(body) != crc {
+            return Err(NetError::Frame(FrameError::BadCrc));
+        }
+        let frame = Frame::decode_body(body).map_err(NetError::Frame)?;
+        self.read_buf.drain(..total);
+        self.bytes_in += total as u64;
+        self.frames_in += 1;
+        Ok(Some(frame))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Session state machine
+// ---------------------------------------------------------------------------
+
+/// Where a session stands. The protocol phases mirror `docs/WIRE.md`; the
+/// two tail states are this PR's additions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Awaiting the client's `Hello`.
+    Handshake,
+    /// Awaiting the client's ToW estimator bank.
+    Estimate,
+    /// Sketch/report rounds until the final `Done` transfer.
+    Rounds,
+    /// The session is logically complete (the client holds a `DeltaDone`
+    /// epoch baseline); a `Subscribe` turns it live, anything else ends it.
+    AwaitSubscribe,
+    /// A live subscription: the server pushes delta bursts on mutation.
+    Streaming,
+    /// Draining the final queued frames, then closing with the recorded
+    /// outcome (`true` = completed).
+    Closing(bool),
+}
+
+/// Protocol context accumulated by the handshake, carried through the
+/// classic reconciliation phases.
+struct ProtoCtx {
+    version: u16,
+    cfg: PbsConfig,
+    seed: u64,
+    round_cap: u32,
+    max_d: u64,
+    max_done_elements: u32,
+    /// The one per-session snapshot (estimator and Bob must see the same
+    /// set). Dropped once the `BobSession` is built from it.
+    snapshot: Vec<u64>,
+    snapshot_epoch: Option<u64>,
+    /// Whether this session may park in `AwaitSubscribe` after its ack:
+    /// v3 negotiated *and* the routed store keeps epochs.
+    subscribable: bool,
+    params: Option<OptimalParams>,
+    bob: Option<Box<BobSession>>,
+    rounds: u32,
+}
+
+struct Session {
+    nb: NbStream,
+    fd: RawFd,
+    phase: Phase,
+    /// `Some(completed)` once the session is over; reaped by the worker.
+    done: Option<bool>,
+    /// Wall-clock budget, accept → final ack (pre-subscription phases).
+    deadline: Instant,
+    last_recv: Instant,
+    /// When this session last became *ready for* the peer's next frame —
+    /// reset after each processing pass, so the inactivity window matches
+    /// the blocking server's per-`recv` read timeout (the server's own
+    /// processing time never counts against the peer).
+    wait_since: Instant,
+    last_send_progress: Instant,
+    last_ping: Instant,
+    closing_grace: Option<Instant>,
+    /// The epoch baseline a `Streaming` session's pushes start from.
+    sub_epoch: u64,
+    /// Routed store entry (per-store stats) and the store itself.
+    entry: Option<Arc<RegisteredStore>>,
+    store: Option<Arc<dyn SetStore>>,
+    store_name: String,
+    counted_subscriber: bool,
+    ctx: Option<ProtoCtx>,
+}
+
+impl Session {
+    fn new(stream: TcpStream, config: &ServerConfig, now: Instant) -> io::Result<Session> {
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(config.transport.nodelay)?;
+        let fd = stream.as_raw_fd();
+        Ok(Session {
+            nb: NbStream::new(stream, config.transport.max_frame),
+            fd,
+            phase: Phase::Handshake,
+            done: None,
+            deadline: now + config.session_deadline,
+            last_recv: now,
+            wait_since: now,
+            last_send_progress: now,
+            last_ping: now,
+            closing_grace: None,
+            sub_epoch: 0,
+            entry: None,
+            store: None,
+            store_name: String::new(),
+            counted_subscriber: false,
+            ctx: None,
+        })
+    }
+
+    fn finish(&mut self, completed: bool) {
+        if self.done.is_none() {
+            self.done = Some(completed);
+        }
+    }
+
+    /// The outcome an externally forced close (EOF, I/O error, shutdown)
+    /// maps to in this phase: a session past its final ack closed
+    /// cleanly; one cut mid-protocol failed.
+    fn close_outcome(&self) -> bool {
+        match self.phase {
+            Phase::Handshake | Phase::Estimate | Phase::Rounds => false,
+            Phase::AwaitSubscribe | Phase::Streaming => true,
+            Phase::Closing(completed) => completed,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker
+// ---------------------------------------------------------------------------
+
+struct Worker {
+    shared: Arc<Shared>,
+    rx: mpsc::Receiver<Notice>,
+    /// This worker's own link — cloned into store notifier closures.
+    link: WorkerLink,
+    wake_reader: TcpStream,
+    poller: Poller,
+    sessions: Vec<Session>,
+    dirty_stores: HashSet<String>,
+    /// Stores this worker has already installed a mutation notifier on.
+    notified_stores: HashSet<String>,
+    ping_nonce: u64,
+    shutting_down: bool,
+}
+
+impl Worker {
+    fn config(&self) -> &ServerConfig {
+        &self.shared.config
+    }
+
+    fn bump(
+        &self,
+        entry: &Option<Arc<RegisteredStore>>,
+        f: fn(&ServerStats) -> &AtomicU64,
+        n: u64,
+    ) {
+        f(&self.shared.stats).fetch_add(n, Ordering::Relaxed);
+        if let Some(e) = entry {
+            f(e.stats()).fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    fn run(mut self) {
+        loop {
+            self.drain_notices();
+            if self.shutting_down {
+                self.close_all();
+                return;
+            }
+            if !self.dirty_stores.is_empty() {
+                let dirty = std::mem::take(&mut self.dirty_stores);
+                for i in 0..self.sessions.len() {
+                    if self.sessions[i].done.is_none()
+                        && self.sessions[i].phase == Phase::Streaming
+                        && dirty.contains(&self.sessions[i].store_name)
+                    {
+                        self.push_deltas(i);
+                    }
+                }
+            }
+            self.reap();
+
+            // Build the interest set: the wake pipe plus every session,
+            // write interest only while that session has queued bytes.
+            let mut interests: Vec<(RawFd, Interest)> =
+                vec![(self.wake_reader.as_raw_fd(), Interest::READABLE)];
+            for sess in &self.sessions {
+                interests.push((
+                    sess.fd,
+                    Interest {
+                        readable: true,
+                        writable: sess.nb.pending_out() > 0,
+                    },
+                ));
+            }
+            let now = Instant::now();
+            let timeout = self
+                .next_deadline()
+                .map(|due| due.saturating_duration_since(now) + Duration::from_millis(1));
+            let events = match self.poller.wait(&interests, timeout) {
+                Ok(events) => events,
+                Err(_) => {
+                    std::thread::sleep(Duration::from_millis(5));
+                    Vec::new()
+                }
+            };
+            for event in events {
+                if event.fd == self.wake_reader.as_raw_fd() {
+                    let mut buf = [0u8; 256];
+                    while matches!((&self.wake_reader).read(&mut buf), Ok(n) if n > 0) {}
+                    continue;
+                }
+                let Some(i) = self.sessions.iter().position(|s| s.fd == event.fd) else {
+                    continue;
+                };
+                if self.sessions[i].done.is_some() {
+                    continue;
+                }
+                if event.writable {
+                    self.on_writable(i);
+                }
+                if (event.readable || event.error) && self.sessions[i].done.is_none() {
+                    self.on_readable(i);
+                }
+            }
+            self.timer_pass();
+            self.reap();
+        }
+    }
+
+    fn drain_notices(&mut self) {
+        loop {
+            match self.rx.try_recv() {
+                Ok(Notice::Conn(stream)) => self.add_session(stream),
+                Ok(Notice::StoreChanged { store }) => {
+                    self.dirty_stores.insert(store);
+                }
+                Ok(Notice::Shutdown) | Err(mpsc::TryRecvError::Disconnected) => {
+                    // Connections are never enqueued after Shutdown (the
+                    // acceptor is joined first), so anything still queued
+                    // was already drained above.
+                    self.shutting_down = true;
+                    return;
+                }
+                Err(mpsc::TryRecvError::Empty) => return,
+            }
+        }
+    }
+
+    fn add_session(&mut self, stream: TcpStream) {
+        self.shared
+            .stats
+            .sessions_started
+            .fetch_add(1, Ordering::Relaxed);
+        match Session::new(stream, self.config(), Instant::now()) {
+            Ok(sess) => self.sessions.push(sess),
+            Err(_) => {
+                self.shared
+                    .stats
+                    .sessions_failed
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Earliest instant any session needs the loop to act without I/O.
+    fn next_deadline(&self) -> Option<Instant> {
+        let cfg = self.config();
+        let mut due: Option<Instant> = None;
+        let mut track = |t: Instant| {
+            due = Some(match due {
+                Some(d) => d.min(t),
+                None => t,
+            });
+        };
+        for sess in &self.sessions {
+            if sess.done.is_some() {
+                continue;
+            }
+            match sess.phase {
+                Phase::Handshake | Phase::Estimate | Phase::Rounds => {
+                    track(sess.deadline);
+                    if let Some(t) = cfg.transport.read_timeout {
+                        track(sess.wait_since + t);
+                    }
+                }
+                Phase::AwaitSubscribe => {
+                    if let Some(t) = cfg.transport.read_timeout {
+                        track(sess.wait_since + t);
+                    }
+                }
+                Phase::Streaming => {
+                    let idle_base = sess
+                        .last_recv
+                        .max(sess.last_send_progress)
+                        .max(sess.last_ping);
+                    track(idle_base + cfg.keepalive);
+                    track(sess.last_recv + cfg.keepalive * 3);
+                }
+                Phase::Closing(_) => {
+                    if let Some(grace) = sess.closing_grace {
+                        track(grace);
+                    }
+                }
+            }
+            if sess.nb.pending_out() > 0 {
+                if let Some(t) = cfg.transport.write_timeout {
+                    track(sess.last_send_progress + t);
+                }
+            }
+        }
+        due
+    }
+
+    fn timer_pass(&mut self) {
+        let cfg = *self.config();
+        let now = Instant::now();
+        for i in 0..self.sessions.len() {
+            if self.sessions[i].done.is_some() {
+                continue;
+            }
+            // Write stall: queued bytes making no progress for the write
+            // timeout. A stalled subscriber is a slow consumer.
+            if self.sessions[i].nb.pending_out() > 0 {
+                if let Some(t) = cfg.transport.write_timeout {
+                    if now >= self.sessions[i].last_send_progress + t {
+                        if self.sessions[i].phase == Phase::Streaming {
+                            let entry = self.sessions[i].entry.clone();
+                            self.bump(&entry, |s| &s.subscribers_evicted, 1);
+                        }
+                        let outcome = self.sessions[i].close_outcome();
+                        self.sessions[i].finish(outcome);
+                        continue;
+                    }
+                }
+            }
+            match self.sessions[i].phase {
+                Phase::Handshake | Phase::Estimate | Phase::Rounds => {
+                    if now >= self.sessions[i].deadline {
+                        self.refuse(i, ErrorCode::Internal, "session deadline exceeded");
+                        continue;
+                    }
+                    if let Some(t) = cfg.transport.read_timeout {
+                        if now >= self.sessions[i].wait_since + t {
+                            self.sessions[i].finish(false);
+                        }
+                    }
+                }
+                Phase::AwaitSubscribe => {
+                    // The session is logically complete: an inactivity
+                    // window with no Subscribe is a clean end.
+                    if let Some(t) = cfg.transport.read_timeout {
+                        if now >= self.sessions[i].wait_since + t {
+                            self.sessions[i].finish(true);
+                        }
+                    }
+                }
+                Phase::Streaming => {
+                    if now >= self.sessions[i].last_recv + cfg.keepalive * 3 {
+                        // The subscriber stopped answering keepalives.
+                        self.sessions[i].finish(true);
+                        continue;
+                    }
+                    let idle_base = self.sessions[i]
+                        .last_recv
+                        .max(self.sessions[i].last_send_progress)
+                        .max(self.sessions[i].last_ping);
+                    if now >= idle_base + cfg.keepalive && self.sessions[i].nb.pending_out() == 0 {
+                        self.ping_nonce = self.ping_nonce.wrapping_add(1);
+                        let nonce = self.ping_nonce;
+                        if self.sessions[i].nb.queue(&Frame::Ping { nonce }).is_ok() {
+                            self.sessions[i].last_ping = now;
+                            let entry = self.sessions[i].entry.clone();
+                            self.bump(&entry, |s| &s.keepalive_pings, 1);
+                            self.on_writable(i);
+                        }
+                    }
+                }
+                Phase::Closing(completed) => {
+                    let expired = self.sessions[i].closing_grace.is_some_and(|g| now >= g);
+                    if expired || self.sessions[i].nb.pending_out() == 0 {
+                        self.sessions[i].finish(completed);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_writable(&mut self, i: usize) {
+        match self.sessions[i].nb.flush() {
+            Ok(progress) => {
+                if progress {
+                    self.sessions[i].last_send_progress = Instant::now();
+                }
+                if self.sessions[i].nb.pending_out() == 0 {
+                    if let Phase::Closing(completed) = self.sessions[i].phase {
+                        self.sessions[i].finish(completed);
+                    }
+                }
+            }
+            Err(_) => {
+                let outcome = self.sessions[i].close_outcome();
+                self.sessions[i].finish(outcome);
+            }
+        }
+    }
+
+    fn on_readable(&mut self, i: usize) {
+        if self.sessions[i].nb.fill().is_err() {
+            let outcome = self.sessions[i].close_outcome();
+            self.sessions[i].finish(outcome);
+            return;
+        }
+        loop {
+            if self.sessions[i].done.is_some() {
+                return;
+            }
+            match self.sessions[i].nb.next_frame() {
+                Ok(Some(frame)) => {
+                    self.sessions[i].last_recv = Instant::now();
+                    if !matches!(self.sessions[i].phase, Phase::Closing(_)) {
+                        self.handle_frame(i, frame);
+                    }
+                    // The frame's handling (which can be expensive —
+                    // building a Bob session hashes the whole snapshot)
+                    // must not count against the peer's next-frame window.
+                    if self.sessions[i].done.is_none() {
+                        self.sessions[i].wait_since = Instant::now();
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    // Undecodable bytes end the session exactly like the
+                    // blocking server's failed `read_frame` did: drop the
+                    // connection, no Error frame for garbage framing.
+                    self.sessions[i].finish(false);
+                    return;
+                }
+            }
+        }
+        if self.sessions[i].nb.peer_closed {
+            let outcome = self.sessions[i].close_outcome();
+            if self.sessions[i].nb.pending_out() > 0 {
+                // The peer may have only shut its write half; drain our
+                // queued replies before closing.
+                self.sessions[i].phase = Phase::Closing(outcome);
+                self.arm_closing_grace(i);
+            } else {
+                self.sessions[i].finish(outcome);
+            }
+        } else if self.sessions[i].done.is_none() && self.sessions[i].nb.pending_out() > 0 {
+            // Opportunistic flush: most replies fit the socket buffer and
+            // complete without waiting for a writability event.
+            self.on_writable(i);
+        }
+    }
+
+    fn arm_closing_grace(&mut self, i: usize) {
+        let grace = self
+            .config()
+            .transport
+            .write_timeout
+            .unwrap_or(CLOSING_GRACE_CAP)
+            .min(CLOSING_GRACE_CAP);
+        self.sessions[i].closing_grace = Some(Instant::now() + grace);
+    }
+
+    /// Queue an `Error` frame and move to `Closing` as failed — the
+    /// non-blocking counterpart of the blocking server's `refuse`.
+    fn refuse(&mut self, i: usize, code: ErrorCode, message: impl Into<String>) {
+        let _ = self.sessions[i].nb.queue(&Frame::Error {
+            code,
+            message: message.into(),
+        });
+        self.sessions[i].phase = Phase::Closing(false);
+        self.arm_closing_grace(i);
+        self.on_writable(i);
+    }
+
+    /// Ack sent; either park the session for a `Subscribe` (v3 on an
+    /// epoch-capable store) or drain and close as completed.
+    fn after_ack(&mut self, i: usize) {
+        let subscribable = self.sessions[i]
+            .ctx
+            .as_ref()
+            .is_some_and(|c| c.subscribable);
+        if subscribable {
+            self.sessions[i].phase = Phase::AwaitSubscribe;
+        } else {
+            self.sessions[i].phase = Phase::Closing(true);
+            self.arm_closing_grace(i);
+        }
+        self.on_writable(i);
+    }
+
+    fn handle_frame(&mut self, i: usize, frame: Frame) {
+        // A peer Error frame ends the session in any phase, reply-less —
+        // the blocking server surfaced it as `NetError::Remote`.
+        if matches!(frame, Frame::Error { .. }) {
+            self.sessions[i].finish(false);
+            return;
+        }
+        match self.sessions[i].phase {
+            Phase::Handshake => self.handle_hello(i, frame),
+            Phase::Estimate => self.handle_estimator(i, frame),
+            Phase::Rounds => self.handle_round(i, frame),
+            Phase::AwaitSubscribe => self.handle_subscribe(i, frame),
+            Phase::Streaming => self.handle_streaming(i, frame),
+            Phase::Closing(_) => {}
+        }
+    }
+
+    fn handle_hello(&mut self, i: usize, frame: Frame) {
+        let hello = match frame {
+            Frame::Hello(h) => h,
+            other => {
+                return self.refuse(
+                    i,
+                    ErrorCode::Protocol,
+                    format!("expected Hello, got frame type {}", other.type_byte()),
+                )
+            }
+        };
+        if hello.version == 0 {
+            return self.refuse(i, ErrorCode::Version, "version 0 is invalid");
+        }
+        let cfg = match hello.config() {
+            Ok(cfg) => cfg,
+            Err(why) => return self.refuse(i, ErrorCode::BadConfig, why),
+        };
+        let config = *self.config();
+        let negotiated_version = hello.version.min(config.protocol_version);
+
+        // Store routing: only a v2+ session can address a named store.
+        let store_name = if negotiated_version >= 2 {
+            hello.store.as_str()
+        } else {
+            ""
+        };
+        let Some(entry) = self.shared.registry.get(store_name) else {
+            return self.refuse(
+                i,
+                ErrorCode::UnknownStore,
+                format!("no store named {store_name:?}"),
+            );
+        };
+        entry
+            .stats()
+            .sessions_started
+            .fetch_add(1, Ordering::Relaxed);
+        let store = Arc::clone(entry.store());
+        let options = entry.options();
+        let round_cap = options.round_cap.unwrap_or(config.round_cap);
+        let max_d = options.max_d.unwrap_or(config.max_d);
+        let max_done_elements = options
+            .max_done_elements
+            .unwrap_or(config.max_done_elements);
+
+        let mut negotiated = hello.clone();
+        negotiated.version = negotiated_version;
+        negotiated.store = entry.name().to_string();
+        negotiated.pipeline = hello
+            .pipeline
+            .max(1)
+            .min(config.max_pipeline_depth.clamp(1, u8::MAX as u32) as u8);
+        self.sessions[i].store_name = entry.name().to_string();
+        self.sessions[i].entry = Some(Arc::clone(&entry));
+        self.sessions[i].store = Some(Arc::clone(&store));
+        if self.sessions[i]
+            .nb
+            .queue(&Frame::Hello(negotiated))
+            .is_err()
+        {
+            self.sessions[i].finish(false);
+            return;
+        }
+        // Flush the negotiated Hello *before* the potentially expensive
+        // session setup below (snapshot + Bob build): the client starts
+        // its own sketch computation on receipt, so the two overlap — the
+        // blocking server had the same send-then-build order.
+        self.on_writable(i);
+        if self.sessions[i].done.is_some() {
+            return;
+        }
+        let entry_opt = Some(entry);
+
+        let mut ctx = ProtoCtx {
+            version: negotiated_version,
+            cfg,
+            seed: hello.seed,
+            round_cap,
+            max_d,
+            max_done_elements,
+            snapshot: Vec::new(),
+            snapshot_epoch: None,
+            subscribable: false,
+            params: None,
+            bob: None,
+            rounds: 0,
+        };
+
+        // ---- Delta subscription path (v3) ----
+        if negotiated_version >= 3 {
+            if let Some(since) = hello.delta_epoch {
+                match store.delta_since(since) {
+                    DeltaAnswer::Changes { batches, current } => {
+                        self.bump(&entry_opt, |s| &s.delta_sessions, 1);
+                        let capacity = delta_chunk_capacity(config.transport.max_frame);
+                        for batch in &batches {
+                            self.bump(
+                                &entry_opt,
+                                |s| &s.delta_elements,
+                                (batch.added.len() + batch.removed.len()) as u64,
+                            );
+                            for frame in delta_batch_frames(
+                                batch.epoch,
+                                &batch.added,
+                                &batch.removed,
+                                capacity,
+                            ) {
+                                self.bump(&entry_opt, |s| &s.delta_batches, 1);
+                                if self.sessions[i].nb.queue(&frame).is_err() {
+                                    self.sessions[i].finish(false);
+                                    return;
+                                }
+                            }
+                        }
+                        if self.sessions[i]
+                            .nb
+                            .queue(&Frame::DeltaDone { epoch: current })
+                            .is_err()
+                        {
+                            self.sessions[i].finish(false);
+                            return;
+                        }
+                        // Served entirely from the changelog: the session
+                        // is complete and may turn into a live
+                        // subscription.
+                        ctx.subscribable = true;
+                        self.sessions[i].ctx = Some(ctx);
+                        self.sessions[i].phase = Phase::AwaitSubscribe;
+                        self.on_writable(i);
+                        return;
+                    }
+                    DeltaAnswer::Trimmed { current } => {
+                        self.bump(&entry_opt, |s| &s.delta_fallbacks, 1);
+                        if self.sessions[i]
+                            .nb
+                            .queue(&Frame::FullResyncRequired { epoch: current })
+                            .is_err()
+                        {
+                            self.sessions[i].finish(false);
+                            return;
+                        }
+                    }
+                    DeltaAnswer::Unsupported => {
+                        self.bump(&entry_opt, |s| &s.delta_fallbacks, 1);
+                        if self.sessions[i]
+                            .nb
+                            .queue(&Frame::FullResyncRequired { epoch: 0 })
+                            .is_err()
+                        {
+                            self.sessions[i].finish(false);
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+
+        // ---- Classic reconciliation ----
+        // One snapshot for the whole session: estimator and Bob must
+        // describe the same set; its epoch is the ack's baseline.
+        let (snapshot, snapshot_epoch) = store.epoch_snapshot();
+        ctx.snapshot = snapshot;
+        ctx.snapshot_epoch = snapshot_epoch;
+        ctx.subscribable = negotiated_version >= 3 && snapshot_epoch.is_some();
+
+        if hello.known_d > 0 {
+            if hello.known_d > max_d {
+                self.sessions[i].ctx = Some(ctx);
+                return self.refuse(
+                    i,
+                    ErrorCode::BadConfig,
+                    format!("d = {} exceeds the server cap {max_d}", hello.known_d),
+                );
+            }
+            let params = Pbs::new(cfg).plan(hello.known_d as usize);
+            ctx.bob = Some(Box::new(BobSession::new(
+                cfg,
+                params,
+                &ctx.snapshot,
+                hello.seed,
+            )));
+            ctx.params = Some(params);
+            ctx.snapshot = Vec::new();
+            self.sessions[i].ctx = Some(ctx);
+            self.sessions[i].phase = Phase::Rounds;
+        } else {
+            self.sessions[i].ctx = Some(ctx);
+            self.sessions[i].phase = Phase::Estimate;
+        }
+        self.on_writable(i);
+    }
+
+    fn handle_estimator(&mut self, i: usize, frame: Frame) {
+        let bank_bytes = match frame {
+            Frame::EstimatorExchange(EstimatorMsg::TowBank(bytes)) => bytes,
+            other => {
+                return self.refuse(
+                    i,
+                    ErrorCode::Protocol,
+                    format!(
+                        "expected estimator bank, got frame type {}",
+                        other.type_byte()
+                    ),
+                )
+            }
+        };
+        let Some(client_bank) = TowEstimator::from_bytes(&bank_bytes) else {
+            return self.refuse(i, ErrorCode::Decode, "malformed estimator bank");
+        };
+        let (cfg, seed) = {
+            let ctx = self.sessions[i].ctx.as_ref().expect("estimate has ctx");
+            (ctx.cfg, ctx.seed)
+        };
+        let est_seed = xhash::derive_seed(seed, ESTIMATOR_SEED_SALT);
+        if client_bank.seed() != est_seed || client_bank.sketch_count() != cfg.estimator_sketches {
+            return self.refuse(
+                i,
+                ErrorCode::BadConfig,
+                "estimator bank does not match the handshake parameters",
+            );
+        }
+        let entry = self.sessions[i].entry.clone();
+        let (d_param, d_hat) = {
+            let ctx = self.sessions[i].ctx.as_ref().expect("estimate has ctx");
+            let mut own = TowEstimator::new(cfg.estimator_sketches, est_seed);
+            own.insert_slice(&ctx.snapshot);
+            let d_hat = client_bank.estimate(&own);
+            (estimator::inflate_estimate(d_hat) as u64, d_hat)
+        };
+        self.bump(&entry, |s| &s.estimator_exchanges, 1);
+        if self.sessions[i]
+            .nb
+            .queue(&Frame::EstimatorExchange(EstimatorMsg::Estimate {
+                d_param,
+                d_hat,
+            }))
+            .is_err()
+        {
+            self.sessions[i].finish(false);
+            return;
+        }
+        // Flush the estimate before the Bob build below so the client's
+        // sketch computation overlaps it (see `handle_hello`).
+        self.on_writable(i);
+        if self.sessions[i].done.is_some() {
+            return;
+        }
+        let max_d = self.sessions[i].ctx.as_ref().expect("ctx").max_d;
+        if d_param > max_d {
+            return self.refuse(
+                i,
+                ErrorCode::BadConfig,
+                format!("d = {d_param} exceeds the server cap {max_d}"),
+            );
+        }
+        {
+            let ctx = self.sessions[i].ctx.as_mut().expect("ctx");
+            let params = Pbs::new(cfg).plan(d_param as usize);
+            ctx.bob = Some(Box::new(BobSession::new(
+                cfg,
+                params,
+                &ctx.snapshot,
+                ctx.seed,
+            )));
+            ctx.params = Some(params);
+            ctx.snapshot = Vec::new();
+        }
+        self.sessions[i].phase = Phase::Rounds;
+        self.on_writable(i);
+    }
+
+    fn handle_round(&mut self, i: usize, frame: Frame) {
+        let config = *self.config();
+        let entry = self.sessions[i].entry.clone();
+        match frame {
+            Frame::Sketches { m, batch } => {
+                // Pipelining: layers — not frames — are what the round cap
+                // meters; each costs a full per-group decode pass.
+                let mut layer_rounds: Vec<u32> = batch.iter().map(|s| s.round).collect();
+                layer_rounds.sort_unstable();
+                layer_rounds.dedup();
+                let layers = (layer_rounds.len() as u32).max(1);
+                let (version, round_cap, params) = {
+                    let ctx = self.sessions[i].ctx.as_ref().expect("rounds have ctx");
+                    (ctx.version, ctx.round_cap, ctx.params.expect("params set"))
+                };
+                if layers > 1 && version < 2 {
+                    return self.refuse(
+                        i,
+                        ErrorCode::Protocol,
+                        "pipelined rounds require protocol v2",
+                    );
+                }
+                if layers > config.max_pipeline_depth {
+                    return self.refuse(
+                        i,
+                        ErrorCode::BadConfig,
+                        format!(
+                            "{layers} pipelined layers exceed the server cap {}",
+                            config.max_pipeline_depth
+                        ),
+                    );
+                }
+                let rounds = {
+                    let ctx = self.sessions[i].ctx.as_mut().expect("ctx");
+                    ctx.rounds += layers;
+                    ctx.rounds
+                };
+                if rounds > round_cap {
+                    return self.refuse(
+                        i,
+                        ErrorCode::RoundLimit,
+                        format!("round cap {round_cap} exceeded"),
+                    );
+                }
+                // Shape-check before the codec's capacity assertion could
+                // fire: every sketch must match the negotiated (m, t).
+                if m != params.m || batch.iter().any(|s| s.sketch.capacity() != params.t) {
+                    return self.refuse(
+                        i,
+                        ErrorCode::BadConfig,
+                        format!(
+                            "sketch shape mismatch: negotiated m={} t={}",
+                            params.m, params.t
+                        ),
+                    );
+                }
+                let reports = {
+                    let ctx = self.sessions[i].ctx.as_mut().expect("ctx");
+                    ctx.bob.as_mut().expect("bob built").handle_sketches(&batch)
+                };
+                self.bump(&entry, |s| &s.rounds, layers as u64);
+                self.bump(&entry, |s| &s.round_trips, 1);
+                if self.sessions[i].nb.queue(&Frame::Reports(reports)).is_err() {
+                    self.sessions[i].finish(false);
+                    return;
+                }
+                self.on_writable(i);
+            }
+            Frame::Done(elements) => {
+                let (cfg, version, max_done_elements, snapshot_epoch) = {
+                    let ctx = self.sessions[i].ctx.as_ref().expect("ctx");
+                    (
+                        ctx.cfg,
+                        ctx.version,
+                        ctx.max_done_elements,
+                        ctx.snapshot_epoch,
+                    )
+                };
+                if elements.len() as u64 > max_done_elements as u64 {
+                    return self.refuse(
+                        i,
+                        ErrorCode::BadConfig,
+                        format!(
+                            "final transfer of {} elements exceeds the cap {}",
+                            elements.len(),
+                            max_done_elements
+                        ),
+                    );
+                }
+                // Zero or out-of-universe elements would poison the store.
+                let universe_mask = if cfg.universe_bits == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << cfg.universe_bits) - 1
+                };
+                if elements.iter().any(|&e| e == 0 || e > universe_mask) {
+                    return self.refuse(
+                        i,
+                        ErrorCode::BadConfig,
+                        format!(
+                            "final transfer contains elements outside the {}-bit universe",
+                            cfg.universe_bits
+                        ),
+                    );
+                }
+                let store = self.sessions[i].store.clone().expect("routed store");
+                store.apply_missing(&elements);
+                self.bump(&entry, |s| &s.elements_received, elements.len() as u64);
+                // On a v3 session against an epoch-capable store the ack
+                // carries the *snapshot* epoch — the client's new delta
+                // baseline (changes landing after the snapshot were
+                // invisible to this session; the next delta sync replays
+                // them idempotently).
+                let ack = match snapshot_epoch {
+                    Some(epoch) if version >= 3 => Frame::DeltaDone { epoch },
+                    _ => Frame::Done(Vec::new()),
+                };
+                if self.sessions[i].nb.queue(&ack).is_err() {
+                    self.sessions[i].finish(false);
+                    return;
+                }
+                self.after_ack(i);
+            }
+            other => self.refuse(
+                i,
+                ErrorCode::Protocol,
+                format!(
+                    "unexpected frame type {} during the round loop",
+                    other.type_byte()
+                ),
+            ),
+        }
+    }
+
+    fn handle_subscribe(&mut self, i: usize, frame: Frame) {
+        let epoch = match frame {
+            Frame::Subscribe { epoch } => epoch,
+            other => {
+                return self.refuse(
+                    i,
+                    ErrorCode::Protocol,
+                    format!(
+                        "unexpected frame type {} while awaiting Subscribe",
+                        other.type_byte()
+                    ),
+                )
+            }
+        };
+        let max = self.config().max_subscribers;
+        if self.shared.live_subscribers.load(Ordering::Relaxed) >= max {
+            return self.refuse(
+                i,
+                ErrorCode::Internal,
+                format!("subscriber limit {max} reached"),
+            );
+        }
+        self.shared.live_subscribers.fetch_add(1, Ordering::Relaxed);
+        self.sessions[i].counted_subscriber = true;
+        let entry = self.sessions[i].entry.clone();
+        self.bump(&entry, |s| &s.subscriptions, 1);
+        // Install this worker's mutation notifier on the store *before*
+        // the initial catch-up below: a mutation landing in between then
+        // raises a (harmless, idempotent) extra wakeup instead of being
+        // missed.
+        let store = self.sessions[i].store.clone().expect("routed store");
+        let name = self.sessions[i].store_name.clone();
+        self.ensure_notifier(&name, &store);
+        let now = Instant::now();
+        self.sessions[i].sub_epoch = epoch;
+        self.sessions[i].phase = Phase::Streaming;
+        self.sessions[i].last_ping = now;
+        self.sessions[i].last_send_progress = now;
+        // Catch up on anything that mutated between the client's baseline
+        // and this Subscribe.
+        self.push_deltas(i);
+    }
+
+    fn handle_streaming(&mut self, i: usize, frame: Frame) {
+        match frame {
+            Frame::Pong { .. } => {} // liveness credit via last_recv
+            Frame::Ping { nonce } => {
+                if self.sessions[i].nb.queue(&Frame::Pong { nonce }).is_ok() {
+                    self.on_writable(i);
+                } else {
+                    self.sessions[i].finish(false);
+                }
+            }
+            other => self.refuse(
+                i,
+                ErrorCode::Protocol,
+                format!(
+                    "unexpected frame type {} on a live subscription",
+                    other.type_byte()
+                ),
+            ),
+        }
+    }
+
+    /// Push everything the store changed past this subscriber's epoch as
+    /// one `DeltaBatch*`/`DeltaDone` burst, evicting the subscriber if
+    /// the burst would overrun its buffer cap.
+    fn push_deltas(&mut self, i: usize) {
+        let store = self.sessions[i].store.clone().expect("streaming has store");
+        let entry = self.sessions[i].entry.clone();
+        let config = *self.config();
+        match store.delta_since(self.sessions[i].sub_epoch) {
+            DeltaAnswer::Changes { batches, current } => {
+                if batches.is_empty() {
+                    self.sessions[i].sub_epoch = current;
+                    return;
+                }
+                let capacity = delta_chunk_capacity(config.transport.max_frame);
+                let mut frames = Vec::new();
+                let mut elements = 0u64;
+                for batch in &batches {
+                    elements += (batch.added.len() + batch.removed.len()) as u64;
+                    frames.extend(delta_batch_frames(
+                        batch.epoch,
+                        &batch.added,
+                        &batch.removed,
+                        capacity,
+                    ));
+                }
+                let done = Frame::DeltaDone { epoch: current };
+                let burst_bytes: u64 =
+                    frames.iter().map(Frame::wire_len).sum::<u64>() + done.wire_len();
+                if self.sessions[i].nb.pending_out() as u64 + burst_bytes
+                    > config.subscriber_buffer as u64
+                {
+                    // Slow consumer: cut it loose rather than buffer
+                    // without bound. FullResyncRequired tells it to come
+                    // back with a fresh reconciliation.
+                    self.bump(&entry, |s| &s.subscribers_evicted, 1);
+                    let _ = self.sessions[i]
+                        .nb
+                        .queue(&Frame::FullResyncRequired { epoch: current });
+                    self.sessions[i].phase = Phase::Closing(true);
+                    self.arm_closing_grace(i);
+                    self.on_writable(i);
+                    return;
+                }
+                for frame in &frames {
+                    self.bump(&entry, |s| &s.push_batches, 1);
+                    if self.sessions[i].nb.queue(frame).is_err() {
+                        self.sessions[i].finish(false);
+                        return;
+                    }
+                }
+                self.bump(&entry, |s| &s.push_elements, elements);
+                if self.sessions[i].nb.queue(&done).is_err() {
+                    self.sessions[i].finish(false);
+                    return;
+                }
+                self.sessions[i].sub_epoch = current;
+                self.on_writable(i);
+            }
+            DeltaAnswer::Trimmed { current } => {
+                // The changelog no longer covers this subscriber (trimmed
+                // under it while it idled, or the epoch space exhausted).
+                let _ = self.sessions[i]
+                    .nb
+                    .queue(&Frame::FullResyncRequired { epoch: current });
+                self.sessions[i].phase = Phase::Closing(true);
+                self.arm_closing_grace(i);
+                self.on_writable(i);
+            }
+            DeltaAnswer::Unsupported => self.sessions[i].finish(false),
+        }
+    }
+
+    /// Install this worker's wakeup notifier on `store` (once per store
+    /// name): mutation → `StoreChanged` notice + wake byte. The notifier
+    /// unregisters itself once the worker is gone.
+    fn ensure_notifier(&mut self, name: &str, store: &Arc<dyn SetStore>) {
+        if !self.notified_stores.insert(name.to_string()) {
+            return;
+        }
+        let tx = Mutex::new(self.link.tx.clone());
+        let wake = self.link.wake.clone();
+        let store_name = name.to_string();
+        store.register_notifier(Box::new(move |_epoch| {
+            let sent = tx
+                .lock()
+                .map(|tx| {
+                    tx.send(Notice::StoreChanged {
+                        store: store_name.clone(),
+                    })
+                    .is_ok()
+                })
+                .unwrap_or(false);
+            if sent {
+                wake.wake();
+            }
+            sent
+        }));
+    }
+
+    /// Fold a finished session's counters and drop it.
+    fn reap(&mut self) {
+        let mut i = 0;
+        while i < self.sessions.len() {
+            let Some(completed) = self.sessions[i].done else {
+                i += 1;
+                continue;
+            };
+            let sess = self.sessions.remove(i);
+            let entry = sess.entry.clone();
+            self.bump(&entry, |s| &s.bytes_in, sess.nb.bytes_in);
+            self.bump(&entry, |s| &s.bytes_out, sess.nb.bytes_out);
+            self.bump(&entry, |s| &s.frames_in, sess.nb.frames_in);
+            self.bump(&entry, |s| &s.frames_out, sess.nb.frames_out);
+            if let Some(bob) = sess.ctx.as_ref().and_then(|c| c.bob.as_ref()) {
+                self.bump(&entry, |s| &s.decode_failures, bob.decode_failures() as u64);
+            }
+            if sess.counted_subscriber {
+                self.shared.live_subscribers.fetch_sub(1, Ordering::Relaxed);
+            }
+            // `sessions_started` was bumped globally at accept and
+            // per-store at routing; mirror that split on the outcome so
+            // started == completed + failed holds at both levels.
+            let field: fn(&ServerStats) -> &AtomicU64 = if completed {
+                |s| &s.sessions_completed
+            } else {
+                |s| &s.sessions_failed
+            };
+            self.bump(&entry, field, 1);
+            // Session drops here; the socket closes with it.
+        }
+    }
+
+    /// Shutdown: give every session one last flush, then close it with
+    /// its state-appropriate outcome. Streaming and parked subscribers
+    /// end cleanly; mid-protocol sessions are cut as failed.
+    fn close_all(&mut self) {
+        for i in 0..self.sessions.len() {
+            if self.sessions[i].done.is_some() {
+                continue;
+            }
+            let _ = self.sessions[i].nb.flush();
+            let outcome = self.sessions[i].close_outcome();
+            self.sessions[i].finish(outcome);
+        }
+        self.reap();
+    }
+}
+
+/// Spawn the acceptor thread: blocking `accept`, round-robin handoff to
+/// the workers' notice queues. The shutdown flag plus a loopback connect
+/// breaks it out of `accept`.
+pub(crate) fn spawn_acceptor(
+    listener: TcpListener,
+    links: Vec<WorkerLink>,
+    shutdown: Arc<std::sync::atomic::AtomicBool>,
+) -> io::Result<std::thread::JoinHandle<()>> {
+    std::thread::Builder::new()
+        .name("pbs-net-accept".into())
+        .spawn(move || {
+            let mut next = 0usize;
+            for conn in listener.incoming() {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let link = &links[next % links.len()];
+                next = next.wrapping_add(1);
+                if link.tx.send(Notice::Conn(stream)).is_err() {
+                    break;
+                }
+                link.wake.wake();
+            }
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wake_pair_round_trips_a_byte_and_tolerates_flooding() {
+        let (reader, writer) = wake_pair().unwrap();
+        let wake = WakeSender {
+            writer: Arc::new(writer),
+        };
+        // Flood far past any socket buffer: must never block or panic.
+        for _ in 0..100_000 {
+            wake.wake();
+        }
+        let mut buf = [0u8; 4096];
+        let mut drained = 0usize;
+        while let Ok(n) = (&reader).read(&mut buf) {
+            if n == 0 {
+                break;
+            }
+            drained += n;
+        }
+        assert!(drained > 0, "at least one wake byte must arrive");
+    }
+}

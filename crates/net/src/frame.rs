@@ -37,7 +37,11 @@ use std::io::{Read, Write};
 ///   ending in [`Frame::DeltaDone`], or answers
 ///   [`Frame::FullResyncRequired`] and falls back to the classic session.
 ///   On epoch-capable stores the final `Done` ack is replaced by a
-///   `DeltaDone` carrying the new epoch baseline.
+///   `DeltaDone` carrying the new epoch baseline. v3 also carries the
+///   *live* subscription frames: after a `DeltaDone` the client may send
+///   [`Frame::Subscribe`] to hold the connection open and have the server
+///   push delta bursts on every store mutation, with [`Frame::Ping`] /
+///   [`Frame::Pong`] keepalives while the stream is idle.
 pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Largest store name (in bytes) a `Hello` may carry or a server accepts.
@@ -379,10 +383,33 @@ pub enum Frame {
     /// served incrementally (changelog trimmed past it, epoch from this
     /// store's future, or a store without a changelog). Not an error: the
     /// session continues with the classic reconciliation, which
-    /// re-establishes an epoch baseline.
+    /// re-establishes an epoch baseline. Sent to a live subscriber it means
+    /// the changelog can no longer cover the subscriber's epoch (slow
+    /// consumer evicted, or the log was trimmed under it); the server
+    /// closes the connection after this frame.
     FullResyncRequired {
         /// The store's current epoch (0 when the store keeps no epochs).
         epoch: u64,
+    },
+    /// Client → server (v3): after a `DeltaDone`, hold the connection open
+    /// as a live subscription — the server pushes a
+    /// `DeltaBatch*`/`DeltaDone` burst on every mutation of the store past
+    /// `epoch`.
+    Subscribe {
+        /// The epoch baseline the client stands at (normally the epoch of
+        /// the `DeltaDone` it just received).
+        epoch: u64,
+    },
+    /// Server → client (v3): keepalive probe on an idle subscription. The
+    /// client answers with a [`Frame::Pong`] echoing the nonce.
+    Ping {
+        /// Opaque value the matching `Pong` must echo.
+        nonce: u64,
+    },
+    /// Client → server (v3): keepalive answer to a [`Frame::Ping`].
+    Pong {
+        /// The nonce of the `Ping` being answered.
+        nonce: u64,
     },
 }
 
@@ -395,6 +422,9 @@ const TYPE_ERROR: u8 = 6;
 const TYPE_DELTA_BATCH: u8 = 7;
 const TYPE_DELTA_DONE: u8 = 8;
 const TYPE_FULL_RESYNC: u8 = 9;
+const TYPE_SUBSCRIBE: u8 = 10;
+const TYPE_PING: u8 = 11;
+const TYPE_PONG: u8 = 12;
 
 const EST_KIND_BANK: u8 = 1;
 const EST_KIND_ESTIMATE: u8 = 2;
@@ -437,6 +467,9 @@ impl Frame {
             Frame::DeltaBatch { .. } => TYPE_DELTA_BATCH,
             Frame::DeltaDone { .. } => TYPE_DELTA_DONE,
             Frame::FullResyncRequired { .. } => TYPE_FULL_RESYNC,
+            Frame::Subscribe { .. } => TYPE_SUBSCRIBE,
+            Frame::Ping { .. } => TYPE_PING,
+            Frame::Pong { .. } => TYPE_PONG,
         }
     }
 
@@ -519,8 +552,13 @@ impl Frame {
                     out.extend_from_slice(&e.to_le_bytes()[..width]);
                 }
             }
-            Frame::DeltaDone { epoch } | Frame::FullResyncRequired { epoch } => {
+            Frame::DeltaDone { epoch }
+            | Frame::FullResyncRequired { epoch }
+            | Frame::Subscribe { epoch } => {
                 out.extend_from_slice(&epoch.to_le_bytes());
+            }
+            Frame::Ping { nonce } | Frame::Pong { nonce } => {
+                out.extend_from_slice(&nonce.to_le_bytes());
             }
         }
         out
@@ -646,15 +684,17 @@ impl Frame {
                     removed,
                 })
             }
-            TYPE_DELTA_DONE | TYPE_FULL_RESYNC => {
-                let epoch = take_u64(&mut buf)?;
+            TYPE_DELTA_DONE | TYPE_FULL_RESYNC | TYPE_SUBSCRIBE | TYPE_PING | TYPE_PONG => {
+                let word = take_u64(&mut buf)?;
                 if !buf.is_empty() {
                     return Err(FrameError::Payload(WireError::Truncated));
                 }
-                Ok(if ty == TYPE_DELTA_DONE {
-                    Frame::DeltaDone { epoch }
-                } else {
-                    Frame::FullResyncRequired { epoch }
+                Ok(match ty {
+                    TYPE_DELTA_DONE => Frame::DeltaDone { epoch: word },
+                    TYPE_FULL_RESYNC => Frame::FullResyncRequired { epoch: word },
+                    TYPE_SUBSCRIBE => Frame::Subscribe { epoch: word },
+                    TYPE_PING => Frame::Ping { nonce: word },
+                    _ => Frame::Pong { nonce: word },
                 })
             }
             other => Err(FrameError::BadType(other)),
@@ -939,6 +979,31 @@ mod tests {
         assert!(frames[0].encode_body().len() <= 1024);
         let mut wire = Vec::new();
         write_frame(&mut wire, &frames[0], 1024).expect("fits under the cap");
+    }
+
+    #[test]
+    fn subscription_frames_round_trip_and_refuse_trailing_bytes() {
+        for frame in [
+            Frame::Subscribe { epoch: 0 },
+            Frame::Subscribe { epoch: u64::MAX },
+            Frame::Ping { nonce: 0x5EED },
+            Frame::Pong { nonce: 0x5EED },
+        ] {
+            assert_eq!(round_trip(&frame, 64), frame);
+            assert_eq!(frame.wire_len(), 17, "framing + type byte + u64");
+            // A trailing byte after the u64 word is refused.
+            let mut body = frame.encode_body();
+            body.push(0);
+            assert!(Frame::decode_body(&body).is_err());
+            // A truncated word is refused.
+            let mut short = frame.encode_body();
+            short.pop();
+            assert!(Frame::decode_body(&short).is_err());
+        }
+        // The three one-word frames have distinct type bytes.
+        assert_eq!(Frame::Subscribe { epoch: 1 }.type_byte(), 10);
+        assert_eq!(Frame::Ping { nonce: 1 }.type_byte(), 11);
+        assert_eq!(Frame::Pong { nonce: 1 }.type_byte(), 12);
     }
 
     #[test]

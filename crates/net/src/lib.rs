@@ -13,23 +13,30 @@
 //!   epoch-stamped [`store::MutableStore`] delta feed, and the
 //!   [`StoreRegistry`] a multi-tenant server routes the v2 handshake's
 //!   store name through.
-//! * [`server`] — [`server::Server`]: a TCP listener with a bounded worker
-//!   pool that runs one [`pbs_core::BobSession`] per connection (handshake
+//! * [`server`] — [`server::Server`]: an event-driven TCP server — one
+//!   acceptor plus a few [`poll`]-based event-loop workers, each
+//!   multiplexing many non-blocking connections; every session is a
+//!   resumable state machine around a [`pbs_core::BobSession`] (handshake
 //!   with store routing → estimator exchange → possibly-pipelined
-//!   sketch/report rounds → final element transfer), enforcing
-//!   per-connection deadlines, round caps and pipeline-depth caps, and
-//!   exporting atomic [`server::ServerStats`] both server-wide and per
-//!   store.
-//! * [`client`] — [`client::sync`]: drives an [`pbs_core::AliceSession`]
-//!   against a server (optionally pipelining several protocol rounds per
-//!   round trip, with a fixed or per-trip adaptive depth) and returns the
-//!   reconciled difference plus transport accounting.
+//!   sketch/report rounds → final element transfer → optional live
+//!   subscription), enforcing per-session deadlines, read/write-inactivity
+//!   timeouts, round caps and pipeline-depth caps, and exporting atomic
+//!   [`server::ServerStats`] both server-wide and per store.
+//! * [`client`] — [`client::SyncClient`]: drives an
+//!   [`pbs_core::AliceSession`] against a server (optionally pipelining
+//!   several protocol rounds per round trip, with a fixed or per-trip
+//!   adaptive depth) and returns the reconciled difference plus transport
+//!   accounting; [`client::SyncClient::subscribe`] holds the connection
+//!   open as a live push subscription.
 //!
 //! Protocol v3 adds the **delta-subscription** path: a client carrying the
 //! epoch of its previous sync ([`ClientConfig::delta_epoch`]) is served
 //! exactly the changes since that epoch from the store's changelog —
 //! O(|changes|) bytes, no reconciliation — and falls back to the classic
-//! session when the changelog cannot cover the epoch. See `docs/WIRE.md`.
+//! session when the changelog cannot cover the epoch. After the catch-up,
+//! a `Subscribe` frame parks the session in the server's streaming state
+//! and every further mutation is pushed to the client as it happens, with
+//! keepalive pings and per-subscriber backpressure. See `docs/WIRE.md`.
 //!
 //! The loopback integration test (`tests/loopback.rs`) reconciles
 //! 100k-element sets over real sockets and checks the measured wire bytes
@@ -41,14 +48,14 @@
 //! Reconcile two in-process sets over a real socket pair:
 //!
 //! ```
-//! use pbs_net::{sync, ClientConfig, InMemoryStore, Server, ServerConfig};
+//! use pbs_net::{InMemoryStore, Server, ServerConfig, SyncClient};
 //! use std::sync::Arc;
 //!
 //! let store = Arc::new(InMemoryStore::new(2..=100u64));
 //! let server = Server::bind("127.0.0.1:0", store.clone(), ServerConfig::default())?;
 //!
 //! let alice: Vec<u64> = (1..=99).collect();
-//! let report = sync(server.local_addr(), &alice, &ClientConfig::default())?;
+//! let report = SyncClient::connect(server.local_addr())?.sync(&alice)?;
 //! assert!(report.verified);
 //! let mut diff = report.recovered.clone();
 //! diff.sort_unstable();
@@ -62,7 +69,9 @@
 
 pub mod client;
 pub mod crc;
+pub(crate) mod event_loop;
 pub mod frame;
+pub mod poll;
 pub mod server;
 pub mod setio;
 pub mod store;
@@ -70,8 +79,8 @@ pub mod wal;
 pub mod watch;
 
 pub use client::{
-    is_transient, sync, sync_with_retry, ClientConfig, DeltaFold, DeltaReport, RetryPolicy,
-    SyncReport,
+    is_transient, sync, sync_with_retry, ClientConfig, ConfigBuilder, DeltaFold, DeltaReport,
+    Pipeline, RetryPolicy, Subscription, SyncClient, SyncReport,
 };
 pub use frame::{Frame, Hello, PROTOCOL_VERSION};
 pub use server::{Server, ServerConfig};

@@ -1,5 +1,6 @@
-//! The reconciliation session server: a TCP listener, a bounded worker
-//! pool, and one [`BobSession`] state machine per connection.
+//! The reconciliation session server: a TCP acceptor feeding N
+//! event-loop workers, and one resumable session state machine per
+//! connection (see the `event_loop` module).
 //!
 //! Each accepted connection runs the `docs/WIRE.md` session: handshake
 //! (with store routing through the [`StoreRegistry`] on v2 sessions) →
@@ -8,48 +9,53 @@
 //! final element transfer. A v3 `Hello` carrying the client's last-known
 //! store epoch short-circuits all of that when the store's changelog still
 //! covers the epoch: the server streams the changes since it (`DeltaBatch*`
-//! → `DeltaDone`) and the session ends without any reconciliation — the
-//! one place the server sends more than a single frame in reply. Otherwise
-//! the server is the *responder* throughout — it never sends a frame
-//! except in reply — which keeps the per-connection state machine a simple
-//! read-dispatch loop. Hostile input is bounded at
+//! → `DeltaDone`). A v3 session that holds an epoch baseline (from either
+//! path) may then send `Subscribe` to go *live*: the server pushes every
+//! subsequent store mutation to it as `DeltaBatch*` → `DeltaDone` bursts
+//! until the subscriber disconnects, stalls past its buffer cap
+//! (`FullResyncRequired` + close), or stops answering keepalive pings.
+//! Outside the delta/push paths the server is the *responder* throughout —
+//! it never sends a frame except in reply. Hostile input is bounded at
 //! every layer: frame sizes by the transport cap, handshake values by
 //! [`crate::frame::Hello::config`], the parameterized difference by
 //! [`ServerConfig::max_d`], rounds by [`ServerConfig::round_cap`],
 //! pipelining by [`ServerConfig::max_pipeline_depth`], wall clock by
-//! [`ServerConfig::session_deadline`], and sketch shapes are validated
+//! [`ServerConfig::session_deadline`], concurrent subscriptions by
+//! [`ServerConfig::max_subscribers`], per-subscriber memory by
+//! [`ServerConfig::subscriber_buffer`], and sketch shapes are validated
 //! against the negotiated codec before they reach the BCH codec's
 //! `Sketch::combine` capacity assertion.
 
-use crate::frame::{
-    delta_batch_frames, delta_chunk_capacity, ErrorCode, EstimatorMsg, Frame, PROTOCOL_VERSION,
-};
-use crate::store::{DeltaAnswer, RegisteredStore, StoreRegistry};
-use crate::{FramedStream, NetError, TransportConfig};
-use estimator::{Estimator, TowEstimator};
-use pbs_core::{BobSession, Pbs, ESTIMATOR_SEED_SALT};
+use crate::event_loop::{spawn_acceptor, spawn_worker, Notice, Shared, WorkerLink};
+use crate::frame::PROTOCOL_VERSION;
+use crate::store::StoreRegistry;
+use crate::TransportConfig;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 pub use crate::store::{InMemoryStore, SetStore};
 
-/// Server-side limits and pool sizing.
+/// Server-side limits and event-loop sizing.
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
     /// Socket/framing knobs applied to every accepted connection.
     pub transport: TransportConfig,
-    /// Worker threads — the maximum number of concurrently served
-    /// sessions.
+    /// Event-loop worker threads. Each worker multiplexes any number of
+    /// sessions over a readiness loop, so this sizes CPU parallelism —
+    /// not the concurrent-session cap (there is none beyond the OS).
     pub workers: usize,
-    /// Accepted connections queued while every worker is busy; beyond
-    /// this, `accept` itself backpressures.
+    /// Retained for configuration compatibility: the listener's accept
+    /// queue hint. Sessions no longer queue behind a worker pool — every
+    /// accepted connection is multiplexed immediately.
     pub backlog: usize,
     /// Hard cap on sketch/report rounds per connection.
     pub round_cap: u32,
-    /// Wall-clock budget per connection, measured from accept to `Done`.
+    /// Wall-clock budget per connection, measured from accept to the
+    /// final ack. Live subscriptions are exempt — once a session reaches
+    /// its ack it may stay subscribed indefinitely.
     pub session_deadline: Duration,
     /// Largest difference cardinality the server will parameterize a
     /// session for (bounds the group count a hostile `known_d` or a wild
@@ -71,6 +77,17 @@ pub struct ServerConfig {
     /// one full per-group decode pass, so this bounds per-frame CPU the
     /// same way `round_cap` bounds it per session.
     pub max_pipeline_depth: u32,
+    /// Most concurrently live subscriptions (`Streaming` sessions) across
+    /// the whole server; a `Subscribe` past the cap is refused.
+    pub max_subscribers: usize,
+    /// Idle keepalive interval on live subscriptions: after this much
+    /// quiet the server sends `Ping`, and a subscriber silent for three
+    /// intervals is presumed gone and closed.
+    pub keepalive: Duration,
+    /// Cap on bytes queued (user-space) toward one subscriber. A push
+    /// burst that would overrun it evicts the subscriber with
+    /// `FullResyncRequired` instead of buffering without bound.
+    pub subscriber_buffer: usize,
 }
 
 impl Default for ServerConfig {
@@ -85,6 +102,9 @@ impl Default for ServerConfig {
             max_done_elements: 1 << 20,
             protocol_version: PROTOCOL_VERSION,
             max_pipeline_depth: 4,
+            max_subscribers: 1024,
+            keepalive: Duration::from_secs(10),
+            subscriber_buffer: 1 << 20,
         }
     }
 }
@@ -95,9 +115,11 @@ impl Default for ServerConfig {
 pub struct ServerStats {
     /// Connections handed to a worker.
     pub sessions_started: AtomicU64,
-    /// Sessions that ran to a clean `Done`.
+    /// Sessions that ran to a clean end (final ack delivered, or a live
+    /// subscription that ended after it).
     pub sessions_completed: AtomicU64,
-    /// Sessions that ended in any error (including peer disconnects).
+    /// Sessions that ended in any error (including peer disconnects
+    /// mid-protocol).
     pub sessions_failed: AtomicU64,
     /// Protocol rounds served across all sessions (a pipelined frame
     /// counts once per layer it carries).
@@ -125,10 +147,21 @@ pub struct ServerStats {
     /// Delta requests answered with `FullResyncRequired` (changelog
     /// trimmed, epoch from the future, or an epoch-less store).
     pub delta_fallbacks: AtomicU64,
-    /// `DeltaBatch` frames streamed to subscribers.
+    /// `DeltaBatch` frames streamed in delta catch-ups.
     pub delta_batches: AtomicU64,
-    /// Elements (adds plus removes) streamed in `DeltaBatch` frames.
+    /// Elements (adds plus removes) streamed in delta catch-ups.
     pub delta_elements: AtomicU64,
+    /// Live subscriptions accepted (`Subscribe` frames honored).
+    pub subscriptions: AtomicU64,
+    /// `DeltaBatch` frames pushed to live subscribers.
+    pub push_batches: AtomicU64,
+    /// Elements (adds plus removes) pushed to live subscribers.
+    pub push_elements: AtomicU64,
+    /// Subscribers evicted for falling behind (buffer cap or write
+    /// stall).
+    pub subscribers_evicted: AtomicU64,
+    /// Keepalive `Ping` frames sent to idle subscribers.
+    pub keepalive_pings: AtomicU64,
 }
 
 /// A point-in-time copy of [`ServerStats`].
@@ -136,7 +169,7 @@ pub struct ServerStats {
 pub struct StatsSnapshot {
     /// Connections handed to a worker.
     pub sessions_started: u64,
-    /// Sessions that ran to a clean `Done`.
+    /// Sessions that ran to a clean end.
     pub sessions_completed: u64,
     /// Sessions that ended in any error.
     pub sessions_failed: u64,
@@ -162,10 +195,20 @@ pub struct StatsSnapshot {
     pub delta_sessions: u64,
     /// Delta requests that fell back to a full reconciliation.
     pub delta_fallbacks: u64,
-    /// `DeltaBatch` frames streamed.
+    /// `DeltaBatch` frames streamed in delta catch-ups.
     pub delta_batches: u64,
-    /// Elements streamed in `DeltaBatch` frames.
+    /// Elements streamed in delta catch-ups.
     pub delta_elements: u64,
+    /// Live subscriptions accepted.
+    pub subscriptions: u64,
+    /// `DeltaBatch` frames pushed to live subscribers.
+    pub push_batches: u64,
+    /// Elements pushed to live subscribers.
+    pub push_elements: u64,
+    /// Subscribers evicted for falling behind.
+    pub subscribers_evicted: u64,
+    /// Keepalive pings sent.
+    pub keepalive_pings: u64,
 }
 
 impl ServerStats {
@@ -189,6 +232,11 @@ impl ServerStats {
             delta_fallbacks: get(&self.delta_fallbacks),
             delta_batches: get(&self.delta_batches),
             delta_elements: get(&self.delta_elements),
+            subscriptions: get(&self.subscriptions),
+            push_batches: get(&self.push_batches),
+            push_elements: get(&self.push_elements),
+            subscribers_evicted: get(&self.subscribers_evicted),
+            keepalive_pings: get(&self.keepalive_pings),
         }
     }
 }
@@ -202,6 +250,7 @@ pub struct Server {
     registry: Arc<StoreRegistry>,
     shutdown: Arc<AtomicBool>,
     accept_handle: Option<JoinHandle<()>>,
+    worker_links: Vec<WorkerLink>,
     worker_handles: Vec<JoinHandle<()>>,
 }
 
@@ -236,49 +285,22 @@ impl Server {
         let stats = Arc::new(ServerStats::default());
         let shutdown = Arc::new(AtomicBool::new(false));
 
-        let (tx, rx) = mpsc::sync_channel::<TcpStream>(config.backlog.max(1));
-        let rx = Arc::new(Mutex::new(rx));
+        let shared = Arc::new(Shared {
+            registry: Arc::clone(&registry),
+            config,
+            stats: Arc::clone(&stats),
+            live_subscribers: AtomicUsize::new(0),
+        });
 
-        let worker_handles = (0..config.workers)
-            .map(|i| {
-                let rx = Arc::clone(&rx);
-                let registry = Arc::clone(&registry);
-                let stats = Arc::clone(&stats);
-                std::thread::Builder::new()
-                    .name(format!("pbs-net-worker-{i}"))
-                    .spawn(move || loop {
-                        // Take the lock only for the handoff; `recv` errors
-                        // once the accept thread (the sole sender) is gone.
-                        let conn = { rx.lock().unwrap().recv() };
-                        match conn {
-                            Ok(stream) => serve_connection(stream, &registry, &config, &stats),
-                            Err(_) => break,
-                        }
-                    })
-                    .expect("spawn worker thread")
-            })
-            .collect();
+        let mut worker_links = Vec::with_capacity(config.workers);
+        let mut worker_handles = Vec::with_capacity(config.workers);
+        for i in 0..config.workers {
+            let (link, handle) = spawn_worker(i, Arc::clone(&shared))?;
+            worker_links.push(link);
+            worker_handles.push(handle);
+        }
 
-        let accept_handle = {
-            let shutdown = Arc::clone(&shutdown);
-            std::thread::Builder::new()
-                .name("pbs-net-accept".into())
-                .spawn(move || {
-                    for conn in listener.incoming() {
-                        if shutdown.load(Ordering::SeqCst) {
-                            break;
-                        }
-                        let Ok(stream) = conn else { continue };
-                        // Blocking send = honest backpressure once the
-                        // backlog is full.
-                        if tx.send(stream).is_err() {
-                            break;
-                        }
-                    }
-                    // `tx` drops here; workers drain the queue and exit.
-                })
-                .expect("spawn accept thread")
-        };
+        let accept_handle = spawn_acceptor(listener, worker_links.clone(), Arc::clone(&shutdown))?;
 
         Ok(Server {
             local_addr,
@@ -286,6 +308,7 @@ impl Server {
             registry,
             shutdown,
             accept_handle: Some(accept_handle),
+            worker_links,
             worker_handles,
         })
     }
@@ -296,7 +319,7 @@ impl Server {
     }
 
     /// Shared handle to the server-wide counters (every session counts
-    /// here *and* in its routed store's own [`RegisteredStore::stats`]).
+    /// here *and* in its routed store's own [`crate::store::RegisteredStore::stats`]).
     pub fn stats(&self) -> Arc<ServerStats> {
         Arc::clone(&self.stats)
     }
@@ -306,8 +329,13 @@ impl Server {
         Arc::clone(&self.registry)
     }
 
-    /// Stop accepting, drain queued connections, and join every thread.
-    /// In-flight sessions run to completion.
+    /// Stop accepting, wake every worker, and join every thread. Sessions
+    /// still mid-protocol are cut (counted failed); sessions past their
+    /// final ack — parked or live-streaming subscribers included — are
+    /// flushed once and closed cleanly (counted completed), so a server
+    /// with open subscriptions shuts down promptly and the
+    /// `started == completed + failed` invariant holds in the returned
+    /// snapshot.
     pub fn shutdown(mut self) -> StatsSnapshot {
         self.shutdown.store(true, Ordering::SeqCst);
         // Wake the blocking `accept` with a throwaway connection. A
@@ -324,399 +352,15 @@ impl Server {
         if let Some(handle) = self.accept_handle.take() {
             let _ = handle.join();
         }
+        // The acceptor is joined, so no further Conn notices can follow
+        // the Shutdown notice each worker drains next.
+        for link in &self.worker_links {
+            let _ = link.tx.send(Notice::Shutdown);
+            link.wake.wake();
+        }
         for handle in self.worker_handles.drain(..) {
             let _ = handle.join();
         }
         self.stats.snapshot()
     }
-}
-
-/// The per-session stats view: every count folds into the server-wide
-/// counters and — once the handshake routed the session — into the routed
-/// store's own counters as well.
-struct SessionCounters<'a> {
-    global: &'a ServerStats,
-    store: Option<Arc<RegisteredStore>>,
-}
-
-impl SessionCounters<'_> {
-    fn add(&self, field: impl Fn(&ServerStats) -> &AtomicU64, n: u64) {
-        field(self.global).fetch_add(n, Ordering::Relaxed);
-        if let Some(entry) = &self.store {
-            field(entry.stats()).fetch_add(n, Ordering::Relaxed);
-        }
-    }
-
-    /// Attach the routed store; its `sessions_started` is bumped here so
-    /// per-store session counts stay consistent with the global ones.
-    fn route(&mut self, entry: Arc<RegisteredStore>) {
-        entry
-            .stats()
-            .sessions_started
-            .fetch_add(1, Ordering::Relaxed);
-        self.store = Some(entry);
-    }
-}
-
-/// Run one connection to completion, folding its transport counters and
-/// outcome into the server-wide (and, once routed, per-store) stats. Never
-/// panics on hostile input; errors end the session (with a best-effort
-/// `Error` frame where one is useful).
-fn serve_connection(
-    stream: TcpStream,
-    registry: &StoreRegistry,
-    config: &ServerConfig,
-    stats: &ServerStats,
-) {
-    stats.sessions_started.fetch_add(1, Ordering::Relaxed);
-    let mut framed = match FramedStream::from_tcp(stream, &config.transport) {
-        Ok(framed) => framed,
-        Err(_) => {
-            stats.sessions_failed.fetch_add(1, Ordering::Relaxed);
-            return;
-        }
-    };
-    let mut counters = SessionCounters {
-        global: stats,
-        store: None,
-    };
-    let outcome = run_session(&mut framed, registry, config, &mut counters);
-    counters.add(|s| &s.bytes_in, framed.bytes_in());
-    counters.add(|s| &s.bytes_out, framed.bytes_out());
-    counters.add(|s| &s.frames_in, framed.frames_in());
-    counters.add(|s| &s.frames_out, framed.frames_out());
-    match outcome {
-        Ok(()) => counters.add(|s| &s.sessions_completed, 1),
-        Err(_) => counters.add(|s| &s.sessions_failed, 1),
-    };
-}
-
-/// Send an `Error` frame (best effort) and return the matching local error.
-fn refuse(
-    framed: &mut FramedStream<TcpStream>,
-    code: ErrorCode,
-    message: impl Into<String>,
-) -> NetError {
-    let message = message.into();
-    let _ = framed.send(&Frame::Error {
-        code,
-        message: message.clone(),
-    });
-    NetError::Protocol(message)
-}
-
-fn run_session(
-    framed: &mut FramedStream<TcpStream>,
-    registry: &StoreRegistry,
-    config: &ServerConfig,
-    counters: &mut SessionCounters<'_>,
-) -> Result<(), NetError> {
-    let deadline = Instant::now() + config.session_deadline;
-    let over_deadline = |framed: &mut FramedStream<TcpStream>| -> Option<NetError> {
-        if Instant::now() > deadline {
-            Some(refuse(
-                framed,
-                ErrorCode::Internal,
-                "session deadline exceeded",
-            ))
-        } else {
-            None
-        }
-    };
-
-    // ---- Handshake ----
-    let hello = match framed.recv()? {
-        Frame::Hello(h) => h,
-        other => {
-            return Err(refuse(
-                framed,
-                ErrorCode::Protocol,
-                format!("expected Hello, got frame type {}", other.type_byte()),
-            ))
-        }
-    };
-    if hello.version == 0 {
-        return Err(refuse(framed, ErrorCode::Version, "version 0 is invalid"));
-    }
-    let cfg = match hello.config() {
-        Ok(cfg) => cfg,
-        Err(why) => return Err(refuse(framed, ErrorCode::BadConfig, why)),
-    };
-    let negotiated_version = hello.version.min(config.protocol_version);
-
-    // ---- Store routing ----
-    // Only a v2 session can address a named store; a v1 (or downgraded)
-    // session lands on the default, empty-named store. A v2 client that
-    // required a named store must abort when it sees the downgrade in the
-    // negotiated Hello.
-    let store_name = if negotiated_version >= 2 {
-        hello.store.as_str()
-    } else {
-        ""
-    };
-    let Some(entry) = registry.get(store_name) else {
-        return Err(refuse(
-            framed,
-            ErrorCode::UnknownStore,
-            format!("no store named {store_name:?}"),
-        ));
-    };
-    counters.route(Arc::clone(&entry));
-    let store = Arc::clone(entry.store());
-    let options = entry.options();
-    let round_cap = options.round_cap.unwrap_or(config.round_cap);
-    let max_d = options.max_d.unwrap_or(config.max_d);
-    let max_done_elements = options
-        .max_done_elements
-        .unwrap_or(config.max_done_elements);
-
-    let mut negotiated = hello.clone();
-    negotiated.version = negotiated_version;
-    negotiated.store = entry.name().to_string();
-    // Grant a pipelined depth up to this server's per-frame cap; the
-    // client must not exceed it (the round-loop check below backstops).
-    negotiated.pipeline = hello
-        .pipeline
-        .max(1)
-        .min(config.max_pipeline_depth.clamp(1, u8::MAX as u32) as u8);
-    framed.send(&Frame::Hello(negotiated))?;
-
-    // ---- Delta subscription (v3) ----
-    // A client that carries its last-known epoch short-circuits
-    // reconciliation entirely when the store's changelog still covers it:
-    // the server streams the changes since that epoch (chunked under the
-    // frame cap) and the session is over — O(|changes|) bytes instead of
-    // O(d) sketch rounds over the full set. When the changelog cannot
-    // serve the epoch, the session falls back to the classic protocol
-    // below, whose final ack re-establishes an epoch baseline.
-    if negotiated_version >= 3 {
-        if let Some(since) = hello.delta_epoch {
-            match store.delta_since(since) {
-                DeltaAnswer::Changes { batches, current } => {
-                    counters.add(|s| &s.delta_sessions, 1);
-                    let capacity = delta_chunk_capacity(config.transport.max_frame);
-                    for batch in &batches {
-                        counters.add(
-                            |s| &s.delta_elements,
-                            (batch.added.len() + batch.removed.len()) as u64,
-                        );
-                        for frame in
-                            delta_batch_frames(batch.epoch, &batch.added, &batch.removed, capacity)
-                        {
-                            // Per chunk, not per batch: one huge batch
-                            // chunks into many frames, and a stalled
-                            // subscriber must not pin the worker past the
-                            // session deadline between two sends.
-                            if let Some(err) = over_deadline(framed) {
-                                return Err(err);
-                            }
-                            counters.add(|s| &s.delta_batches, 1);
-                            framed.send(&frame)?;
-                        }
-                    }
-                    framed.send(&Frame::DeltaDone { epoch: current })?;
-                    return Ok(());
-                }
-                DeltaAnswer::Trimmed { current } => {
-                    counters.add(|s| &s.delta_fallbacks, 1);
-                    framed.send(&Frame::FullResyncRequired { epoch: current })?;
-                }
-                DeltaAnswer::Unsupported => {
-                    counters.add(|s| &s.delta_fallbacks, 1);
-                    framed.send(&Frame::FullResyncRequired { epoch: 0 })?;
-                }
-            }
-        }
-    }
-
-    // One snapshot for the whole session: the estimator and the Bob state
-    // machine must describe the same set. On an epoch-capable store the
-    // epoch of this snapshot is the baseline the final ack hands the
-    // client: replaying any later change batch over the union the session
-    // converges on is idempotent, so the baseline is always replay-safe.
-    let (snapshot, snapshot_epoch) = store.epoch_snapshot();
-
-    // ---- Difference parameterization (a priori or estimated) ----
-    let d_param = if hello.known_d > 0 {
-        hello.known_d
-    } else {
-        if let Some(err) = over_deadline(framed) {
-            return Err(err);
-        }
-        let bank_bytes = match framed.recv()? {
-            Frame::EstimatorExchange(EstimatorMsg::TowBank(bytes)) => bytes,
-            other => {
-                return Err(refuse(
-                    framed,
-                    ErrorCode::Protocol,
-                    format!(
-                        "expected estimator bank, got frame type {}",
-                        other.type_byte()
-                    ),
-                ))
-            }
-        };
-        let Some(client_bank) = TowEstimator::from_bytes(&bank_bytes) else {
-            return Err(refuse(
-                framed,
-                ErrorCode::Decode,
-                "malformed estimator bank",
-            ));
-        };
-        let est_seed = xhash::derive_seed(hello.seed, ESTIMATOR_SEED_SALT);
-        if client_bank.seed() != est_seed || client_bank.sketch_count() != cfg.estimator_sketches {
-            return Err(refuse(
-                framed,
-                ErrorCode::BadConfig,
-                "estimator bank does not match the handshake parameters",
-            ));
-        }
-        let mut own = TowEstimator::new(cfg.estimator_sketches, est_seed);
-        own.insert_slice(&snapshot);
-        let d_hat = client_bank.estimate(&own);
-        let d_param = estimator::inflate_estimate(d_hat) as u64;
-        counters.add(|s| &s.estimator_exchanges, 1);
-        framed.send(&Frame::EstimatorExchange(EstimatorMsg::Estimate {
-            d_param,
-            d_hat,
-        }))?;
-        d_param
-    };
-    if d_param > max_d {
-        return Err(refuse(
-            framed,
-            ErrorCode::BadConfig,
-            format!("d = {d_param} exceeds the server cap {max_d}"),
-        ));
-    }
-
-    // ---- Session state machine ----
-    let params = Pbs::new(cfg).plan(d_param as usize);
-    let mut bob = BobSession::new(cfg, params, &snapshot, hello.seed);
-    let mut rounds = 0u32;
-    // The loop runs as an inner closure so Bob's decode-failure counter is
-    // folded into the stats exactly once, on *every* exit path — clean
-    // `Done`, refusals, and transport errors alike.
-    let mut round_loop =
-        |framed: &mut FramedStream<TcpStream>, bob: &mut BobSession| -> Result<(), NetError> {
-            loop {
-                if let Some(err) = over_deadline(framed) {
-                    return Err(err);
-                }
-                match framed.recv()? {
-                    Frame::Sketches { m, batch } => {
-                        // Pipelining: the layer count is the number of
-                        // distinct rounds in the frame. Each layer costs a
-                        // full per-group decode pass, so layers — not
-                        // frames — are what the round cap meters.
-                        let mut layer_rounds: Vec<u32> = batch.iter().map(|s| s.round).collect();
-                        layer_rounds.sort_unstable();
-                        layer_rounds.dedup();
-                        let layers = (layer_rounds.len() as u32).max(1);
-                        if layers > 1 && negotiated_version < 2 {
-                            return Err(refuse(
-                                framed,
-                                ErrorCode::Protocol,
-                                "pipelined rounds require protocol v2",
-                            ));
-                        }
-                        if layers > config.max_pipeline_depth {
-                            return Err(refuse(
-                                framed,
-                                ErrorCode::BadConfig,
-                                format!(
-                                    "{layers} pipelined layers exceed the server cap {}",
-                                    config.max_pipeline_depth
-                                ),
-                            ));
-                        }
-                        rounds += layers;
-                        if rounds > round_cap {
-                            return Err(refuse(
-                                framed,
-                                ErrorCode::RoundLimit,
-                                format!("round cap {round_cap} exceeded"),
-                            ));
-                        }
-                        // Shape-check before the codec's capacity assertion can
-                        // fire: every sketch must match the negotiated (m, t).
-                        if m != params.m || batch.iter().any(|s| s.sketch.capacity() != params.t) {
-                            return Err(refuse(
-                                framed,
-                                ErrorCode::BadConfig,
-                                format!(
-                                    "sketch shape mismatch: negotiated m={} t={}",
-                                    params.m, params.t
-                                ),
-                            ));
-                        }
-                        let reports = bob.handle_sketches(&batch);
-                        counters.add(|s| &s.rounds, layers as u64);
-                        counters.add(|s| &s.round_trips, 1);
-                        framed.send(&Frame::Reports(reports))?;
-                    }
-                    Frame::Done(elements) => {
-                        if elements.len() as u64 > max_done_elements as u64 {
-                            return Err(refuse(
-                                framed,
-                                ErrorCode::BadConfig,
-                                format!(
-                                    "final transfer of {} elements exceeds the cap {}",
-                                    elements.len(),
-                                    max_done_elements
-                                ),
-                            ));
-                        }
-                        // Zero or out-of-universe elements would poison the
-                        // store: every future session would recover them as
-                        // rejected fakes and never verify. Refuse the batch.
-                        let universe_mask = if cfg.universe_bits == 64 {
-                            u64::MAX
-                        } else {
-                            (1u64 << cfg.universe_bits) - 1
-                        };
-                        if elements.iter().any(|&e| e == 0 || e > universe_mask) {
-                            return Err(refuse(
-                                framed,
-                                ErrorCode::BadConfig,
-                                format!(
-                                    "final transfer contains elements outside the {}-bit universe",
-                                    cfg.universe_bits
-                                ),
-                            ));
-                        }
-                        store.apply_missing(&elements);
-                        counters.add(|s| &s.elements_received, elements.len() as u64);
-                        // On a v3 session against an epoch-capable store,
-                        // the ack carries the *snapshot* epoch this session
-                        // reconciled against — the client's new delta
-                        // baseline. (Not the post-ingest epoch: changes
-                        // that landed after the snapshot were invisible to
-                        // this session and must be replayed by the next
-                        // delta sync; the client's own transfer replaying
-                        // with them is idempotent.)
-                        match snapshot_epoch {
-                            Some(epoch) if negotiated_version >= 3 => {
-                                framed.send(&Frame::DeltaDone { epoch })?
-                            }
-                            _ => framed.send(&Frame::Done(Vec::new()))?,
-                        }
-                        return Ok(());
-                    }
-                    other => {
-                        return Err(refuse(
-                            framed,
-                            ErrorCode::Protocol,
-                            format!(
-                                "unexpected frame type {} during the round loop",
-                                other.type_byte()
-                            ),
-                        ));
-                    }
-                }
-            }
-        };
-    let outcome = round_loop(framed, &mut bob);
-    counters.add(|s| &s.decode_failures, bob.decode_failures() as u64);
-    outcome
 }

@@ -22,7 +22,14 @@ use crate::wal::{self, DurableOptions, RecoveryReport, Wal};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// A mutation callback registered with [`SetStore::register_notifier`]:
+/// called with the store's new epoch after every effective change batch.
+/// Return `false` to unregister (the store drops the notifier). Called
+/// *outside* the store's element lock, but must still be fast and
+/// non-blocking — a slow notifier delays the mutator, not the sessions.
+pub type StoreNotifier = Box<dyn Fn(u64) -> bool + Send + Sync>;
 
 /// What a store can answer when a delta subscriber asks for the changes
 /// since an epoch ([`SetStore::delta_since`]).
@@ -83,6 +90,12 @@ pub trait SetStore: Send + Sync + 'static {
     /// answers [`DeltaAnswer::Unsupported`].
     fn delta_since(&self, _epoch: u64) -> DeltaAnswer {
         DeltaAnswer::Unsupported
+    }
+    /// Register a mutation notifier (the live-subscription wakeup hook).
+    /// Returns `false` when the store cannot notify (no epochs/changelog —
+    /// the default), in which case the notifier is dropped unused.
+    fn register_notifier(&self, _notifier: StoreNotifier) -> bool {
+        false
     }
 }
 
@@ -160,6 +173,19 @@ struct MutableInner {
     wal: Option<Wal>,
 }
 
+#[derive(Default)]
+struct Notifiers(Mutex<Vec<StoreNotifier>>);
+
+impl std::fmt::Debug for Notifiers {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Notifiers({})",
+            self.0.lock().map(|v| v.len()).unwrap_or(0)
+        )
+    }
+}
+
 /// A [`SetStore`] that supports server-side mutation between sessions,
 /// with an epoch-stamped changelog.
 ///
@@ -173,6 +199,10 @@ struct MutableInner {
 #[derive(Debug)]
 pub struct MutableStore {
     inner: RwLock<MutableInner>,
+    /// Live-subscription wakeup hooks, fired (with the new epoch) after
+    /// every effective batch, *after* the element lock is released — a
+    /// notifier may immediately call back into the store.
+    notifiers: Notifiers,
 }
 
 /// Default number of change batches a [`MutableStore`] retains.
@@ -211,6 +241,7 @@ impl MutableStore {
                 log_capacity,
                 wal: None,
             }),
+            notifiers: Notifiers::default(),
         }
     }
 
@@ -248,6 +279,7 @@ impl MutableStore {
                 log_capacity: options.log_capacity,
                 wal: Some(wal),
             }),
+            notifiers: Notifiers::default(),
         };
         Ok((store, report))
     }
@@ -346,7 +378,26 @@ impl MutableStore {
     /// in the WAL; only the snapshot is missing, and the next compaction
     /// retries it. Non-durable stores never return `Err`.
     pub fn try_apply(&self, added: &[u64], removed: &[u64]) -> io::Result<u64> {
-        let mut inner = self.inner.write().unwrap();
+        let mut effective = None;
+        let result = {
+            let mut inner = self.inner.write().unwrap();
+            Self::apply_locked(&mut inner, added, removed, &mut effective)
+        };
+        // Fire the notifiers only after the element lock is released, so a
+        // notifier (the event loop's wakeup hook) may call straight back
+        // into `delta_since` without deadlocking.
+        if let Some(epoch) = effective {
+            self.notifiers.0.lock().unwrap().retain(|n| n(epoch));
+        }
+        result
+    }
+
+    fn apply_locked(
+        inner: &mut MutableInner,
+        added: &[u64],
+        removed: &[u64],
+        effective: &mut Option<u64>,
+    ) -> io::Result<u64> {
         // Hash the add list first: a linear `added.contains` per removed
         // element would make a full-file replacement O(|added|·|removed|)
         // inside the write lock, stalling every session on the store.
@@ -377,9 +428,10 @@ impl MutableStore {
             inner.elements.extend(added.iter().copied());
             inner.log.clear();
             inner.base_epoch = u64::MAX;
+            *effective = Some(u64::MAX);
             // The WAL's strict epoch sequencing cannot express a pinned
             // counter; persist the post-batch state as a snapshot instead.
-            Self::compact_inner(&mut inner)?;
+            Self::compact_inner(inner)?;
             return Ok(inner.epoch);
         };
         // Write-ahead: the batch must be on disk before memory changes.
@@ -398,6 +450,7 @@ impl MutableStore {
             removed,
         };
         inner.log.push_back(batch);
+        *effective = Some(next);
         while inner.log.len() > inner.log_capacity {
             let dropped = inner.log.pop_front().expect("log not empty");
             inner.base_epoch = dropped.epoch;
@@ -413,7 +466,7 @@ impl MutableStore {
             inner.base_epoch = u64::MAX;
         }
         if compaction_due {
-            Self::compact_inner(&mut inner)?;
+            Self::compact_inner(inner)?;
         }
         Ok(inner.epoch)
     }
@@ -453,6 +506,11 @@ impl SetStore for MutableStore {
     fn epoch_snapshot(&self) -> (Vec<u64>, Option<u64>) {
         let (elements, epoch) = self.snapshot_with_epoch();
         (elements, Some(epoch))
+    }
+
+    fn register_notifier(&self, notifier: StoreNotifier) -> bool {
+        self.notifiers.0.lock().unwrap().push(notifier);
+        true
     }
 
     fn delta_since(&self, epoch: u64) -> DeltaAnswer {
@@ -893,6 +951,49 @@ mod tests {
         let mut replayed: Vec<u64> = replay.into_iter().collect();
         replayed.sort_unstable();
         assert_eq!(now, replayed);
+    }
+
+    #[test]
+    fn notifiers_fire_per_effective_batch_outside_the_lock() {
+        let store = MutableStore::new([1u64, 2]);
+        let seen: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        assert!(SetStore::register_notifier(
+            &store,
+            Box::new(move |epoch| {
+                sink.lock().unwrap().push(epoch);
+                epoch < 3 // unregister after epoch 3
+            })
+        ));
+        // A notifier that reads back into the store must not deadlock: it
+        // runs after the element lock is released.
+        {
+            let store2 = Arc::new(MutableStore::new([9u64]));
+            let probe: Arc<Mutex<Vec<DeltaAnswer>>> = Arc::new(Mutex::new(Vec::new()));
+            let (s2, p) = (Arc::clone(&store2), Arc::clone(&probe));
+            SetStore::register_notifier(
+                &*store2,
+                Box::new(move |epoch| {
+                    p.lock()
+                        .unwrap()
+                        .push(s2.delta_since(epoch.saturating_sub(1)));
+                    true
+                }),
+            );
+            store2.apply(&[10], &[]);
+            let got = probe.lock().unwrap();
+            assert_eq!(got.len(), 1);
+            assert!(matches!(&got[0], DeltaAnswer::Changes { current: 1, .. }));
+        }
+        store.apply(&[3], &[]); // epoch 1
+        store.apply(&[1], &[]); // no-op: no notification
+        store.apply(&[4], &[1]); // epoch 2
+        store.apply(&[5], &[]); // epoch 3, notifier returns false
+        store.apply(&[6], &[]); // epoch 4: notifier gone
+        assert_eq!(*seen.lock().unwrap(), vec![1, 2, 3]);
+        // InMemoryStore cannot notify at all.
+        let plain = InMemoryStore::new([1u64]);
+        assert!(!SetStore::register_notifier(&plain, Box::new(|_| true)));
     }
 
     #[test]

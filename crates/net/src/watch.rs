@@ -36,6 +36,14 @@ use std::time::SystemTime;
 /// The `(mtime, length)` fingerprint change detection keys on.
 type FileStamp = (SystemTime, u64);
 
+/// A change hook for [`DirWatcher::with_change_hook`]: called with the
+/// store name and the epoch an effective scan application produced. The
+/// per-store live-subscription wakeups ride the stores' own notifiers
+/// ([`crate::store::SetStore::register_notifier`]); this hook is the
+/// watcher-level aggregate — one callback per store per scan, whatever the
+/// mutation (edit, vanish, reappearance).
+pub type WatchHook = Box<dyn Fn(&str, u64) + Send>;
+
 struct WatchedFile {
     path: PathBuf,
     store: Arc<MutableStore>,
@@ -65,6 +73,7 @@ pub struct DirWatcher {
     changelog_cap: usize,
     durable: Option<DurableOptions>,
     watched: HashMap<String, WatchedFile>,
+    change_hook: Option<WatchHook>,
 }
 
 impl DirWatcher {
@@ -82,7 +91,15 @@ impl DirWatcher {
             changelog_cap,
             durable: None,
             watched: HashMap::new(),
+            change_hook: None,
         }
+    }
+
+    /// Install a [`WatchHook`] called after every effective change a scan
+    /// applies (edits, vanish-emptying, reappearance refills).
+    pub fn with_change_hook(mut self, hook: WatchHook) -> Self {
+        self.change_hook = Some(hook);
+        self
     }
 
     /// Open every watched store durably (WAL + snapshots under the
@@ -145,7 +162,13 @@ impl DirWatcher {
                 Some(file) if file.stamp != Some(stamp) => {
                     let store = Arc::clone(&file.store);
                     file.stamp = Some(stamp);
-                    Self::sync_file_to_store(&name, &path, &store, &mut report);
+                    Self::sync_file_to_store(
+                        &name,
+                        &path,
+                        &store,
+                        &mut report,
+                        self.change_hook.as_ref(),
+                    );
                 }
                 Some(_) => {}
             }
@@ -165,6 +188,9 @@ impl DirWatcher {
                     file.path.display(),
                     current.len()
                 );
+                if let Some(hook) = self.change_hook.as_ref() {
+                    hook(name, epoch);
+                }
             } else {
                 eprintln!(
                     "pbs-watch: {} vanished; store {name:?} already empty",
@@ -222,7 +248,7 @@ impl DirWatcher {
                 store
             }
         };
-        Self::sync_file_to_store(name, path, &store, report);
+        Self::sync_file_to_store(name, path, &store, report, self.change_hook.as_ref());
         println!(
             "pbs-watch: watching {} as store {name:?} ({} elements, epoch {})",
             path.display(),
@@ -247,6 +273,7 @@ impl DirWatcher {
         path: &Path,
         store: &Arc<MutableStore>,
         report: &mut ScanReport,
+        hook: Option<&WatchHook>,
     ) {
         let (target, torn) = match setio::load_set_prefix(path) {
             Ok(loaded) => loaded,
@@ -274,6 +301,9 @@ impl DirWatcher {
         }
         let epoch = store.apply(&added, &removed);
         report.updated += 1;
+        if let Some(hook) = hook {
+            hook(name, epoch);
+        }
         println!(
             "pbs-watch: store {name:?} now epoch {epoch} (+{} −{})",
             added.len(),
@@ -318,6 +348,29 @@ mod tests {
         let mutable = registry.get("a").unwrap();
         let (_, epoch) = mutable.store().epoch_snapshot();
         assert_eq!(epoch, Some(3));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn change_hook_fires_on_edit_and_vanish() {
+        let dir = tempdir("hook");
+        std::fs::write(dir.join("a.set"), "1\n2\n").unwrap();
+        let registry = Arc::new(StoreRegistry::new());
+        let events: Arc<std::sync::Mutex<Vec<(String, u64)>>> = Arc::default();
+        let sink = Arc::clone(&events);
+        let mut watcher = DirWatcher::new(&dir, Arc::clone(&registry), 64).with_change_hook(
+            Box::new(move |name, epoch| {
+                sink.lock().unwrap().push((name.to_string(), epoch));
+            }),
+        );
+        watcher.scan(); // initial fill → epoch 1
+        watcher.scan(); // unchanged → no event
+        std::fs::write(dir.join("a.set"), "1\n2\n3\n").unwrap();
+        watcher.scan(); // edit → epoch 2
+        std::fs::remove_file(dir.join("a.set")).unwrap();
+        watcher.scan(); // vanish-emptying → epoch 3
+        let got = events.lock().unwrap().clone();
+        assert_eq!(got, vec![("a".into(), 1), ("a".into(), 2), ("a".into(), 3)]);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -116,6 +116,16 @@ fn valid_streams(client_set: &[u64], d: u64) -> Vec<Vec<Vec<u8>>> {
         encode(&[Frame::Hello(
             hello(3).with_store("live").with_delta_epoch(0),
         )]),
+        // v3 live subscription: delta catch-up, park with Subscribe, probe
+        // with Ping, answer an (unsolicited but legal) keepalive with Pong.
+        // The server pushes the changelog batch since epoch 0 and closes
+        // cleanly when the write side shuts down.
+        encode(&[
+            Frame::Hello(hello(3).with_store("live").with_delta_epoch(0)),
+            Frame::Subscribe { epoch: 0 },
+            Frame::Ping { nonce: 0xF0CC },
+            Frame::Pong { nonce: 0xF0CC },
+        ]),
         // v3 full session plus frames that are well-formed but make no
         // sense from a client (delta frames, estimator estimate) — the
         // state machine must refuse, not crash.
@@ -236,12 +246,12 @@ fn fuzzed_streams_never_break_the_server() {
 
     let streams = valid_streams(&client_set, 20);
 
-    // Sanity: the first three seed streams complete cleanly unmutated;
-    // the fourth is deliberately protocol-violating and must be refused
+    // Sanity: the first four seed streams complete cleanly unmutated;
+    // the last is deliberately protocol-violating and must be refused
     // with an Error frame (not a crash, not a hang).
     for (i, stream) in streams.iter().enumerate() {
         let outcome = replay(addr, &stream.concat());
-        if i < 3 {
+        if i < 4 {
             assert!(
                 !matches!(outcome, Outcome::ServerError),
                 "valid stream {i} was refused"
@@ -281,11 +291,10 @@ fn fuzzed_streams_never_break_the_server() {
         ..RetryPolicy::default()
     };
     for i in 0..4u64 {
-        let config = ClientConfig {
-            seed: 0xAF7E_0000 + i,
-            known_d: Some(20),
-            ..ClientConfig::default()
-        };
+        let config = ClientConfig::builder()
+            .seed(0xAF7E_0000 + i)
+            .known_d(20)
+            .build();
         let (report, _) =
             sync_with_retry(addr, &client_set, &config, &policy).expect("post-fuzz sync");
         assert!(report.verified, "post-fuzz sync {i} failed to verify");
@@ -299,7 +308,7 @@ fn fuzzed_streams_never_break_the_server() {
         stats.sessions_completed + stats.sessions_failed,
         "a session vanished — a worker must have panicked"
     );
-    assert!(stats.sessions_completed >= 3 + 4); // clean seed replays + good syncs
+    assert!(stats.sessions_completed >= 4 + 4); // clean seed replays + good syncs
 }
 
 enum Outcome {

@@ -13,7 +13,7 @@
 
 use estimator::{inflate_estimate, Estimator, TowEstimator};
 use pbs_core::{AliceSession, BobSession, Pbs, PbsConfig, ESTIMATOR_SEED_SALT};
-use pbs_net::client::{sync, ClientConfig};
+use pbs_net::client::{sync, ClientConfig, Pipeline};
 use pbs_net::frame::{EstimatorMsg, Frame, Hello, FRAME_OVERHEAD, PROTOCOL_VERSION};
 use pbs_net::server::{InMemoryStore, Server, ServerConfig};
 use pbs_net::store::{MutableStore, StoreRegistry};
@@ -218,10 +218,7 @@ fn loopback_reconciles_100k_sets_within_the_transcript_byte_envelope() {
         assert_eq!(truth.len(), d);
 
         let seed = 0xAB5_0000 + d as u64;
-        let client_cfg = ClientConfig {
-            seed,
-            ..ClientConfig::default()
-        };
+        let client_cfg = ClientConfig::builder().seed(seed).build();
         let predicted = reference_run(
             &alice_set,
             &bob_set,
@@ -326,11 +323,7 @@ fn known_d_skips_the_estimator_exchange() {
         ServerConfig::default(),
     )
     .expect("bind");
-    let config = ClientConfig {
-        known_d: Some(40),
-        seed: 7,
-        ..ClientConfig::default()
-    };
+    let config = ClientConfig::builder().known_d(40).seed(7).build();
     let report = sync(server.local_addr(), &alice_set, &config).expect("sync");
     assert!(report.verified);
     assert_eq!(report.d_param, 40);
@@ -360,11 +353,7 @@ fn concurrent_clients_share_the_worker_pool() {
         .map(|i| {
             let set = alice_set.clone();
             std::thread::spawn(move || {
-                let config = ClientConfig {
-                    seed: 100 + i,
-                    known_d: Some(20),
-                    ..ClientConfig::default()
-                };
+                let config = ClientConfig::builder().seed(100 + i).known_d(20).build();
                 sync(addr, &set, &config).expect("concurrent sync")
             })
         })
@@ -510,11 +499,10 @@ fn pipelined_rounds_cut_round_trips_at_d_1000_within_the_byte_envelope() {
             ServerConfig::default(),
         )
         .expect("bind");
-        let config = ClientConfig {
-            seed,
-            pipeline,
-            ..ClientConfig::default()
-        };
+        let config = ClientConfig::builder()
+            .seed(seed)
+            .pipeline(Pipeline::Depth(pipeline))
+            .build();
         let predicted = reference_run(
             &alice_set,
             &bob_set,
@@ -600,13 +588,12 @@ fn two_named_stores_sync_concurrently_through_one_server() {
     let spawn = |store: &str, set: Vec<u64>, d: u64, seed: u64| {
         let store = store.to_string();
         std::thread::spawn(move || {
-            let config = ClientConfig {
-                store,
-                known_d: Some(d),
-                seed,
-                pipeline: 2,
-                ..ClientConfig::default()
-            };
+            let config = ClientConfig::builder()
+                .store(store)
+                .known_d(d)
+                .seed(seed)
+                .pipeline(Pipeline::Depth(2))
+                .build();
             sync(addr, &set, &config).expect("store sync")
         })
     };
@@ -668,12 +655,11 @@ fn v1_v2_downgrade_handshake() {
             ServerConfig::default(),
         )
         .expect("bind");
-        let config = ClientConfig {
-            protocol_version: 1,
-            known_d: Some(20),
-            seed: 5,
-            ..ClientConfig::default()
-        };
+        let config = ClientConfig::builder()
+            .protocol_version(1)
+            .known_d(20)
+            .seed(5)
+            .build();
         let report = sync(server.local_addr(), &alice_set, &config).expect("v1 client sync");
         assert!(report.verified);
         assert_eq!(report.negotiated_version, 1);
@@ -693,12 +679,11 @@ fn v1_v2_downgrade_handshake() {
             },
         )
         .expect("bind");
-        let config = ClientConfig {
-            pipeline: 3,
-            known_d: Some(20),
-            seed: 5,
-            ..ClientConfig::default()
-        };
+        let config = ClientConfig::builder()
+            .known_d(20)
+            .seed(5)
+            .pipeline(Pipeline::Depth(3))
+            .build();
         let report = sync(server.local_addr(), &alice_set, &config).expect("downgraded sync");
         assert!(report.verified);
         assert_eq!(report.negotiated_version, 1);
@@ -722,11 +707,7 @@ fn v1_v2_downgrade_handshake() {
             },
         )
         .expect("bind");
-        let config = ClientConfig {
-            store: "alpha".into(),
-            known_d: Some(20),
-            ..ClientConfig::default()
-        };
+        let config = ClientConfig::builder().store("alpha").known_d(20).build();
         match sync(server.local_addr(), &alice_set, &config) {
             Err(NetError::Protocol(msg)) => assert!(msg.contains("route store"), "{msg}"),
             other => panic!("expected downgrade refusal, got {other:?}"),
@@ -744,11 +725,7 @@ fn v1_v2_downgrade_handshake() {
             ServerConfig::default(),
         )
         .expect("bind");
-        let config = ClientConfig {
-            store: "nope".into(),
-            known_d: Some(20),
-            ..ClientConfig::default()
-        };
+        let config = ClientConfig::builder().store("nope").known_d(20).build();
         match sync(server.local_addr(), &alice_set, &config) {
             Err(NetError::Remote { code, .. }) => {
                 assert_eq!(code, pbs_net::frame::ErrorCode::UnknownStore)
@@ -787,12 +764,14 @@ fn adaptive_pipeline_matches_the_best_fixed_depth_at_d_1000() {
             ServerConfig::default(),
         )
         .expect("bind");
-        let config = ClientConfig {
-            seed,
-            pipeline,
-            pipeline_auto: auto,
-            ..ClientConfig::default()
-        };
+        let config = ClientConfig::builder()
+            .seed(seed)
+            .pipeline(if auto {
+                Pipeline::Auto
+            } else {
+                Pipeline::Depth(pipeline)
+            })
+            .build();
         let report = sync(server.local_addr(), &alice_set, &config).expect("sync");
         assert!(report.verified, "pipeline={pipeline} auto={auto}");
         assert_eq!(sorted(report.recovered.clone()), truth);
@@ -823,11 +802,10 @@ fn delta_requests_downgrade_cleanly() {
 
     // A client pinned below v3 refuses a delta request locally.
     {
-        let config = ClientConfig {
-            protocol_version: 2,
-            delta_epoch: Some(4),
-            ..ClientConfig::default()
-        };
+        let config = ClientConfig::builder()
+            .protocol_version(2)
+            .delta_epoch(4)
+            .build();
         match sync("127.0.0.1:1", &alice_set, &config) {
             Err(NetError::Protocol(msg)) => assert!(msg.contains("v3"), "{msg}"),
             other => panic!("expected local refusal, got {other:?}"),
@@ -848,12 +826,11 @@ fn delta_requests_downgrade_cleanly() {
             },
         )
         .expect("bind");
-        let config = ClientConfig {
-            delta_epoch: Some(0),
-            known_d: Some(20),
-            seed: 5,
-            ..ClientConfig::default()
-        };
+        let config = ClientConfig::builder()
+            .delta_epoch(0)
+            .known_d(20)
+            .seed(5)
+            .build();
         let report = sync(server.local_addr(), &alice_set, &config).expect("downgraded sync");
         assert!(report.verified);
         assert_eq!(report.negotiated_version, 2);
@@ -875,11 +852,7 @@ fn delta_requests_downgrade_cleanly() {
             ServerConfig::default(),
         )
         .expect("bind");
-        let config = ClientConfig {
-            known_d: Some(20),
-            seed: 6,
-            ..ClientConfig::default()
-        };
+        let config = ClientConfig::builder().known_d(20).seed(6).build();
         let report = sync(server.local_addr(), &alice_set, &config).expect("v3 sync");
         assert!(report.verified);
         assert_eq!(report.negotiated_version, PROTOCOL_VERSION);
@@ -906,12 +879,11 @@ fn pipeline_depth_is_negotiated_down_to_the_server_cap() {
         },
     )
     .expect("bind");
-    let config = ClientConfig {
-        pipeline: 8,
-        known_d: Some(30),
-        seed: 9,
-        ..ClientConfig::default()
-    };
+    let config = ClientConfig::builder()
+        .known_d(30)
+        .seed(9)
+        .pipeline(Pipeline::Depth(8))
+        .build();
     let report = sync(server.local_addr(), &alice_set, &config).expect("negotiated sync");
     assert!(report.verified);
     // Depth 2 granted: every full trip carries exactly two rounds.
@@ -935,11 +907,7 @@ fn mutable_store_feeds_sessions_between_mutations() {
         ServerConfig::default(),
     )
     .expect("bind");
-    let config = ClientConfig {
-        known_d: Some(20),
-        seed: 11,
-        ..ClientConfig::default()
-    };
+    let config = ClientConfig::builder().known_d(20).seed(11).build();
     let report = sync(server.local_addr(), &alice_set, &config).expect("first sync");
     assert!(report.verified);
     let epoch_after_first = store.epoch();
@@ -958,11 +926,7 @@ fn mutable_store_feeds_sessions_between_mutations() {
     let report2 = sync(
         server.local_addr(),
         &pool,
-        &ClientConfig {
-            known_d: Some(10),
-            seed: 12,
-            ..ClientConfig::default()
-        },
+        &ClientConfig::builder().known_d(10).seed(12).build(),
     )
     .expect("second sync");
     assert!(report2.verified);
@@ -987,11 +951,7 @@ fn server_round_cap_refuses_marathon_sessions() {
         },
     )
     .expect("bind");
-    let config = ClientConfig {
-        known_d: Some(1),
-        seed: 3,
-        ..ClientConfig::default()
-    };
+    let config = ClientConfig::builder().known_d(1).seed(3).build();
     match sync(server.local_addr(), &alice_set, &config) {
         Err(NetError::Remote { code, .. }) => {
             assert_eq!(code, pbs_net::frame::ErrorCode::RoundLimit)

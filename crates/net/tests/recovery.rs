@@ -194,10 +194,7 @@ fn kill_and_recover_soak_preserves_delta_continuity() {
         total_truncations += recovery.truncated_bytes;
         total_rejected_snapshots += recovery.snapshots_rejected;
         let client_vec: Vec<u64> = client.iter().copied().collect();
-        let config = ClientConfig {
-            delta_epoch: Some(cached_epoch),
-            ..ClientConfig::default()
-        };
+        let config = ClientConfig::builder().delta_epoch(cached_epoch).build();
         let report = sync(server.local_addr(), &client_vec, &config).expect("delta sync");
         assert!(
             !report.delta_fallback,

@@ -128,10 +128,7 @@ fn delta_sync_of_100k_store_beats_full_reconciliation_bytes() {
     let full = sync(
         full_server.local_addr(),
         &baseline,
-        &ClientConfig {
-            seed,
-            ..ClientConfig::default()
-        },
+        &ClientConfig::builder().seed(seed).build(),
     )
     .expect("full reconciliation");
     full_server.shutdown();
@@ -150,11 +147,7 @@ fn delta_sync_of_100k_store_beats_full_reconciliation_bytes() {
     .expect("bind");
     assert_eq!(store.apply(&added, &removed), 1);
 
-    let config = ClientConfig {
-        seed,
-        delta_epoch: Some(0),
-        ..ClientConfig::default()
-    };
+    let config = ClientConfig::builder().seed(seed).delta_epoch(0).build();
     let report = sync(server.local_addr(), &baseline, &config).expect("delta sync");
     assert!(report.verified);
     assert!(!report.delta_fallback);
@@ -230,11 +223,7 @@ fn trimmed_changelog_falls_back_to_full_reconciliation() {
         ServerConfig::default(),
     )
     .expect("bind");
-    let config = ClientConfig {
-        seed: 42,
-        delta_epoch: Some(0),
-        ..ClientConfig::default()
-    };
+    let config = ClientConfig::builder().seed(42).delta_epoch(0).build();
     let report = sync(server.local_addr(), &baseline, &config).expect("fallback sync");
     assert!(report.verified);
     assert!(report.delta_fallback, "must have fallen back");
@@ -251,11 +240,10 @@ fn trimmed_changelog_falls_back_to_full_reconciliation() {
     let report2 = sync(
         server.local_addr(),
         &pool,
-        &ClientConfig {
-            seed: 43,
-            delta_epoch: report.epoch,
-            ..ClientConfig::default()
-        },
+        &ClientConfig::builder()
+            .seed(43)
+            .delta_epoch(report.epoch.expect("baseline epoch"))
+            .build(),
     )
     .expect("resumed delta sync");
     let delta = report2.delta.expect("delta served after re-baseline");
@@ -284,12 +272,11 @@ fn epochless_stores_demand_full_resync() {
     let report = sync(
         server.local_addr(),
         &pool,
-        &ClientConfig {
-            seed: 7,
-            known_d: Some(10),
-            delta_epoch: Some(123),
-            ..ClientConfig::default()
-        },
+        &ClientConfig::builder()
+            .seed(7)
+            .known_d(10)
+            .delta_epoch(123)
+            .build(),
     )
     .expect("fallback sync");
     assert!(report.verified);
@@ -345,11 +332,10 @@ fn repeated_delta_syncs_track_a_concurrently_mutating_store() {
             // One final sync after the last mutation is in the store.
             done_mutating = true;
         }
-        let config = ClientConfig {
-            seed: 0x50AC + syncs,
-            delta_epoch: Some(epoch),
-            ..ClientConfig::default()
-        };
+        let config = ClientConfig::builder()
+            .seed(0x50AC + syncs)
+            .delta_epoch(epoch)
+            .build();
         let report = sync(addr, &[1], &config).expect("delta sync");
         let delta = report.delta.expect("changelog capacity is never exceeded");
         assert_eq!(delta.from_epoch, epoch);

@@ -6,7 +6,7 @@
 //! cargo run --release --example multi_store_sync
 //! ```
 
-use pbs::pbs_net::client::{sync, ClientConfig};
+use pbs::pbs_net::client::{Pipeline, SyncClient};
 use pbs::pbs_net::server::{Server, ServerConfig};
 use pbs::pbs_net::store::{InMemoryStore, MutableStore, SetStore, StoreRegistry};
 use std::sync::Arc;
@@ -41,17 +41,13 @@ fn main() {
     // A client of the "blocks" store, missing 300 elements, pipelining
     // three protocol rounds per request-response trip.
     let client_blocks: Vec<u64> = keyed(301..50_000, 31);
-    let report = sync(
-        server.local_addr(),
-        &client_blocks,
-        &ClientConfig {
-            store: "blocks".into(),
-            pipeline: 3,
-            seed: 42,
-            ..ClientConfig::default()
-        },
-    )
-    .expect("blocks sync");
+    let report = SyncClient::connect(server.local_addr())
+        .expect("resolve server address")
+        .store("blocks")
+        .pipeline(Pipeline::Depth(3))
+        .seed(42)
+        .sync(&client_blocks)
+        .expect("blocks sync");
     println!(
         "blocks: |A△B| = {}, verified = {}, {} protocol rounds in {} round trips (v{})",
         report.recovered.len(),
@@ -64,16 +60,12 @@ fn main() {
 
     // A second tenant syncs its own store concurrently-safe by name.
     let client_peers: Vec<u64> = keyed(41..10_000, 59);
-    let report = sync(
-        server.local_addr(),
-        &client_peers,
-        &ClientConfig {
-            store: "peers".into(),
-            seed: 43,
-            ..ClientConfig::default()
-        },
-    )
-    .expect("peers sync");
+    let report = SyncClient::connect(server.local_addr())
+        .expect("resolve server address")
+        .store("peers")
+        .seed(43)
+        .sync(&client_peers)
+        .expect("peers sync");
     println!(
         "peers: |A△B| = {}, verified = {}",
         report.recovered.len(),
@@ -92,16 +84,12 @@ fn main() {
         changes.iter().map(|c| c.added.len()).sum::<usize>(),
         changes.iter().map(|c| c.removed.len()).sum::<usize>(),
     );
-    let report = sync(
-        server.local_addr(),
-        &feed.snapshot(),
-        &ClientConfig {
-            store: "feed".into(),
-            seed: 44,
-            ..ClientConfig::default()
-        },
-    )
-    .expect("feed sync");
+    let report = SyncClient::connect(server.local_addr())
+        .expect("resolve server address")
+        .store("feed")
+        .seed(44)
+        .sync(&feed.snapshot())
+        .expect("feed sync");
     assert!(report.verified && report.recovered.is_empty());
 
     // Per-store accounting. Shut down first: that joins the workers, so

@@ -6,7 +6,7 @@
 //! cargo run --release --example tcp_sync
 //! ```
 
-use pbs::pbs_net::client::{sync, ClientConfig};
+use pbs::pbs_net::client::SyncClient;
 use pbs::pbs_net::server::{InMemoryStore, Server, ServerConfig};
 use std::sync::Arc;
 
@@ -27,15 +27,11 @@ fn main() {
     .expect("bind loopback server");
     println!("server listening on {}", server.local_addr());
 
-    let report = sync(
-        server.local_addr(),
-        &client_set,
-        &ClientConfig {
-            seed: 42,
-            ..ClientConfig::default()
-        },
-    )
-    .expect("sync");
+    let report = SyncClient::connect(server.local_addr())
+        .expect("resolve server address")
+        .seed(42)
+        .sync(&client_set)
+        .expect("sync");
 
     println!(
         "reconciled: |A△B| = {} ({} pushed to the server), verified = {}",
