@@ -30,7 +30,12 @@
 //!   parked push subscription vs a tight poll of one-shot delta syncs on
 //!   fresh connections, against a real loopback server — the gated
 //!   `push_latency` metric; its speedup is the per-event connect +
-//!   handshake that live push amortizes away.
+//!   handshake that live push amortizes away,
+//! * the telemetry overhead: one full reconciliation against two otherwise
+//!   identical loopback servers, `ServerConfig::telemetry` on (fast, the
+//!   default) vs off (reference) — the gated `metrics_overhead` metric;
+//!   its speedup must stay ~1.0, proving the histogram layer documented in
+//!   `docs/OBSERVABILITY.md` costs no measurable share of a sync.
 //!
 //! Run with `cargo run --release -p bench --bin bench_decode_path`.
 //! The CI bench gate (`check_bench`) compares every `fast_*` metric of the
@@ -584,6 +589,60 @@ fn bench_push_latency(set_size: usize, events: usize) -> Row {
     }
 }
 
+/// Telemetry overhead: the same full reconciliation against two otherwise
+/// identical loopback servers, one with `ServerConfig::telemetry` on (the
+/// default — per-phase histograms and push-dispatch timing recorded) and
+/// one with it off (counters only). The contract is a speedup of ~1.0:
+/// the instrumentation must cost no measurable share of a sync, and the
+/// `check_bench` gate fails if the instrumented path regresses.
+fn bench_metrics_overhead(set_size: usize, d: usize) -> Row {
+    use pbs_net::client::SyncClient;
+    use pbs_net::server::{Server, ServerConfig};
+    use pbs_net::store::InMemoryStore;
+    use std::sync::Arc;
+
+    // Distinct nonzero keys inside the default 32-bit universe (odd
+    // multiplier → bijection mod 2^32; i ≥ 1 keeps 0 out).
+    let server_set: Vec<u64> = (1..=set_size as u64)
+        .map(|i| i.wrapping_mul(2_654_435_761) & 0xFFFF_FFFF)
+        .collect();
+    // Alice holds a strict subset, so every repetition reconciles the
+    // identical d-element difference and never mutates the server store.
+    let alice: Vec<u64> = server_set[d..].to_vec();
+    let syncs = 5usize;
+    let time_sync = |telemetry: bool| {
+        let store = Arc::new(InMemoryStore::new(server_set.iter().copied()));
+        let server = Server::bind(
+            "127.0.0.1:0",
+            store as Arc<_>,
+            ServerConfig {
+                telemetry,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind bench server");
+        let client = SyncClient::connect(server.local_addr()).expect("resolve");
+        let ns = best_ns(3, || {
+            for _ in 0..syncs {
+                let report = client.sync(&alice).expect("sync");
+                assert!(report.verified);
+                assert_eq!(report.recovered.len(), d);
+            }
+        }) / syncs as f64;
+        server.shutdown();
+        ns
+    };
+    let fast_ns = time_sync(true);
+    let reference_ns = time_sync(false);
+
+    Row {
+        name: "metrics_overhead".into(),
+        detail: format!("|B|={set_size} d={d} telemetry on/off"),
+        fast_ms: fast_ns / 1e6,
+        reference_ms: reference_ns / 1e6,
+    }
+}
+
 fn main() {
     let n = 100_000usize;
     let (iblt_insert, iblt_peel) = bench_iblt(n);
@@ -605,6 +664,8 @@ fn main() {
     wal.print();
     let push = bench_push_latency(n / 10, 20);
     push.print();
+    let overhead = bench_metrics_overhead(n / 10, 100);
+    overhead.print();
 
     let threads = std::thread::available_parallelism()
         .map(|v| v.get())
@@ -650,7 +711,8 @@ fn main() {
     emit(&mut json, "net_roundtrip", &net, ",");
     emit(&mut json, "delta_sync", &delta, ",");
     emit(&mut json, "wal_recovery", &wal, ",");
-    emit(&mut json, "push_latency", &push, "");
+    emit(&mut json, "push_latency", &push, ",");
+    emit(&mut json, "metrics_overhead", &overhead, "");
     json.push_str("}\n");
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_decode_path.json");

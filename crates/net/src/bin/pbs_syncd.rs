@@ -6,7 +6,8 @@
 //!           [--changelog-cap N] [--data-dir DIR] [--snapshot-every N]
 //!           [--fsync] [--event-workers W] [--max-subscribers N]
 //!           [--round-cap R] [--max-pipeline L] [--protocol V]
-//!           [--stats-every SECS]
+//!           [--stats-every SECS] [--admin ADDR] [--log json|text]
+//!           [--trace-sample R]
 //! ```
 //!
 //! Serves the `docs/WIRE.md` protocol. One process serves any number of
@@ -47,9 +48,19 @@
 //! `--max-subscribers N` caps concurrently parked subscribers
 //! server-wide.
 //!
+//! **Observability**: `--admin ADDR` binds an HTTP endpoint serving
+//! `GET /metrics` (Prometheus text format), `GET /healthz` (`503` once
+//! shutdown begins), and `GET /stats.json`; the metric catalog is in
+//! `docs/OBSERVABILITY.md`. `--log json|text` turns on structured
+//! per-session trace events on stderr, `--trace-sample R` keeps only the
+//! fraction `R` of sessions (deterministic by session id, default 1.0).
+//!
 //! Per-store and server-wide stats are printed every `--stats-every`
-//! seconds and the process runs until killed.
+//! seconds (`--stats-every 0` disables the stats line entirely — scrape
+//! `--admin` instead) and the process runs until killed.
 
+use obs::trace::{Level, TraceConfig, TraceFormat};
+use pbs_net::admin::{AdminServer, AdminState};
 use pbs_net::server::{Server, ServerConfig};
 use pbs_net::setio;
 use pbs_net::store::{InMemoryStore, SetStore, StoreOptions, StoreRegistry};
@@ -58,7 +69,7 @@ use pbs_net::watch::DirWatcher;
 use std::collections::HashSet;
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 struct Args {
     listen: String,
@@ -77,6 +88,9 @@ struct Args {
     max_pipeline: Option<u32>,
     protocol: Option<u16>,
     stats_every: u64,
+    admin: Option<String>,
+    log: Option<String>,
+    trace_sample: f64,
 }
 
 fn usage() -> ! {
@@ -85,8 +99,11 @@ fn usage() -> ! {
          [--store NAME=SPEC]... [--watch-dir DIR [--watch-every SECS]] \
          [--changelog-cap N] [--data-dir DIR] [--snapshot-every N] [--fsync] \
          [--event-workers W] [--max-subscribers N] [--round-cap R] \
-         [--max-pipeline L] [--protocol V] [--stats-every SECS]\n\
-         SPEC is a set-file path or range:N; at least one store is required"
+         [--max-pipeline L] [--protocol V] [--stats-every SECS] \
+         [--admin ADDR] [--log json|text] [--trace-sample R]\n\
+         SPEC is a set-file path or range:N; at least one store is required\n\
+         --stats-every 0 disables the periodic stats line; --admin serves \
+         GET /metrics, /healthz, /stats.json"
     );
     std::process::exit(2);
 }
@@ -109,6 +126,9 @@ fn parse_args() -> Args {
         max_pipeline: None,
         protocol: None,
         stats_every: 30,
+        admin: None,
+        log: None,
+        trace_sample: 1.0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -144,6 +164,9 @@ fn parse_args() -> Args {
             "--max-pipeline" => args.max_pipeline = value().parse().ok(),
             "--protocol" => args.protocol = value().parse().ok(),
             "--stats-every" => args.stats_every = value().parse().unwrap_or(30),
+            "--admin" => args.admin = Some(value()),
+            "--log" => args.log = Some(value()),
+            "--trace-sample" => args.trace_sample = value().parse().unwrap_or_else(|_| usage()),
             _ => usage(),
         }
     }
@@ -210,6 +233,18 @@ fn register_fixed_store(
 
 fn main() {
     let args = parse_args();
+    if let Some(log) = &args.log {
+        let format = match log.as_str() {
+            "json" => TraceFormat::Json,
+            "text" => TraceFormat::Text,
+            _ => usage(),
+        };
+        obs::trace::init(TraceConfig {
+            format,
+            level: Level::Info,
+            sample: args.trace_sample,
+        });
+    }
     let registry = Arc::new(StoreRegistry::new());
     let durable = args.data_dir.as_ref().map(|dir| {
         registry.set_persistence_root(dir);
@@ -297,9 +332,42 @@ fn main() {
         registry.len()
     );
 
+    // Keep the admin endpoint alive for the life of the process: dropping
+    // the handle would stop its listener thread.
+    let _admin = args.admin.as_ref().map(|addr| {
+        let admin = AdminServer::bind(addr.as_str(), AdminState::of(&server)).unwrap_or_else(|e| {
+            eprintln!("pbs-syncd: cannot bind admin endpoint {addr}: {e}");
+            std::process::exit(1);
+        });
+        println!(
+            "pbs-syncd: admin endpoint on http://{}/metrics",
+            admin.local_addr()
+        );
+        admin
+    });
+
     let stats = server.stats();
+    // --stats-every 0 disables the periodic stats line entirely; the admin
+    // endpoint (if bound) is then the way to observe the process.
+    if args.stats_every == 0 {
+        loop {
+            std::thread::park();
+        }
+    }
+    // Ticks are anchored to an absolute schedule so the time spent walking
+    // stores and printing does not drift the cadence (a sleep *after* the
+    // walk would stretch every interval by the walk's duration).
+    let period = Duration::from_secs(args.stats_every);
+    let mut next_tick = Instant::now() + period;
     loop {
-        std::thread::sleep(Duration::from_secs(args.stats_every.max(1)));
+        if let Some(wait) = next_tick.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        next_tick += period;
+        // A walk slower than the period skips ticks instead of bursting.
+        while next_tick <= Instant::now() {
+            next_tick += period;
+        }
         let s = stats.snapshot();
         println!(
             "pbs-syncd: total: sessions {}/{} ok (failed {}), rounds {} in {} trips, \

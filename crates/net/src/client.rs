@@ -31,7 +31,7 @@ use estimator::{Estimator, TowEstimator};
 use pbs_core::{AliceSession, Pbs, PbsConfig, ESTIMATOR_SEED_SALT};
 use std::collections::HashSet;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How many protocol rounds ride in each sketch/report round trip.
 ///
@@ -319,6 +319,29 @@ impl DeltaFold {
     }
 }
 
+/// Client-side wall-clock breakdown of one sync, measured around the
+/// protocol phases of [`sync`]. The server records its own half of the
+/// same phases into `pbs_server_phase_seconds` (see
+/// `docs/OBSERVABILITY.md`), so the two views can be laid side by side.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SyncPhases {
+    /// TCP connect.
+    pub connect: Duration,
+    /// `Hello` exchange: request sent to negotiated reply validated.
+    pub handshake: Duration,
+    /// Estimator exchange; ~zero when `known_d` skipped it.
+    pub estimate: Duration,
+    /// The sketch/report round loop.
+    pub rounds: Duration,
+    /// Final element transfer and its ack; zero on delta syncs.
+    pub transfer: Duration,
+    /// Delta catch-up stream; zero on full reconciliations, and on
+    /// fallbacks it covers only the refused catch-up attempt.
+    pub delta: Duration,
+    /// The whole call, connect included.
+    pub total: Duration,
+}
+
 /// What a completed (or round-capped) sync observed.
 #[derive(Debug, Clone)]
 pub struct SyncReport {
@@ -362,6 +385,8 @@ pub struct SyncReport {
     pub frames_sent: u64,
     /// Frames received.
     pub frames_received: u64,
+    /// Wall-clock breakdown by protocol phase.
+    pub phases: SyncPhases,
 }
 
 /// A configured connection target: the primary client entry point.
@@ -775,8 +800,12 @@ pub fn sync(
         )));
     }
 
+    let clock = Instant::now();
+    let mut phases = SyncPhases::default();
     let stream = TcpStream::connect(addr)?;
     let mut framed = FramedStream::from_tcp(stream, &config.transport)?;
+    phases.connect = clock.elapsed();
+    let mut mark = Instant::now();
 
     // ---- Handshake ----
     // An adaptive-pipeline client asks for the largest representable depth;
@@ -825,6 +854,8 @@ pub fn sync(
     } else {
         1
     };
+    phases.handshake = mark.elapsed();
+    mark = Instant::now();
 
     // ---- Delta subscription (v3) ----
     // When the handshake carried our cached epoch and the session stayed
@@ -844,6 +875,8 @@ pub fn sync(
                         ..
                     } => fold.fold(batch_added, batch_removed),
                     Frame::DeltaDone { epoch } => {
+                        phases.delta = mark.elapsed();
+                        phases.total = clock.elapsed();
                         return Ok(SyncReport {
                             recovered: Vec::new(),
                             pushed: Vec::new(),
@@ -860,6 +893,7 @@ pub fn sync(
                             bytes_received: framed.bytes_in(),
                             frames_sent: framed.frames_out(),
                             frames_received: framed.frames_in(),
+                            phases,
                         });
                     }
                     Frame::FullResyncRequired { .. } => {
@@ -879,6 +913,8 @@ pub fn sync(
             // session below is the fallback.
             delta_fallback = true;
         }
+        phases.delta = mark.elapsed();
+        mark = Instant::now();
     }
 
     // ---- Difference parameterization ----
@@ -912,6 +948,8 @@ pub fn sync(
             config.max_d
         )));
     }
+    phases.estimate = mark.elapsed();
+    mark = Instant::now();
 
     // ---- Round loop ----
     let params = Pbs::new(config.pbs).plan(d_param as usize);
@@ -945,6 +983,9 @@ pub fn sync(
             break;
         }
     }
+
+    phases.rounds = mark.elapsed();
+    mark = Instant::now();
 
     // ---- Final transfer: ship A \ B so the server can converge ----
     let rounds = alice.round();
@@ -982,6 +1023,9 @@ pub fn sync(
         }
     };
 
+    phases.transfer = mark.elapsed();
+    phases.total = clock.elapsed();
+
     Ok(SyncReport {
         recovered,
         pushed,
@@ -998,6 +1042,7 @@ pub fn sync(
         bytes_received: framed.bytes_in(),
         frames_sent: framed.frames_out(),
         frames_received: framed.frames_in(),
+        phases,
     })
 }
 

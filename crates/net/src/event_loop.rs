@@ -31,8 +31,10 @@ use crate::store::{DeltaAnswer, RegisteredStore, SetStore, StoreRegistry};
 use crate::{FrameError, NetError};
 use analysis::OptimalParams;
 use estimator::{Estimator, TowEstimator};
+use obs::trace::{self, Level, Value};
+use obs::Histogram;
 use pbs_core::{BobSession, Pbs, PbsConfig, ESTIMATOR_SEED_SALT};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::io::{self, Read, Write};
 use std::net::{Ipv4Addr, TcpListener, TcpStream};
 use std::os::unix::io::{AsRawFd, RawFd};
@@ -56,14 +58,65 @@ pub(crate) struct Shared {
     /// Live `Streaming` sessions across all workers, against
     /// `ServerConfig::max_subscribers`.
     pub live_subscribers: AtomicUsize,
+    /// Per-phase latency histograms; `None` when
+    /// `ServerConfig::telemetry` is off (counters stay on either way).
+    pub session_metrics: Option<SessionMetrics>,
+    /// Session-id allocator — ids label trace events and drive the
+    /// deterministic trace sampling.
+    pub next_session_id: AtomicU64,
+}
+
+/// The server-side latency histograms, one registration per server.
+pub(crate) struct SessionMetrics {
+    /// Accept → negotiated `Hello` flushed.
+    pub handshake: Arc<Histogram>,
+    /// Estimator bank awaited + served.
+    pub estimate: Arc<Histogram>,
+    /// Sketch/report rounds through the final ack queued.
+    pub rounds: Arc<Histogram>,
+    /// v3 changelog catch-up (handshake `delta_epoch` → `DeltaDone`
+    /// queued).
+    pub delta_catchup: Arc<Histogram>,
+    /// Store-mutation commit → push burst's `DeltaDone` drained to the OS.
+    pub push_dispatch: Arc<Histogram>,
+    /// Whole session, accept → reap.
+    pub session: Arc<Histogram>,
+}
+
+impl SessionMetrics {
+    pub(crate) fn registered(metrics: &obs::Registry) -> SessionMetrics {
+        let phase = |name: &str, help: &str| {
+            metrics.histogram("pbs_server_phase_seconds", help, &[("phase", name)], 1e-9)
+        };
+        SessionMetrics {
+            handshake: phase("handshake", "Per-phase session latency."),
+            estimate: phase("estimate", "Per-phase session latency."),
+            rounds: phase("rounds", "Per-phase session latency."),
+            delta_catchup: phase("delta_catchup", "Per-phase session latency."),
+            push_dispatch: metrics.histogram(
+                "pbs_server_push_dispatch_seconds",
+                "Store-mutation commit to the push burst's DeltaDone drained to the socket.",
+                &[],
+                1e-9,
+            ),
+            session: metrics.histogram(
+                "pbs_server_session_seconds",
+                "Whole-session wall clock, accept to close.",
+                &[],
+                1e-9,
+            ),
+        }
+    }
 }
 
 /// What a worker can be woken for.
 pub(crate) enum Notice {
     /// A freshly accepted connection.
     Conn(TcpStream),
-    /// A store mutated; push to its subscribers.
-    StoreChanged { store: String },
+    /// A store mutated; push to its subscribers. `at` is the commit
+    /// instant (captured in the notifier, right after the store's element
+    /// lock released) — the push-dispatch latency clock starts here.
+    StoreChanged { store: String, at: Instant },
     /// Close every session and exit.
     Shutdown,
 }
@@ -134,7 +187,7 @@ pub(crate) fn spawn_worker(
                 wake_reader,
                 poller: Poller::new(),
                 sessions: Vec::new(),
-                dirty_stores: HashSet::new(),
+                dirty_stores: HashMap::new(),
                 notified_stores: HashSet::new(),
                 ping_nonce: 0x5EED_0000,
                 shutting_down: false,
@@ -338,6 +391,23 @@ struct Session {
     nb: NbStream,
     fd: RawFd,
     phase: Phase,
+    /// Server-unique session id: labels trace events, drives trace
+    /// sampling.
+    id: u64,
+    /// Whether trace events fire for this session (tracer installed, level
+    /// admits Info, and the id passed the sample rate) — decided once at
+    /// accept so a session traces all-or-nothing.
+    traced: bool,
+    /// Accept instant: base of the handshake-phase and whole-session
+    /// timings.
+    accepted: Instant,
+    /// When the current protocol phase began (reset at each recorded
+    /// phase boundary).
+    phase_start: Instant,
+    /// The commit instant of the oldest store mutation whose push burst is
+    /// still queued toward this subscriber — cleared (and recorded as
+    /// push-dispatch latency) when the write buffer fully drains.
+    push_started: Option<Instant>,
     /// `Some(completed)` once the session is over; reaped by the worker.
     done: Option<bool>,
     /// Wall-clock budget, accept → final ack (pre-subscription phases).
@@ -362,7 +432,7 @@ struct Session {
 }
 
 impl Session {
-    fn new(stream: TcpStream, config: &ServerConfig, now: Instant) -> io::Result<Session> {
+    fn new(stream: TcpStream, config: &ServerConfig, now: Instant, id: u64) -> io::Result<Session> {
         stream.set_nonblocking(true)?;
         stream.set_nodelay(config.transport.nodelay)?;
         let fd = stream.as_raw_fd();
@@ -370,6 +440,11 @@ impl Session {
             nb: NbStream::new(stream, config.transport.max_frame),
             fd,
             phase: Phase::Handshake,
+            id,
+            traced: trace::enabled(Level::Info) && trace::sampled(id),
+            accepted: now,
+            phase_start: now,
+            push_started: None,
             done: None,
             deadline: now + config.session_deadline,
             last_recv: now,
@@ -416,7 +491,9 @@ struct Worker {
     wake_reader: TcpStream,
     poller: Poller,
     sessions: Vec<Session>,
-    dirty_stores: HashSet<String>,
+    /// Stores with pending pushes, mapped to the *earliest* unserved
+    /// mutation-commit instant (the push-dispatch latency baseline).
+    dirty_stores: HashMap<String, Instant>,
     /// Stores this worker has already installed a mutation notifier on.
     notified_stores: HashSet<String>,
     ping_nonce: u64,
@@ -450,11 +527,11 @@ impl Worker {
             if !self.dirty_stores.is_empty() {
                 let dirty = std::mem::take(&mut self.dirty_stores);
                 for i in 0..self.sessions.len() {
-                    if self.sessions[i].done.is_none()
-                        && self.sessions[i].phase == Phase::Streaming
-                        && dirty.contains(&self.sessions[i].store_name)
+                    if self.sessions[i].done.is_none() && self.sessions[i].phase == Phase::Streaming
                     {
-                        self.push_deltas(i);
+                        if let Some(&at) = dirty.get(&self.sessions[i].store_name) {
+                            self.push_deltas(i, Some(at));
+                        }
                     }
                 }
             }
@@ -512,8 +589,13 @@ impl Worker {
         loop {
             match self.rx.try_recv() {
                 Ok(Notice::Conn(stream)) => self.add_session(stream),
-                Ok(Notice::StoreChanged { store }) => {
-                    self.dirty_stores.insert(store);
+                Ok(Notice::StoreChanged { store, at }) => {
+                    // Keep the *earliest* commit instant while notices
+                    // coalesce, so the dispatch latency never under-reports.
+                    self.dirty_stores
+                        .entry(store)
+                        .and_modify(|t| *t = (*t).min(at))
+                        .or_insert(at);
                 }
                 Ok(Notice::Shutdown) | Err(mpsc::TryRecvError::Disconnected) => {
                     // Connections are never enqueued after Shutdown (the
@@ -532,14 +614,52 @@ impl Worker {
             .stats
             .sessions_started
             .fetch_add(1, Ordering::Relaxed);
-        match Session::new(stream, self.config(), Instant::now()) {
-            Ok(sess) => self.sessions.push(sess),
+        let id = self.shared.next_session_id.fetch_add(1, Ordering::Relaxed);
+        let peer = stream.peer_addr().ok();
+        match Session::new(stream, self.config(), Instant::now(), id) {
+            Ok(sess) => {
+                if sess.traced {
+                    let peer = peer.map(|p| p.to_string()).unwrap_or_default();
+                    trace::event(
+                        Level::Info,
+                        "session",
+                        Some(id),
+                        "accept",
+                        &[("peer", Value::Str(&peer))],
+                    );
+                }
+                self.sessions.push(sess);
+            }
             Err(_) => {
                 self.shared
                     .stats
                     .sessions_failed
                     .fetch_add(1, Ordering::Relaxed);
             }
+        }
+    }
+
+    /// Record the elapsed time of the phase ending now for session `i`
+    /// into the histogram `pick` selects, and restart the phase clock.
+    /// No-op (and no `Instant` read) when telemetry is off.
+    fn record_phase(&mut self, i: usize, pick: fn(&SessionMetrics) -> &Arc<Histogram>) {
+        if let Some(m) = &self.shared.session_metrics {
+            let now = Instant::now();
+            pick(m).record_duration(now - self.sessions[i].phase_start);
+            self.sessions[i].phase_start = now;
+        }
+    }
+
+    /// Emit an Info-level trace event for session `i`, if it is traced.
+    fn trace_session(&self, i: usize, event: &str, fields: &[(&str, Value<'_>)]) {
+        if self.sessions[i].traced {
+            trace::event(
+                Level::Info,
+                "session",
+                Some(self.sessions[i].id),
+                event,
+                fields,
+            );
         }
     }
 
@@ -607,6 +727,15 @@ impl Worker {
                         if self.sessions[i].phase == Phase::Streaming {
                             let entry = self.sessions[i].entry.clone();
                             self.bump(&entry, |s| &s.subscribers_evicted, 1);
+                            if self.sessions[i].traced {
+                                trace::event(
+                                    Level::Warn,
+                                    "session",
+                                    Some(self.sessions[i].id),
+                                    "evicted",
+                                    &[("reason", Value::Str("write_stall"))],
+                                );
+                            }
                         }
                         let outcome = self.sessions[i].close_outcome();
                         self.sessions[i].finish(outcome);
@@ -673,6 +802,13 @@ impl Worker {
                     self.sessions[i].last_send_progress = Instant::now();
                 }
                 if self.sessions[i].nb.pending_out() == 0 {
+                    // Push burst fully handed to the OS: the dispatch
+                    // latency clock (mutation commit → drained) stops.
+                    if let Some(started) = self.sessions[i].push_started.take() {
+                        if let Some(m) = &self.shared.session_metrics {
+                            m.push_dispatch.record_duration(started.elapsed());
+                        }
+                    }
                     if let Phase::Closing(completed) = self.sessions[i].phase {
                         self.sessions[i].finish(completed);
                     }
@@ -748,10 +884,20 @@ impl Worker {
     /// Queue an `Error` frame and move to `Closing` as failed — the
     /// non-blocking counterpart of the blocking server's `refuse`.
     fn refuse(&mut self, i: usize, code: ErrorCode, message: impl Into<String>) {
-        let _ = self.sessions[i].nb.queue(&Frame::Error {
-            code,
-            message: message.into(),
-        });
+        let message = message.into();
+        if self.sessions[i].traced {
+            trace::event(
+                Level::Warn,
+                "session",
+                Some(self.sessions[i].id),
+                "refused",
+                &[
+                    ("code", Value::U64(code as u64)),
+                    ("message", Value::Str(&message)),
+                ],
+            );
+        }
+        let _ = self.sessions[i].nb.queue(&Frame::Error { code, message });
         self.sessions[i].phase = Phase::Closing(false);
         self.arm_closing_grace(i);
         self.on_writable(i);
@@ -862,6 +1008,20 @@ impl Worker {
         if self.sessions[i].done.is_some() {
             return;
         }
+        // The handshake phase ends with the negotiated Hello on the wire;
+        // what follows (delta catch-up / snapshot + Bob build) belongs to
+        // the next phase's clock.
+        self.record_phase(i, |m| &m.handshake);
+        self.trace_session(
+            i,
+            "hello",
+            &[
+                ("version", Value::U64(negotiated_version as u64)),
+                ("store", Value::Str(entry.name())),
+                ("known_d", Value::U64(hello.known_d)),
+                ("delta_epoch", Value::Bool(hello.delta_epoch.is_some())),
+            ],
+        );
         let entry_opt = Some(entry);
 
         let mut ctx = ProtoCtx {
@@ -919,6 +1079,15 @@ impl Worker {
                         ctx.subscribable = true;
                         self.sessions[i].ctx = Some(ctx);
                         self.sessions[i].phase = Phase::AwaitSubscribe;
+                        self.record_phase(i, |m| &m.delta_catchup);
+                        self.trace_session(
+                            i,
+                            "delta_catchup",
+                            &[
+                                ("batches", Value::U64(batches.len() as u64)),
+                                ("epoch", Value::U64(current)),
+                            ],
+                        );
                         self.on_writable(i);
                         return;
                     }
@@ -1059,6 +1228,8 @@ impl Worker {
             ctx.snapshot = Vec::new();
         }
         self.sessions[i].phase = Phase::Rounds;
+        self.record_phase(i, |m| &m.estimate);
+        self.trace_session(i, "estimated", &[("d_param", Value::U64(d_param))]);
         self.on_writable(i);
     }
 
@@ -1183,6 +1354,16 @@ impl Worker {
                     self.sessions[i].finish(false);
                     return;
                 }
+                self.record_phase(i, |m| &m.rounds);
+                let rounds = self.sessions[i].ctx.as_ref().map_or(0, |c| c.rounds);
+                self.trace_session(
+                    i,
+                    "reconciled",
+                    &[
+                        ("rounds", Value::U64(rounds as u64)),
+                        ("received", Value::U64(elements.len() as u64)),
+                    ],
+                );
                 self.after_ack(i);
             }
             other => self.refuse(
@@ -1234,9 +1415,11 @@ impl Worker {
         self.sessions[i].phase = Phase::Streaming;
         self.sessions[i].last_ping = now;
         self.sessions[i].last_send_progress = now;
+        self.trace_session(i, "subscribed", &[("epoch", Value::U64(epoch))]);
         // Catch up on anything that mutated between the client's baseline
-        // and this Subscribe.
-        self.push_deltas(i);
+        // and this Subscribe. Not a push dispatch: the latency clock only
+        // runs for bursts triggered by a store mutation.
+        self.push_deltas(i, None);
     }
 
     fn handle_streaming(&mut self, i: usize, frame: Frame) {
@@ -1262,8 +1445,11 @@ impl Worker {
 
     /// Push everything the store changed past this subscriber's epoch as
     /// one `DeltaBatch*`/`DeltaDone` burst, evicting the subscriber if
-    /// the burst would overrun its buffer cap.
-    fn push_deltas(&mut self, i: usize) {
+    /// the burst would overrun its buffer cap. `origin` is the commit
+    /// instant of the mutation that triggered the push (`None` for the
+    /// initial Subscribe catch-up) — it seeds the dispatch-latency clock
+    /// stopped in `on_writable` when the burst drains.
+    fn push_deltas(&mut self, i: usize, origin: Option<Instant>) {
         let store = self.sessions[i].store.clone().expect("streaming has store");
         let entry = self.sessions[i].entry.clone();
         let config = *self.config();
@@ -1295,6 +1481,18 @@ impl Worker {
                     // without bound. FullResyncRequired tells it to come
                     // back with a fresh reconciliation.
                     self.bump(&entry, |s| &s.subscribers_evicted, 1);
+                    if self.sessions[i].traced {
+                        trace::event(
+                            Level::Warn,
+                            "session",
+                            Some(self.sessions[i].id),
+                            "evicted",
+                            &[
+                                ("reason", Value::Str("buffer_overrun")),
+                                ("burst_bytes", Value::U64(burst_bytes)),
+                            ],
+                        );
+                    }
                     let _ = self.sessions[i]
                         .nb
                         .queue(&Frame::FullResyncRequired { epoch: current });
@@ -1316,6 +1514,13 @@ impl Worker {
                     return;
                 }
                 self.sessions[i].sub_epoch = current;
+                if let Some(origin) = origin {
+                    if self.shared.session_metrics.is_some() {
+                        let started = self.sessions[i].push_started;
+                        self.sessions[i].push_started =
+                            Some(started.map_or(origin, |s| s.min(origin)));
+                    }
+                }
                 self.on_writable(i);
             }
             DeltaAnswer::Trimmed { current } => {
@@ -1348,6 +1553,7 @@ impl Worker {
                 .map(|tx| {
                     tx.send(Notice::StoreChanged {
                         store: store_name.clone(),
+                        at: Instant::now(),
                     })
                     .is_ok()
                 })
@@ -1388,6 +1594,23 @@ impl Worker {
                 |s| &s.sessions_failed
             };
             self.bump(&entry, field, 1);
+            if let Some(m) = &self.shared.session_metrics {
+                m.session.record_duration(sess.accepted.elapsed());
+            }
+            if sess.traced {
+                trace::event(
+                    Level::Info,
+                    "session",
+                    Some(sess.id),
+                    "closed",
+                    &[
+                        ("completed", Value::Bool(completed)),
+                        ("bytes_in", Value::U64(sess.nb.bytes_in)),
+                        ("bytes_out", Value::U64(sess.nb.bytes_out)),
+                        ("seconds", Value::F64(sess.accepted.elapsed().as_secs_f64())),
+                    ],
+                );
+            }
             // Session drops here; the socket closes with it.
         }
     }

@@ -22,6 +22,10 @@
 //!   subscription), enforcing per-session deadlines, read/write-inactivity
 //!   timeouts, round caps and pipeline-depth caps, and exporting atomic
 //!   [`server::ServerStats`] both server-wide and per store.
+//! * [`admin`] — [`admin::AdminServer`]: a hand-rolled HTTP/1.0
+//!   observability endpoint (`/metrics`, `/healthz`, `/stats.json`)
+//!   serving the [`obs::Registry`] a server's instrumentation records
+//!   into; see `docs/OBSERVABILITY.md` for the metric catalog.
 //! * [`client`] — [`client::SyncClient`]: drives an
 //!   [`pbs_core::AliceSession`] against a server (optionally pipelining
 //!   several protocol rounds per round trip, with a fixed or per-trip
@@ -67,6 +71,7 @@
 
 #![warn(missing_docs)]
 
+pub mod admin;
 pub mod client;
 pub mod crc;
 pub(crate) mod event_loop;
@@ -78,9 +83,10 @@ pub mod store;
 pub mod wal;
 pub mod watch;
 
+pub use admin::{AdminServer, AdminState};
 pub use client::{
     is_transient, sync, sync_with_retry, ClientConfig, ConfigBuilder, DeltaFold, DeltaReport,
-    Pipeline, RetryPolicy, Subscription, SyncClient, SyncReport,
+    Pipeline, RetryPolicy, Subscription, SyncClient, SyncPhases, SyncReport,
 };
 pub use frame::{Frame, Hello, PROTOCOL_VERSION};
 pub use server::{Server, ServerConfig};

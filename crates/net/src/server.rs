@@ -26,10 +26,11 @@
 //! against the negotiated codec before they reach the BCH codec's
 //! `Sketch::combine` capacity assertion.
 
-use crate::event_loop::{spawn_acceptor, spawn_worker, Notice, Shared, WorkerLink};
+use crate::event_loop::{spawn_acceptor, spawn_worker, Notice, SessionMetrics, Shared, WorkerLink};
 use crate::frame::PROTOCOL_VERSION;
 use crate::store::StoreRegistry;
 use crate::TransportConfig;
+use obs::Counter;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -88,6 +89,11 @@ pub struct ServerConfig {
     /// burst that would overrun it evicts the subscriber with
     /// `FullResyncRequired` instead of buffering without bound.
     pub subscriber_buffer: usize,
+    /// Record latency histograms and emit trace events. Counters are always
+    /// maintained (they are too cheap to gate); turning this off removes the
+    /// per-phase `Instant` reads and histogram records — the `metrics_overhead`
+    /// benchmark measures the difference.
+    pub telemetry: bool,
 }
 
 impl Default for ServerConfig {
@@ -105,6 +111,7 @@ impl Default for ServerConfig {
             max_subscribers: 1024,
             keepalive: Duration::from_secs(10),
             subscriber_buffer: 1 << 20,
+            telemetry: true,
         }
     }
 }
@@ -114,54 +121,54 @@ impl Default for ServerConfig {
 #[derive(Debug, Default)]
 pub struct ServerStats {
     /// Connections handed to a worker.
-    pub sessions_started: AtomicU64,
+    pub sessions_started: Counter,
     /// Sessions that ran to a clean end (final ack delivered, or a live
     /// subscription that ended after it).
-    pub sessions_completed: AtomicU64,
+    pub sessions_completed: Counter,
     /// Sessions that ended in any error (including peer disconnects
     /// mid-protocol).
-    pub sessions_failed: AtomicU64,
+    pub sessions_failed: Counter,
     /// Protocol rounds served across all sessions (a pipelined frame
     /// counts once per layer it carries).
-    pub rounds: AtomicU64,
+    pub rounds: Counter,
     /// Sketch/report exchanges served — request-response round trips. At
     /// most `rounds`; lower exactly when clients pipelined.
-    pub round_trips: AtomicU64,
+    pub round_trips: Counter,
     /// Wire bytes received, framing included.
-    pub bytes_in: AtomicU64,
+    pub bytes_in: Counter,
     /// Wire bytes sent, framing included.
-    pub bytes_out: AtomicU64,
+    pub bytes_out: Counter,
     /// Frames received.
-    pub frames_in: AtomicU64,
+    pub frames_in: Counter,
     /// Frames sent.
-    pub frames_out: AtomicU64,
+    pub frames_out: Counter,
     /// BCH decode failures across all sessions (each one split a group).
-    pub decode_failures: AtomicU64,
+    pub decode_failures: Counter,
     /// Estimator exchanges served.
-    pub estimator_exchanges: AtomicU64,
+    pub estimator_exchanges: Counter,
     /// Elements ingested from clients' final transfers.
-    pub elements_received: AtomicU64,
+    pub elements_received: Counter,
     /// Sessions served entirely from the changelog — the v3 delta
     /// short-circuit (no reconciliation ran).
-    pub delta_sessions: AtomicU64,
+    pub delta_sessions: Counter,
     /// Delta requests answered with `FullResyncRequired` (changelog
     /// trimmed, epoch from the future, or an epoch-less store).
-    pub delta_fallbacks: AtomicU64,
+    pub delta_fallbacks: Counter,
     /// `DeltaBatch` frames streamed in delta catch-ups.
-    pub delta_batches: AtomicU64,
+    pub delta_batches: Counter,
     /// Elements (adds plus removes) streamed in delta catch-ups.
-    pub delta_elements: AtomicU64,
+    pub delta_elements: Counter,
     /// Live subscriptions accepted (`Subscribe` frames honored).
-    pub subscriptions: AtomicU64,
+    pub subscriptions: Counter,
     /// `DeltaBatch` frames pushed to live subscribers.
-    pub push_batches: AtomicU64,
+    pub push_batches: Counter,
     /// Elements (adds plus removes) pushed to live subscribers.
-    pub push_elements: AtomicU64,
+    pub push_elements: Counter,
     /// Subscribers evicted for falling behind (buffer cap or write
     /// stall).
-    pub subscribers_evicted: AtomicU64,
+    pub subscribers_evicted: Counter,
     /// Keepalive `Ping` frames sent to idle subscribers.
-    pub keepalive_pings: AtomicU64,
+    pub keepalive_pings: Counter,
 }
 
 /// A point-in-time copy of [`ServerStats`].
@@ -212,6 +219,75 @@ pub struct StatsSnapshot {
 }
 
 impl ServerStats {
+    /// Build a stats block whose counters live in `metrics` under
+    /// `{prefix}{field}_total` with the given label set, so the Prometheus
+    /// rendering and the [`StatsSnapshot`] compatibility view read the same
+    /// atomics. Registration is idempotent: re-registering the same
+    /// `(prefix, labels)` pair (a store replaced at runtime) resumes the
+    /// existing counters instead of resetting them.
+    pub fn registered(
+        metrics: &obs::Registry,
+        prefix: &str,
+        labels: &[(&str, &str)],
+    ) -> ServerStats {
+        let c = |name: &str, help: &str| {
+            metrics.counter(&format!("{prefix}{name}_total"), help, labels)
+        };
+        ServerStats {
+            sessions_started: c("sessions_started", "Connections handed to a worker."),
+            sessions_completed: c("sessions_completed", "Sessions that ran to a clean end."),
+            sessions_failed: c("sessions_failed", "Sessions that ended in any error."),
+            rounds: c(
+                "rounds",
+                "Protocol rounds served (pipelined layers counted individually).",
+            ),
+            round_trips: c(
+                "round_trips",
+                "Sketch/report request-response round trips served.",
+            ),
+            bytes_in: c("bytes_in", "Wire bytes received, framing included."),
+            bytes_out: c("bytes_out", "Wire bytes sent, framing included."),
+            frames_in: c("frames_in", "Frames received."),
+            frames_out: c("frames_out", "Frames sent."),
+            decode_failures: c(
+                "decode_failures",
+                "BCH decode failures (each one split a group).",
+            ),
+            estimator_exchanges: c("estimator_exchanges", "Estimator exchanges served."),
+            elements_received: c(
+                "elements_received",
+                "Elements ingested from clients' final transfers.",
+            ),
+            delta_sessions: c(
+                "delta_sessions",
+                "Sessions served entirely from the changelog (v3 delta path).",
+            ),
+            delta_fallbacks: c(
+                "delta_fallbacks",
+                "Delta requests answered with FullResyncRequired.",
+            ),
+            delta_batches: c(
+                "delta_batches",
+                "DeltaBatch frames streamed in delta catch-ups.",
+            ),
+            delta_elements: c("delta_elements", "Elements streamed in delta catch-ups."),
+            subscriptions: c("subscriptions", "Live subscriptions accepted."),
+            push_batches: c(
+                "push_batches",
+                "DeltaBatch frames pushed to live subscribers.",
+            ),
+            push_elements: c("push_elements", "Elements pushed to live subscribers."),
+            subscribers_evicted: c(
+                "subscribers_evicted",
+                "Subscribers evicted for falling behind.",
+            ),
+            keepalive_pings: c(
+                "keepalive_pings",
+                "Keepalive Ping frames sent to idle subscribers.",
+            ),
+        }
+    }
+
     /// Copy every counter.
     pub fn snapshot(&self) -> StatsSnapshot {
         let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
@@ -282,7 +358,8 @@ impl Server {
         );
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
-        let stats = Arc::new(ServerStats::default());
+        let metrics = registry.metrics();
+        let stats = Arc::new(ServerStats::registered(&metrics, "pbs_server_", &[]));
         let shutdown = Arc::new(AtomicBool::new(false));
 
         let shared = Arc::new(Shared {
@@ -290,6 +367,10 @@ impl Server {
             config,
             stats: Arc::clone(&stats),
             live_subscribers: AtomicUsize::new(0),
+            session_metrics: config
+                .telemetry
+                .then(|| SessionMetrics::registered(&metrics)),
+            next_session_id: AtomicU64::new(1),
         });
 
         let mut worker_links = Vec::with_capacity(config.workers);
@@ -327,6 +408,20 @@ impl Server {
     /// The store registry this server routes sessions into.
     pub fn registry(&self) -> Arc<StoreRegistry> {
         Arc::clone(&self.registry)
+    }
+
+    /// The metric registry behind this server's counters and histograms —
+    /// shared with the store registry, so per-store and store-layer metrics
+    /// render alongside the server-wide ones. Feed it to
+    /// [`crate::admin::AdminServer`] or render it directly.
+    pub fn metrics(&self) -> Arc<obs::Registry> {
+        self.registry.metrics()
+    }
+
+    /// The flag [`Server::shutdown`] raises before draining. The admin
+    /// endpoint's `/healthz` watches it to flip from `ok` to `draining`.
+    pub fn shutdown_signal(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
     }
 
     /// Stop accepting, wake every worker, and join every thread. Sessions

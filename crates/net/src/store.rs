@@ -19,10 +19,12 @@
 
 use crate::server::ServerStats;
 use crate::wal::{self, DurableOptions, RecoveryReport, Wal};
+use obs::{Gauge, Histogram};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::{Duration, Instant};
 
 /// A mutation callback registered with [`SetStore::register_notifier`]:
 /// called with the store's new epoch after every effective change batch.
@@ -97,6 +99,11 @@ pub trait SetStore: Send + Sync + 'static {
     fn register_notifier(&self, _notifier: StoreNotifier) -> bool {
         false
     }
+    /// Hook called once when the store is registered with a
+    /// [`StoreRegistry`]: stores with internal timings publish them into
+    /// `metrics` under the given `store` label. The default publishes
+    /// nothing.
+    fn attach_metrics(&self, _metrics: &obs::Registry, _label: &str) {}
 }
 
 /// A `RwLock<HashSet>`-backed [`SetStore`].
@@ -203,6 +210,25 @@ pub struct MutableStore {
     /// every effective batch, *after* the element lock is released — a
     /// notifier may immediately call back into the store.
     notifiers: Notifiers,
+    /// Store-layer telemetry, installed once at registry attach time
+    /// ([`SetStore::attach_metrics`]); `None` until then, so unregistered
+    /// stores pay nothing.
+    metrics: OnceLock<MutableMetrics>,
+    /// How long [`wal::recover`] took, for stores opened durably — published
+    /// as a gauge when metrics attach.
+    recovery_time: Option<Duration>,
+}
+
+/// The [`MutableStore`]-level instruments (WAL append/fsync/compaction
+/// timers live inside [`Wal`] itself).
+#[derive(Debug)]
+struct MutableMetrics {
+    /// Latency of one effective `apply` batch, WAL write-through included.
+    apply: Arc<Histogram>,
+    /// Current element count.
+    elements: Gauge,
+    /// Current epoch.
+    epoch: Gauge,
 }
 
 /// Default number of change batches a [`MutableStore`] retains.
@@ -242,6 +268,8 @@ impl MutableStore {
                 wal: None,
             }),
             notifiers: Notifiers::default(),
+            metrics: OnceLock::new(),
+            recovery_time: None,
         }
     }
 
@@ -262,7 +290,9 @@ impl MutableStore {
         dir: &Path,
         options: DurableOptions,
     ) -> io::Result<(MutableStore, RecoveryReport)> {
+        let recovery_start = Instant::now();
         let recovered = wal::recover(dir, options.log_capacity)?;
+        let recovery_time = recovery_start.elapsed();
         let report = recovered.report();
         let wal = Wal::open(dir, options)?;
         let base_epoch = recovered
@@ -280,6 +310,8 @@ impl MutableStore {
                 wal: Some(wal),
             }),
             notifiers: Notifiers::default(),
+            metrics: OnceLock::new(),
+            recovery_time: Some(recovery_time),
         };
         Ok((store, report))
     }
@@ -363,7 +395,17 @@ impl MutableStore {
                 // The write-ahead append failed, so the batch was rejected
                 // and memory is unchanged — degraded (the feed misses the
                 // batch), never silently divergent from disk.
-                eprintln!("pbs store: durable apply failed, batch dropped: {e}");
+                if obs::trace::enabled(obs::trace::Level::Error) {
+                    obs::trace::event(
+                        obs::trace::Level::Error,
+                        "store",
+                        None,
+                        "durable_apply_failed",
+                        &[("error", obs::trace::Value::Str(&e.to_string()))],
+                    );
+                } else {
+                    eprintln!("pbs store: durable apply failed, batch dropped: {e}");
+                }
                 self.epoch()
             }
         }
@@ -378,11 +420,21 @@ impl MutableStore {
     /// in the WAL; only the snapshot is missing, and the next compaction
     /// retries it. Non-durable stores never return `Err`.
     pub fn try_apply(&self, added: &[u64], removed: &[u64]) -> io::Result<u64> {
+        let metrics = self.metrics.get();
+        let start = metrics.map(|_| Instant::now());
         let mut effective = None;
-        let result = {
+        let (result, len) = {
             let mut inner = self.inner.write().unwrap();
-            Self::apply_locked(&mut inner, added, removed, &mut effective)
+            let result = Self::apply_locked(&mut inner, added, removed, &mut effective);
+            (result, inner.elements.len())
         };
+        if let (Some(m), Some(start)) = (metrics, start) {
+            if let Some(epoch) = effective {
+                m.apply.record_duration(start.elapsed());
+                m.elements.set(len as f64);
+                m.epoch.set(epoch as f64);
+            }
+        }
         // Fire the notifiers only after the element lock is released, so a
         // notifier (the event loop's wakeup hook) may call straight back
         // into `delta_since` without deadlocking.
@@ -513,6 +565,57 @@ impl SetStore for MutableStore {
         true
     }
 
+    fn attach_metrics(&self, metrics: &obs::Registry, label: &str) {
+        let labels = [("store", label)];
+        let m = MutableMetrics {
+            apply: metrics.histogram(
+                "pbs_store_apply_seconds",
+                "Latency of one effective mutation batch, WAL write-through included.",
+                &labels,
+                1e-9,
+            ),
+            elements: metrics.gauge("pbs_store_elements", "Current element count.", &labels),
+            epoch: metrics.gauge("pbs_store_epoch", "Current store epoch.", &labels),
+        };
+        {
+            let mut inner = self.inner.write().unwrap();
+            m.elements.set(inner.elements.len() as f64);
+            m.epoch.set(inner.epoch as f64);
+            if let Some(wal) = inner.wal.as_mut() {
+                wal.set_timers(
+                    metrics.histogram(
+                        "pbs_store_wal_append_seconds",
+                        "WAL append latency (encode + buffered write, fsync excluded).",
+                        &labels,
+                        1e-9,
+                    ),
+                    metrics.histogram(
+                        "pbs_store_wal_fsync_seconds",
+                        "WAL fsync latency (sync_writes stores only).",
+                        &labels,
+                        1e-9,
+                    ),
+                    metrics.histogram(
+                        "pbs_store_compaction_seconds",
+                        "Snapshot + log compaction duration.",
+                        &labels,
+                        1e-9,
+                    ),
+                );
+            }
+        }
+        if let Some(t) = self.recovery_time {
+            metrics
+                .gauge(
+                    "pbs_store_recovery_seconds",
+                    "How long crash recovery (snapshot load + WAL replay) took at open.",
+                    &labels,
+                )
+                .set(t.as_secs_f64());
+        }
+        let _ = self.metrics.set(m);
+    }
+
     fn delta_since(&self, epoch: u64) -> DeltaAnswer {
         let inner = self.inner.read().unwrap();
         // A reader from this store's future (a cached epoch surviving a
@@ -601,6 +704,20 @@ pub struct StoreRegistry {
     /// When set, [`StoreRegistry::register_durable`] roots each store's
     /// persistence directory here.
     persistence_root: RwLock<Option<PathBuf>>,
+    /// The metric registry every per-store counter, gauge and histogram
+    /// registers into — shared with the server(s) built over this registry,
+    /// so one `/metrics` render covers everything.
+    metrics: Arc<obs::Registry>,
+}
+
+/// The `store` label value a name renders under: the default store (empty
+/// name) is labeled `default` so the label is never the empty string.
+pub fn store_label(name: &str) -> &str {
+    if name.is_empty() {
+        "default"
+    } else {
+        name
+    }
 }
 
 /// The directory name a store's persistent state lives under, inside a
@@ -666,17 +783,31 @@ impl StoreRegistry {
             "store name {name:?} exceeds the {}-byte wire limit",
             crate::frame::MAX_STORE_NAME
         );
+        // Counters register idempotently by (name, label): replacing a store
+        // under the same name resumes its counters instead of zeroing them.
+        let stats = Arc::new(ServerStats::registered(
+            &self.metrics,
+            "pbs_store_",
+            &[("store", store_label(&name))],
+        ));
+        store.attach_metrics(&self.metrics, store_label(&name));
         let entry = Arc::new(RegisteredStore {
             name: name.clone(),
             store,
             options,
-            stats: Arc::new(ServerStats::default()),
+            stats,
         });
         self.stores
             .write()
             .unwrap()
             .insert(name, Arc::clone(&entry));
         entry
+    }
+
+    /// The metric registry behind this store registry (shared with any
+    /// server built over it).
+    pub fn metrics(&self) -> Arc<obs::Registry> {
+        Arc::clone(&self.metrics)
     }
 
     /// Root every [`StoreRegistry::register_durable`] store's persistence

@@ -46,10 +46,13 @@
 
 use crate::frame::{self, delta_batch_frames, delta_chunk_capacity, Frame, DEFAULT_MAX_FRAME};
 use crate::store::ChangeBatch;
+use obs::Histogram;
 use std::collections::HashSet;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// File name of the write-ahead log inside a store directory.
 pub const WAL_FILE: &str = "changes.wal";
@@ -183,6 +186,17 @@ pub struct Wal {
     records_since_snapshot: usize,
     options: DurableOptions,
     crash: Option<CrashPoint>,
+    /// Append / fsync / compaction latency histograms, installed by
+    /// [`Wal::set_timers`] when the owning store attaches to a metric
+    /// registry. `None` costs nothing.
+    timers: Option<WalTimers>,
+}
+
+#[derive(Debug)]
+struct WalTimers {
+    append: Arc<Histogram>,
+    fsync: Arc<Histogram>,
+    compaction: Arc<Histogram>,
 }
 
 fn snapshot_name(epoch: u64) -> String {
@@ -425,7 +439,23 @@ impl Wal {
             records_since_snapshot: 0,
             options,
             crash: None,
+            timers: None,
         })
+    }
+
+    /// Install append / fsync / compaction latency histograms. Called once
+    /// by the owning store when it attaches to a metric registry.
+    pub fn set_timers(
+        &mut self,
+        append: Arc<Histogram>,
+        fsync: Arc<Histogram>,
+        compaction: Arc<Histogram>,
+    ) {
+        self.timers = Some(WalTimers {
+            append,
+            fsync,
+            compaction,
+        });
     }
 
     /// The directory this WAL lives in.
@@ -464,10 +494,20 @@ impl Wal {
             self.file.flush()?;
             return Err(injected());
         }
+        let start = self.timers.as_ref().map(|_| Instant::now());
         self.file.write_all(&record)?;
         self.file.flush()?;
+        let written = start.map(|s| s.elapsed());
         if self.options.sync_writes {
             self.file.sync_data()?;
+        }
+        if let (Some(t), Some(written)) = (self.timers.as_ref(), written) {
+            t.append.record_duration(written);
+            if self.options.sync_writes {
+                // The fsync cost alone: total minus the buffered write.
+                let total = start.expect("timed above").elapsed();
+                t.fsync.record_duration(total.saturating_sub(written));
+            }
         }
         self.len += record.len() as u64;
         self.records_since_snapshot += 1;
@@ -480,6 +520,20 @@ impl Wal {
     /// between any two steps leaves a recoverable directory (the ordering
     /// is the whole point; see the module docs).
     pub fn compact(&mut self, elements: &[u64], epoch: u64, log: &[ChangeBatch]) -> io::Result<()> {
+        let start = self.timers.as_ref().map(|_| Instant::now());
+        let result = self.compact_untimed(elements, epoch, log);
+        if let (Some(t), Some(start), Ok(())) = (self.timers.as_ref(), start, &result) {
+            t.compaction.record_duration(start.elapsed());
+        }
+        result
+    }
+
+    fn compact_untimed(
+        &mut self,
+        elements: &[u64],
+        epoch: u64,
+        log: &[ChangeBatch],
+    ) -> io::Result<()> {
         let blob = encode_snapshot(elements, epoch, log);
         let final_path = self.dir.join(snapshot_name(epoch));
         if self.crash == Some(CrashPoint::TornSnapshot) {

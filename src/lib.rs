@@ -7,6 +7,8 @@
 //! * [`pbs_core`] — the Parity Bitmap Sketch scheme (the paper's contribution)
 //! * [`pbs_net`] — the networked subsystem: framed TCP transport, session
 //!   server and sync client (see `docs/WIRE.md`)
+//! * [`obs`] — std-only telemetry: latency histograms, the Prometheus
+//!   metric registry, and structured tracing (see `docs/OBSERVABILITY.md`)
 //! * [`protocol`] — the `Reconciler` trait, transcripts and workloads
 //! * [`analysis`] — the Markov-chain framework and parameter optimizer
 //! * [`estimator`] — ToW / Strata / min-wise difference-cardinality estimators
@@ -24,6 +26,7 @@ pub use estimator;
 pub use gf;
 pub use graphene;
 pub use iblt;
+pub use obs;
 pub use pbs_core;
 pub use pbs_net;
 pub use pinsketch;
