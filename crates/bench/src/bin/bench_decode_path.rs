@@ -36,6 +36,11 @@
 //!   default) vs off (reference) — the gated `metrics_overhead` metric;
 //!   its speedup must stay ~1.0, proving the histogram layer documented in
 //!   `docs/OBSERVABILITY.md` costs no measurable share of a sync.
+//! * the load-harness tail: p99 `total` session latency of 150 open-loop
+//!   delta catch-ups at 300/s, driven by the loadgen engine's multiplexing
+//!   worker pool (fast) vs one blocking OS thread per arrival (reference)
+//!   over the same seeded schedule — the gated `load_p99` metric; a
+//!   regression means the measuring instrument itself got slower.
 //!
 //! Run with `cargo run --release -p bench --bin bench_decode_path`.
 //! The CI bench gate (`check_bench`) compares every `fast_*` metric of the
@@ -643,6 +648,163 @@ fn bench_metrics_overhead(set_size: usize, d: usize) -> Row {
     }
 }
 
+/// Open-loop load-harness p99: the `total` session latency at p99 when
+/// `sessions` delta catch-ups arrive at `rate`/s against a loopback
+/// server, driven by the loadgen worker pool multiplexing every session
+/// on a handful of threads (fast) vs a thread-per-arrival driver that
+/// gives each session its own OS thread and blocking client (reference).
+/// Same seeded arrival schedule, same server, same workload — the
+/// difference is purely the session-driving discipline, and the gated
+/// `fast_ms` keeps the harness's own measurement path honest: a
+/// regression here means the instrument got slower, not the server.
+fn bench_load_p99(sessions: usize, rate: f64) -> Row {
+    use loadgen::{build_plan, Engine, EngineConfig, Kind, Mix, PlanConfig, Report, SessionSpec};
+    use pbs_net::client::{sync, ClientConfig};
+    use pbs_net::server::{Server, ServerConfig};
+    use pbs_net::store::MutableStore;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let base: Vec<u64> = keys(10_000, 0x10AD);
+    let store = Arc::new(MutableStore::new(base.iter().copied()));
+    let epoch = store.epoch();
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::clone(&store) as Arc<_>,
+        ServerConfig::default(),
+    )
+    .expect("bind bench server");
+    let addr = server.local_addr();
+
+    // All-delta mix: the cheapest session the protocol serves, so the
+    // measured tail is the driving machinery, not the decode.
+    let plan_config = PlanConfig {
+        sessions,
+        rate,
+        mix: Mix {
+            full: 0,
+            delta: 1,
+            pipelined: 0,
+            subscribe: 0,
+        },
+        seed: 0x10AD_BE9C,
+    };
+    let plan = build_plan(&plan_config);
+    assert!(plan.iter().all(|a| a.kind == Kind::Delta));
+
+    // The open-loop tail on a small shared box is dominated by scheduler
+    // noise — multi-second throttle bursts inflate a whole pass 10x — so
+    // both sides take the best p99 over repeated passes, and passes keep
+    // running until (a) the two best values on each side agree within 30%
+    // (one quiet pass is luck, two agreeing passes are a measurement) and
+    // (b) the best values sit within a sane multiple of the floor: the
+    // best-of-N latency of an isolated one-shot sync, itself re-sampled
+    // every pass so one quiet 100µs rep anywhere in the run anchors it.
+    // (a) alone converges happily on a uniformly-throttled triple; the
+    // floor check is what rejects that. Fast and reference passes are
+    // interleaved so a burst degrades both sides alike instead of skewing
+    // the gated speedup ratio.
+    const MIN_PASSES: usize = 3;
+    const MAX_PASSES: usize = 8;
+    let converged = |samples: &[u64]| {
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        sorted[1] <= sorted[0] + sorted[0] * 3 / 10
+    };
+    let base = Arc::new(base);
+    let mut fast_samples_us: Vec<u64> = Vec::new();
+    let mut reference_samples_us: Vec<u64> = Vec::new();
+    let mut floor_ns = f64::INFINITY;
+    for pass in 0..MAX_PASSES {
+        floor_ns = floor_ns.min(best_ns(20, || {
+            let config = ClientConfig::builder().delta_epoch(epoch).build();
+            let report = sync(addr, &[], &config).expect("floor sync");
+            black_box(report.delta.is_some());
+        }));
+        let quiet = |samples: &[u64]| {
+            *samples.iter().min().expect("non-empty") as f64 * 1e3 <= floor_ns * 15.0
+        };
+        if pass >= MIN_PASSES
+            && converged(&fast_samples_us)
+            && converged(&reference_samples_us)
+            && quiet(&fast_samples_us)
+            && quiet(&reference_samples_us)
+        {
+            break;
+        }
+        // Fast: the loadgen engine — 2 workers multiplexing every
+        // in-flight session, per-phase latency recorded inside the state
+        // machine.
+        let mut engine = Engine::start(EngineConfig {
+            target: addr,
+            workers: 2,
+            spec: SessionSpec::default(),
+            base_set: Arc::clone(&base),
+            drops: 1,
+            delta_epoch: epoch,
+        })
+        .expect("start engine");
+        let started = Instant::now();
+        engine.run_plan(&plan, started);
+        let (metrics, elapsed) = engine.drain(Duration::from_secs(60), Duration::ZERO);
+        let report = Report::build(&metrics, &plan_config, elapsed);
+        assert!(
+            report.settled() && report.failed == 0,
+            "engine run degraded"
+        );
+        let p99 = report
+            .phases
+            .iter()
+            .find(|(name, ..)| *name == "total")
+            .map(|&(_, _, p99, _, _)| p99)
+            .expect("total phase");
+        fast_samples_us.push(p99);
+
+        // Reference: the same schedule, one OS thread + blocking client
+        // per arrival.
+        let ref_started = Instant::now();
+        let handles: Vec<_> = plan
+            .iter()
+            .map(|arrival| {
+                let due = ref_started + arrival.at;
+                std::thread::spawn(move || {
+                    if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                        std::thread::sleep(wait);
+                    }
+                    let begun = Instant::now();
+                    let config = ClientConfig::builder().delta_epoch(epoch).build();
+                    let report = sync(addr, &[], &config).expect("reference sync");
+                    assert!(report.delta.is_some());
+                    begun.elapsed()
+                })
+            })
+            .collect();
+        let mut latencies: Vec<Duration> = handles
+            .into_iter()
+            .map(|h| h.join().expect("reference session thread"))
+            .collect();
+        latencies.sort_unstable();
+        let ref_p99 = latencies[(latencies.len() - 1) * 99 / 100];
+        reference_samples_us.push(ref_p99.as_micros() as u64);
+    }
+    server.shutdown();
+    let fast_p99_us = *fast_samples_us.iter().min().expect("at least one pass");
+    let reference_p99_us = *reference_samples_us
+        .iter()
+        .min()
+        .expect("at least one pass");
+
+    Row {
+        name: "load_p99".into(),
+        detail: format!(
+            "sessions={sessions} rate={rate:.0}/s delta-only best-of-{}",
+            fast_samples_us.len()
+        ),
+        fast_ms: fast_p99_us as f64 / 1e3,
+        reference_ms: reference_p99_us as f64 / 1e3,
+    }
+}
+
 fn main() {
     let n = 100_000usize;
     let (iblt_insert, iblt_peel) = bench_iblt(n);
@@ -666,6 +828,8 @@ fn main() {
     push.print();
     let overhead = bench_metrics_overhead(n / 10, 100);
     overhead.print();
+    let load = bench_load_p99(300, 300.0);
+    load.print();
 
     let threads = std::thread::available_parallelism()
         .map(|v| v.get())
@@ -712,7 +876,8 @@ fn main() {
     emit(&mut json, "delta_sync", &delta, ",");
     emit(&mut json, "wal_recovery", &wal, ",");
     emit(&mut json, "push_latency", &push, ",");
-    emit(&mut json, "metrics_overhead", &overhead, "");
+    emit(&mut json, "metrics_overhead", &overhead, ",");
+    emit(&mut json, "load_p99", &load, "");
     json.push_str("}\n");
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_decode_path.json");

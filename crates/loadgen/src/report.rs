@@ -1,0 +1,219 @@
+//! Run reporting: fold the engine's [`Metrics`] into a human table and a
+//! machine-readable JSON document.
+//!
+//! The JSON layer is hand-rolled (the workspace is std-only) and stable:
+//! the acceptance tests parse it back, and CI archives it next to the
+//! bench JSON. Latencies are reported in microseconds; every
+//! [`crate::session::PhaseNanos`] phase appears with `p50`/`p99`/`p999`/
+//! `count`, whether or not the workload mix exercised it.
+
+use crate::engine::Metrics;
+use crate::plan::PlanConfig;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+/// Everything a finished run reports.
+#[derive(Debug)]
+pub struct Report {
+    /// Master seed of the run (reprints for replay).
+    pub seed: u64,
+    /// Offered arrival rate (sessions/second) from the plan.
+    pub offered_rate: f64,
+    /// Achieved completion rate over the run's wall clock.
+    pub achieved_rate: f64,
+    /// Wall clock of the whole run, drain included.
+    pub elapsed: Duration,
+    /// Counters, frozen.
+    pub started: u64,
+    /// See [`Metrics::completed`].
+    pub completed: u64,
+    /// See [`Metrics::failed`].
+    pub failed: u64,
+    /// See [`Metrics::evicted`].
+    pub evicted: u64,
+    /// See [`Metrics::delta_fallbacks`].
+    pub delta_fallbacks: u64,
+    /// See [`Metrics::pushes`].
+    pub pushes: u64,
+    /// See [`Metrics::peak_inflight`].
+    pub peak_inflight: u64,
+    /// See [`Metrics::peak_parked`].
+    pub peak_parked: u64,
+    /// Wire bytes received / sent across all sessions.
+    pub bytes_in: u64,
+    /// See [`Report::bytes_in`].
+    pub bytes_out: u64,
+    /// Per-phase `(name, p50, p99, p999, count)`, microseconds.
+    pub phases: Vec<(&'static str, u64, u64, u64, u64)>,
+    /// Sampled error strings.
+    pub errors: Vec<String>,
+}
+
+impl Report {
+    /// Freeze `metrics` into a report.
+    pub fn build(metrics: &Metrics, plan: &PlanConfig, elapsed: Duration) -> Report {
+        let completed = metrics.completed.load(Ordering::SeqCst);
+        let phases = metrics
+            .phases
+            .named()
+            .iter()
+            .map(|(name, hist)| {
+                (
+                    *name,
+                    hist.quantile(0.5) / 1_000,
+                    hist.quantile(0.99) / 1_000,
+                    hist.quantile(0.999) / 1_000,
+                    hist.count(),
+                )
+            })
+            .collect();
+        Report {
+            seed: plan.seed,
+            offered_rate: plan.rate,
+            achieved_rate: completed as f64 / elapsed.as_secs_f64().max(1e-9),
+            elapsed,
+            started: metrics.started.load(Ordering::SeqCst),
+            completed,
+            failed: metrics.failed.load(Ordering::SeqCst),
+            evicted: metrics.evicted.load(Ordering::SeqCst),
+            delta_fallbacks: metrics.delta_fallbacks.load(Ordering::SeqCst),
+            pushes: metrics.pushes.load(Ordering::SeqCst),
+            peak_inflight: metrics.peak_inflight.load(Ordering::SeqCst),
+            peak_parked: metrics.peak_parked.load(Ordering::SeqCst),
+            bytes_in: metrics.bytes_in.load(Ordering::SeqCst),
+            bytes_out: metrics.bytes_out.load(Ordering::SeqCst),
+            phases,
+            errors: metrics.errors.lock().unwrap().clone(),
+        }
+    }
+
+    /// The accounting identity every drained run must satisfy.
+    pub fn settled(&self) -> bool {
+        self.started == self.completed + self.failed + self.evicted
+    }
+
+    /// The human table.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        let secs = self.elapsed.as_secs_f64();
+        out.push_str(&format!(
+            "pbs-loadgen: seed {:#x}  offered {:.0}/s  achieved {:.0}/s  elapsed {:.2}s\n",
+            self.seed, self.offered_rate, self.achieved_rate, secs
+        ));
+        out.push_str(&format!(
+            "sessions: {} started = {} completed + {} failed + {} evicted  \
+             (peak in-flight {}, peak parked {})\n",
+            self.started,
+            self.completed,
+            self.failed,
+            self.evicted,
+            self.peak_inflight,
+            self.peak_parked
+        ));
+        out.push_str(&format!(
+            "traffic: {} B in / {} B out ({:.0} B/s in, {:.0} B/s out), \
+             {} pushes, {} delta fallbacks\n",
+            self.bytes_in,
+            self.bytes_out,
+            self.bytes_in as f64 / secs.max(1e-9),
+            self.bytes_out as f64 / secs.max(1e-9),
+            self.pushes,
+            self.delta_fallbacks
+        ));
+        out.push_str(&format!(
+            "{:<10} {:>10} {:>10} {:>10} {:>8}\n",
+            "phase", "p50 µs", "p99 µs", "p999 µs", "count"
+        ));
+        for (name, p50, p99, p999, count) in &self.phases {
+            out.push_str(&format!(
+                "{name:<10} {p50:>10} {p99:>10} {p999:>10} {count:>8}\n"
+            ));
+        }
+        for error in &self.errors {
+            out.push_str(&format!("error: {error}\n"));
+        }
+        out
+    }
+
+    /// The machine-readable document.
+    pub fn json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!(
+            "  \"offered_rate\": {:.3},\n  \"achieved_rate\": {:.3},\n  \"elapsed_secs\": {:.6},\n",
+            self.offered_rate,
+            self.achieved_rate,
+            self.elapsed.as_secs_f64()
+        ));
+        for (key, value) in [
+            ("started", self.started),
+            ("completed", self.completed),
+            ("failed", self.failed),
+            ("evicted", self.evicted),
+            ("delta_fallbacks", self.delta_fallbacks),
+            ("pushes", self.pushes),
+            ("peak_inflight", self.peak_inflight),
+            ("peak_parked", self.peak_parked),
+            ("bytes_in", self.bytes_in),
+            ("bytes_out", self.bytes_out),
+        ] {
+            out.push_str(&format!("  \"{key}\": {value},\n"));
+        }
+        out.push_str("  \"phases_us\": {\n");
+        for (i, (name, p50, p99, p999, count)) in self.phases.iter().enumerate() {
+            let comma = if i + 1 < self.phases.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    \"{name}\": {{\"p50\": {p50}, \"p99\": {p99}, \
+                 \"p999\": {p999}, \"count\": {count}}}{comma}\n"
+            ));
+        }
+        out.push_str("  },\n");
+        out.push_str("  \"errors\": [");
+        for (i, error) in self.errors.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\"",
+                error.replace('\\', "\\\\").replace('"', "\\\"")
+            ));
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Metrics;
+
+    #[test]
+    fn json_carries_every_phase_and_the_identity() {
+        let metrics = Metrics::default();
+        metrics.started.store(5, Ordering::SeqCst);
+        metrics.completed.store(3, Ordering::SeqCst);
+        metrics.failed.store(1, Ordering::SeqCst);
+        metrics.evicted.store(1, Ordering::SeqCst);
+        let report = Report::build(&metrics, &PlanConfig::default(), Duration::from_secs(2));
+        assert!(report.settled());
+        let json = report.json();
+        for phase in [
+            "connect",
+            "handshake",
+            "estimate",
+            "rounds",
+            "transfer",
+            "delta",
+            "total",
+        ] {
+            assert!(
+                json.contains(&format!("\"{phase}\": {{\"p50\"")),
+                "phase {phase} missing from JSON:\n{json}"
+            );
+        }
+        assert!(json.contains("\"started\": 5"));
+        let table = report.table();
+        assert!(table.contains("5 started = 3 completed + 1 failed + 1 evicted"));
+    }
+}

@@ -1,0 +1,587 @@
+//! One in-flight load-generator session: the client side of the wire
+//! protocol as a non-blocking state machine over
+//! [`pbs_net::mux::MuxStream`].
+//!
+//! [`pbs_net::client::sync`] drives the same protocol with blocking I/O —
+//! one OS thread per session. A load generator cannot afford that: the
+//! acceptance bar is thousands of concurrent sessions (most of them
+//! parked subscribers) per worker thread, so this module re-expresses the
+//! client flow the way PR 7's server expresses the Bob side — as a state
+//! machine advanced by readiness events, never blocking, with explicit
+//! per-phase timing marks that mirror [`pbs_net::client::SyncPhases`]
+//! field for field. The protocol logic (handshake validation, delta
+//! fallback, estimator exchange, pipelined round loop, final transfer) is
+//! deliberately the same decision sequence as `client::sync`, so what the
+//! harness measures is what real clients run.
+
+use crate::plan::{Arrival, Kind};
+use estimator::{Estimator, TowEstimator};
+use pbs_core::{AliceSession, Pbs, PbsConfig, ESTIMATOR_SEED_SALT};
+use pbs_net::frame::{EstimatorMsg, Frame, Hello};
+use pbs_net::mux::MuxStream;
+use pbs_net::NetError;
+use std::collections::HashSet;
+use std::net::TcpStream;
+use std::os::fd::{AsRawFd, RawFd};
+use std::time::{Duration, Instant};
+
+/// Protocol parameters shared by every session of a run.
+#[derive(Debug, Clone)]
+pub struct SessionSpec {
+    /// PBS configuration proposed in each handshake.
+    pub pbs: PbsConfig,
+    /// Client-side protocol-round cap.
+    pub round_cap: u32,
+    /// Largest accepted difference parameterization.
+    pub max_d: u64,
+    /// Frame-size cap of the transport.
+    pub max_frame: u32,
+    /// Server-side store every session addresses.
+    pub store: String,
+    /// Wall-clock budget per session; the engine fails sessions that
+    /// exceed it (an open-loop harness must never wedge on one peer).
+    pub deadline: Duration,
+}
+
+impl Default for SessionSpec {
+    fn default() -> Self {
+        SessionSpec {
+            pbs: PbsConfig::default().unlimited_rounds(),
+            round_cap: 32,
+            max_d: 1 << 18,
+            max_frame: 1 << 20,
+            store: String::new(),
+            deadline: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Where a finished session ended up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Ran its workload to the end (for a subscriber: parked until the
+    /// harness drained it).
+    Completed,
+    /// A parked subscriber terminated by the *server* before the drain —
+    /// backpressure eviction or connection loss while parked.
+    Evicted,
+    /// Anything else: transport error, protocol violation, deadline.
+    Failed,
+}
+
+/// Per-phase wall-clock marks, mirroring
+/// [`pbs_net::client::SyncPhases`] field for field (plus `park` for the
+/// time a subscriber spent parked).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseNanos {
+    /// TCP connect (measured by the engine, before the machine starts).
+    pub connect: u64,
+    /// `Hello` sent → negotiated reply validated.
+    pub handshake: u64,
+    /// Estimator exchange.
+    pub estimate: u64,
+    /// The sketch/report round loop.
+    pub rounds: u64,
+    /// Final transfer and its ack.
+    pub transfer: u64,
+    /// Delta catch-up stream.
+    pub delta: u64,
+    /// Whole session, connect included (for subscribers: up to the park).
+    pub total: u64,
+}
+
+impl PhaseNanos {
+    /// `(name, value)` pairs in presentation order — every consumer
+    /// (table, JSON, assertions) iterates this one list.
+    pub fn named(&self) -> [(&'static str, u64); 7] {
+        [
+            ("connect", self.connect),
+            ("handshake", self.handshake),
+            ("estimate", self.estimate),
+            ("rounds", self.rounds),
+            ("transfer", self.transfer),
+            ("delta", self.delta),
+            ("total", self.total),
+        ]
+    }
+}
+
+/// What one finished session reports back to the engine.
+#[derive(Debug, Clone)]
+pub struct SessionResult {
+    /// The planned workload kind.
+    pub kind: Kind,
+    /// How it ended.
+    pub outcome: Outcome,
+    /// The failure, for [`Outcome::Failed`]/[`Outcome::Evicted`].
+    pub error: Option<String>,
+    /// Per-phase latency marks.
+    pub phases: PhaseNanos,
+    /// Reconciliation sessions: every group checksum verified.
+    pub verified: bool,
+    /// A requested delta catch-up was refused and the session fell back
+    /// to a full reconciliation.
+    pub delta_fallback: bool,
+    /// Push batches a subscriber received while parked.
+    pub pushes: u64,
+    /// Wire bytes received, framing included.
+    pub bytes_in: u64,
+    /// Wire bytes sent, framing included.
+    pub bytes_out: u64,
+}
+
+#[derive(Debug)]
+enum State {
+    /// `Hello` queued, awaiting the negotiated reply.
+    AwaitHello,
+    /// Awaiting the delta catch-up stream.
+    AwaitDelta,
+    /// Estimator bank queued, awaiting the estimate reply.
+    AwaitEstimate,
+    /// Sketches queued, awaiting reports.
+    AwaitReports,
+    /// Final transfer queued, awaiting its ack.
+    AwaitAck,
+    /// Subscriber parked: folding pushes, answering pings.
+    Parked,
+    /// Finished — `result` is populated.
+    Done,
+}
+
+/// One live session. The engine owns a set of these, polls their fds, and
+/// calls [`LoadSession::on_readable`]/[`LoadSession::on_writable`] as the
+/// socket becomes ready.
+#[derive(Debug)]
+pub struct LoadSession {
+    mux: MuxStream,
+    kind: Kind,
+    state: State,
+    seed: u64,
+    spec: SessionSpec,
+    /// The client set (full/pipelined kinds; empty for delta/subscribe).
+    set: Vec<u64>,
+    pipeline_auto: bool,
+    grant: u32,
+    alice: Option<AliceSession>,
+    sketch_m: u32,
+    delta_fallback: bool,
+    /// Last epoch a parked subscriber advanced to — pushes must arrive in
+    /// non-decreasing epoch order.
+    parked_epoch: u64,
+    pushes: u64,
+    started: Instant,
+    mark: Instant,
+    phases: PhaseNanos,
+    result: Option<SessionResult>,
+}
+
+impl LoadSession {
+    /// Take over a just-connected stream: put it in non-blocking mode and
+    /// queue the `Hello`. The arrival supplies the session kind and seed;
+    /// `connect` is the measured connect duration, `started` the instant
+    /// the connect began (anchors `total`). `delta_epoch` must be set for
+    /// [`Kind::Delta`]/[`Kind::Subscribe`].
+    pub fn start(
+        stream: TcpStream,
+        arrival: &Arrival,
+        set: Vec<u64>,
+        delta_epoch: Option<u64>,
+        connect: Duration,
+        started: Instant,
+        spec: SessionSpec,
+    ) -> Result<Self, NetError> {
+        let (kind, seed) = (arrival.kind, arrival.seed);
+        let mut mux = MuxStream::from_tcp(stream, spec.max_frame, true).map_err(NetError::Io)?;
+        let pipeline_auto = kind == Kind::Pipelined;
+        let requested_depth = if pipeline_auto { u8::MAX as u32 } else { 1 };
+        let mut hello = Hello::from_config(&spec.pbs, seed, 0)
+            .with_store(spec.store.clone())
+            .with_pipeline(requested_depth);
+        hello.delta_epoch = match kind {
+            Kind::Delta | Kind::Subscribe => {
+                Some(delta_epoch.expect("delta/subscribe sessions need an epoch"))
+            }
+            Kind::Full | Kind::Pipelined => None,
+        };
+        mux.queue(&Frame::Hello(hello))?;
+        let phases = PhaseNanos {
+            connect: connect.as_nanos() as u64,
+            ..PhaseNanos::default()
+        };
+        Ok(LoadSession {
+            mux,
+            kind,
+            state: State::AwaitHello,
+            seed,
+            spec,
+            set,
+            pipeline_auto,
+            grant: 1,
+            alice: None,
+            sketch_m: 0,
+            delta_fallback: false,
+            parked_epoch: 0,
+            pushes: 0,
+            started,
+            mark: Instant::now(),
+            phases,
+            result: None,
+        })
+    }
+
+    /// The raw fd the engine polls.
+    pub fn fd(&self) -> RawFd {
+        self.mux.get_ref().as_raw_fd()
+    }
+
+    /// Write interest: only while output is queued.
+    pub fn wants_write(&self) -> bool {
+        self.mux.pending_out() > 0
+    }
+
+    /// `true` once the session has a result to reap.
+    pub fn is_finished(&self) -> bool {
+        matches!(self.state, State::Done)
+    }
+
+    /// `true` while the session is a parked subscriber.
+    pub fn is_parked(&self) -> bool {
+        matches!(self.state, State::Parked)
+    }
+
+    /// The instant the session began (deadline accounting).
+    pub fn started(&self) -> Instant {
+        self.started
+    }
+
+    /// Whether the session is past its deadline. Parked subscribers are
+    /// exempt — parking indefinitely is their job.
+    pub fn past_deadline(&self, now: Instant) -> bool {
+        !self.is_parked() && now.duration_since(self.started) > self.spec.deadline
+    }
+
+    /// Consume the result after [`LoadSession::is_finished`].
+    pub fn take_result(&mut self) -> Option<SessionResult> {
+        self.result.take()
+    }
+
+    /// Socket writable: drain queued output.
+    pub fn on_writable(&mut self) {
+        if self.is_finished() {
+            return;
+        }
+        if let Err(e) = self.mux.flush() {
+            self.fail(format!("write: {e}"));
+        }
+    }
+
+    /// Socket readable: buffer input and advance the state machine over
+    /// every complete frame.
+    pub fn on_readable(&mut self) {
+        if self.is_finished() {
+            return;
+        }
+        if let Err(e) = self.mux.fill() {
+            self.fail(format!("read: {e}"));
+            return;
+        }
+        loop {
+            match self.mux.next_frame() {
+                Ok(Some(frame)) => {
+                    self.on_frame(frame);
+                    if self.is_finished() {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    self.fail(format!("frame: {e}"));
+                    return;
+                }
+            }
+        }
+        if self.mux.peer_closed() {
+            // EOF with no complete frame left. For a parked subscriber
+            // that is a server-initiated termination (eviction); for any
+            // other state the server hung up mid-protocol.
+            if self.is_parked() {
+                self.finish(
+                    Outcome::Evicted,
+                    Some("server closed a parked subscription".into()),
+                );
+            } else {
+                self.fail("connection closed mid-session".into());
+            }
+        }
+        // Frame handlers queue output; push it toward the socket now
+        // rather than waiting for the next writable event.
+        let _ = self.mux.flush();
+    }
+
+    /// Drain a parked subscriber: the harness is done, the park was the
+    /// workload, the session completes.
+    pub fn finish_parked(&mut self) {
+        if self.is_parked() {
+            let _ = self.mux.get_ref().shutdown(std::net::Shutdown::Both);
+            self.finish(Outcome::Completed, None);
+        }
+    }
+
+    /// Fail the session from outside (deadline).
+    pub fn fail_timeout(&mut self) {
+        self.fail(format!(
+            "deadline of {:?} exceeded in state {:?}",
+            self.spec.deadline, self.state
+        ));
+    }
+
+    fn fail(&mut self, error: String) {
+        // A parked subscriber can only die by the server's hand — that is
+        // the eviction bucket, not a harness failure.
+        if self.is_parked() {
+            self.finish(Outcome::Evicted, Some(error));
+        } else {
+            self.finish(Outcome::Failed, Some(error));
+        }
+    }
+
+    fn finish(&mut self, outcome: Outcome, error: Option<String>) {
+        if self.is_finished() {
+            return;
+        }
+        if self.phases.total == 0 {
+            self.phases.total = self.started.elapsed().as_nanos() as u64;
+        }
+        let verified = matches!(outcome, Outcome::Completed) && error.is_none();
+        self.result = Some(SessionResult {
+            kind: self.kind,
+            outcome,
+            error,
+            phases: self.phases,
+            verified,
+            delta_fallback: self.delta_fallback,
+            pushes: self.pushes,
+            bytes_in: self.mux.bytes_in(),
+            bytes_out: self.mux.bytes_out(),
+        });
+        self.state = State::Done;
+    }
+
+    fn lap(&mut self) -> u64 {
+        let now = Instant::now();
+        let nanos = now.duration_since(self.mark).as_nanos() as u64;
+        self.mark = now;
+        nanos
+    }
+
+    fn complete(&mut self) {
+        self.phases.total = self.started.elapsed().as_nanos() as u64;
+        self.finish(Outcome::Completed, None);
+    }
+
+    fn protocol_error(&mut self, context: &str, frame: &Frame) {
+        self.fail(format!(
+            "{context}: unexpected frame type {}",
+            frame.type_byte()
+        ));
+    }
+
+    fn queue(&mut self, frame: &Frame) -> bool {
+        if let Err(e) = self.mux.queue(frame) {
+            self.fail(format!("queue: {e}"));
+            return false;
+        }
+        true
+    }
+
+    fn on_frame(&mut self, frame: Frame) {
+        match self.state {
+            State::AwaitHello => self.on_hello(frame),
+            State::AwaitDelta => self.on_delta(frame),
+            State::AwaitEstimate => self.on_estimate(frame),
+            State::AwaitReports => self.on_reports(frame),
+            State::AwaitAck => self.on_ack(frame),
+            State::Parked => self.on_push(frame),
+            State::Done => {}
+        }
+    }
+
+    fn on_hello(&mut self, frame: Frame) {
+        let negotiated = match frame {
+            Frame::Hello(h) => h,
+            other => return self.protocol_error("handshake", &other),
+        };
+        if negotiated.version == 0 || negotiated.version > pbs_net::PROTOCOL_VERSION {
+            return self.fail(format!(
+                "server negotiated unsupported version {}",
+                negotiated.version
+            ));
+        }
+        self.grant = if negotiated.version >= 2 {
+            let requested = if self.pipeline_auto {
+                u8::MAX as u32
+            } else {
+                1
+            };
+            requested.min(negotiated.pipeline.max(1) as u32)
+        } else {
+            1
+        };
+        self.phases.handshake = self.lap();
+        match self.kind {
+            Kind::Delta | Kind::Subscribe => {
+                if negotiated.version < 3 {
+                    return self.fail(format!(
+                        "server negotiated v{} — delta sessions need v3",
+                        negotiated.version
+                    ));
+                }
+                self.state = State::AwaitDelta;
+            }
+            Kind::Full | Kind::Pipelined => self.begin_estimate(),
+        }
+    }
+
+    fn begin_estimate(&mut self) {
+        let est_seed = xhash::derive_seed(self.seed, ESTIMATOR_SEED_SALT);
+        let mut bank = TowEstimator::new(self.spec.pbs.estimator_sketches, est_seed);
+        bank.insert_slice(&self.set);
+        if self.queue(&Frame::EstimatorExchange(EstimatorMsg::TowBank(
+            bank.to_bytes(),
+        ))) {
+            self.state = State::AwaitEstimate;
+        }
+    }
+
+    fn on_delta(&mut self, frame: Frame) {
+        match frame {
+            Frame::DeltaBatch { .. } => {}
+            Frame::DeltaDone { epoch } => {
+                self.phases.delta = self.lap();
+                match self.kind {
+                    Kind::Delta => self.complete(),
+                    Kind::Subscribe => {
+                        // The catch-up baseline; park from here. `total`
+                        // covers up to the park, matching how a real
+                        // subscriber perceives time-to-live-stream.
+                        self.parked_epoch = epoch;
+                        self.phases.total = self.started.elapsed().as_nanos() as u64;
+                        if self.queue(&Frame::Subscribe { epoch }) {
+                            self.state = State::Parked;
+                        }
+                    }
+                    _ => unreachable!("only delta kinds await delta streams"),
+                }
+            }
+            Frame::FullResyncRequired { .. } => {
+                // Changelog cannot cover our epoch: fall back to the
+                // classic reconciliation, exactly like `client::sync`.
+                self.phases.delta = self.lap();
+                self.delta_fallback = true;
+                self.begin_estimate();
+            }
+            other => self.protocol_error("delta stream", &other),
+        }
+    }
+
+    fn on_estimate(&mut self, frame: Frame) {
+        let d_param = match frame {
+            Frame::EstimatorExchange(EstimatorMsg::Estimate { d_param, .. }) => d_param.max(1),
+            other => return self.protocol_error("estimate", &other),
+        };
+        if d_param > self.spec.max_d {
+            return self.fail(format!(
+                "server demanded d = {d_param}, above the cap {}",
+                self.spec.max_d
+            ));
+        }
+        self.phases.estimate = self.lap();
+        let params = Pbs::new(self.spec.pbs).plan(d_param as usize);
+        self.sketch_m = params.m;
+        self.alice = Some(AliceSession::new(
+            self.spec.pbs,
+            params,
+            &self.set,
+            self.seed,
+        ));
+        self.queue_sketches();
+    }
+
+    fn queue_sketches(&mut self) {
+        let alice = self.alice.as_mut().expect("round loop has a session");
+        let depth = if self.pipeline_auto {
+            alice.next_pipeline_depth(self.grant)
+        } else {
+            self.grant
+        };
+        let layers = depth.min(self.spec.round_cap - alice.round());
+        let batch = alice.start_rounds(layers);
+        let m = self.sketch_m;
+        if self.queue(&Frame::Sketches { m, batch }) {
+            self.state = State::AwaitReports;
+        }
+    }
+
+    fn on_reports(&mut self, frame: Frame) {
+        let reports = match frame {
+            Frame::Reports(reports) => reports,
+            other => return self.protocol_error("rounds", &other),
+        };
+        let alice = self.alice.as_mut().expect("round loop has a session");
+        let status = alice.apply_reports(&reports);
+        if !status.all_verified && alice.round() < self.spec.round_cap {
+            return self.queue_sketches();
+        }
+        let verified = status.all_verified;
+        self.phases.rounds = self.lap();
+        let alice = self.alice.take().expect("round loop has a session");
+        let holdings: HashSet<u64> = self.set.iter().copied().collect();
+        let recovered = alice.into_recovered();
+        let pushed: Vec<u64> = recovered
+            .into_iter()
+            .filter(|e| holdings.contains(e))
+            .collect();
+        if !verified {
+            return self.fail("round cap exhausted before verification".into());
+        }
+        if self.queue(&Frame::Done(pushed)) {
+            self.state = State::AwaitAck;
+        }
+    }
+
+    fn on_ack(&mut self, frame: Frame) {
+        match frame {
+            Frame::Done(_) | Frame::DeltaDone { .. } => {
+                self.phases.transfer = self.lap();
+                self.complete();
+            }
+            other => self.protocol_error("final ack", &other),
+        }
+    }
+
+    fn on_push(&mut self, frame: Frame) {
+        match frame {
+            Frame::DeltaBatch { .. } => {}
+            Frame::DeltaDone { epoch } => {
+                if epoch < self.parked_epoch {
+                    return self.fail(format!(
+                        "push went backwards: epoch {epoch} after {}",
+                        self.parked_epoch
+                    ));
+                }
+                self.parked_epoch = epoch;
+                self.pushes += 1;
+            }
+            Frame::Ping { nonce } => {
+                self.queue(&Frame::Pong { nonce });
+            }
+            Frame::FullResyncRequired { .. } => {
+                self.finish(
+                    Outcome::Evicted,
+                    Some("subscription evicted under backpressure".into()),
+                );
+            }
+            other => self.protocol_error("subscription stream", &other),
+        }
+    }
+}

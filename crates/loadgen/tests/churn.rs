@@ -1,0 +1,149 @@
+//! Satellite: client resilience under connection churn, driven through
+//! the fault-injection proxy.
+//!
+//! * `sync_with_retry` rides out a server that dies *mid-session* — after
+//!   the handshake, before the reconciliation rounds — not just a refused
+//!   connect: the proxy severs the first attempts after exactly one
+//!   `Hello`'s worth of client bytes, and a later attempt succeeds with
+//!   the same report a fault-free run produces.
+//! * A `Subscription` behind a delaying proxy still folds pushed deltas
+//!   in epoch order: delayed, coalesced bursts arrive as contiguous
+//!   `from_epoch → to_epoch` windows whose union is exactly the applied
+//!   mutation history, and server shutdown ends the stream cleanly.
+
+use loadgen::FaultProxy;
+use pbs_core::PbsConfig;
+use pbs_net::client::{sync_with_retry, ClientConfig, RetryPolicy, SyncClient};
+use pbs_net::frame::{Frame, Hello};
+use pbs_net::server::{Server, ServerConfig};
+use pbs_net::store::MutableStore;
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn retry_survives_a_server_killed_between_handshake_and_rounds() {
+    let store = Arc::new(MutableStore::new(1..=200u64));
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::clone(&store) as Arc<_>,
+        ServerConfig::default(),
+    )
+    .expect("bind");
+    let proxy = FaultProxy::spawn(server.local_addr()).expect("spawn proxy");
+
+    // Sever the first two connections after exactly one Hello of
+    // client→server bytes: the handshake completes (the server's Hello
+    // comes back), then the link dies under the estimator exchange — the
+    // mid-session shape of a server crash, not a refused connect.
+    let config = ClientConfig::default();
+    let hello_len = Frame::Hello(Hello::from_config(
+        &PbsConfig::default().unlimited_rounds(),
+        config.seed,
+        0,
+    ))
+    .wire_len();
+    proxy.cut_next_connections(2, hello_len);
+
+    let local: Vec<u64> = (11..=200).collect();
+    let policy = RetryPolicy {
+        attempts: 5,
+        base_delay: Duration::from_millis(2),
+        max_delay: Duration::from_millis(50),
+        jitter_seed: 7,
+    };
+    let (report, attempts) =
+        sync_with_retry(proxy.addr(), &local, &config, &policy).expect("retry rides out the cuts");
+    assert_eq!(attempts, 3, "two severed attempts, then a clean one");
+    assert!(report.verified);
+    let mut recovered = report.recovered.clone();
+    recovered.sort_unstable();
+    assert_eq!(recovered, (1..=10).collect::<Vec<u64>>());
+    assert!(report.pushed.is_empty(), "nothing to push: local ⊂ server");
+
+    let ledger = proxy.ledger();
+    assert_eq!(ledger.cut, 2, "both cut budgets were claimed");
+    assert!(ledger.conserved(), "relay byte accounting must balance");
+
+    proxy.shutdown();
+    let stats = server.shutdown();
+    assert!(stats.sessions_completed >= 1);
+    assert_eq!(
+        stats.sessions_started,
+        stats.sessions_completed + stats.sessions_failed
+    );
+}
+
+#[test]
+fn delayed_pushes_fold_in_epoch_order() {
+    const BATCHES: u64 = 30;
+
+    let store = Arc::new(MutableStore::new(1..=64u64));
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::clone(&store) as Arc<_>,
+        ServerConfig::default(),
+    )
+    .expect("bind");
+    let proxy = FaultProxy::spawn(server.local_addr()).expect("spawn proxy");
+    // Every relayed chunk waits: pushes pile up behind the proxy and
+    // arrive late and coalesced — the interesting case for epoch order.
+    proxy.set_delay(Duration::from_millis(2));
+
+    let client = SyncClient::connect(proxy.addr()).expect("connect via proxy");
+    let mut sub = client.subscribe(store.epoch()).expect("subscribe");
+    let catch_up = sub.next().expect("catch-up").expect("catch-up ok");
+    assert_eq!(catch_up.batches, 0);
+    let baseline = catch_up.to_epoch;
+
+    // Publish while the subscriber reads through the delay.
+    let publisher = {
+        let store = Arc::clone(&store);
+        std::thread::spawn(move || {
+            for b in 0..BATCHES {
+                store.apply(&[100_000 + b * 10, 100_001 + b * 10], &[b + 1]);
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        })
+    };
+
+    let mut batches = 0u64;
+    let mut last_epoch = baseline;
+    let mut added = HashSet::new();
+    let mut removed = HashSet::new();
+    while batches < BATCHES {
+        let report = sub.next().expect("live stream").expect("push ok");
+        assert_eq!(
+            report.from_epoch, last_epoch,
+            "a pushed window must start where the previous one ended"
+        );
+        assert!(report.to_epoch > report.from_epoch);
+        last_epoch = report.to_epoch;
+        batches += report.batches;
+        added.extend(report.added.iter().copied());
+        removed.extend(report.removed.iter().copied());
+    }
+    publisher.join().expect("publisher thread");
+    assert_eq!(
+        last_epoch,
+        baseline + BATCHES,
+        "no epoch skipped or repeated"
+    );
+    assert_eq!(added.len() as u64, BATCHES * 2);
+    assert_eq!(removed, (1..=BATCHES).collect::<HashSet<u64>>());
+
+    // Shutdown reaches the parked subscriber through the proxy: the
+    // stream ends cleanly instead of erroring.
+    let reader = std::thread::spawn(move || sub.count());
+    let stats = server.shutdown();
+    assert_eq!(reader.join().expect("reader"), 0, "clean end after drain");
+    assert_eq!(stats.subscribers_evicted, 0);
+    assert_eq!(
+        stats.sessions_started,
+        stats.sessions_completed + stats.sessions_failed
+    );
+
+    let ledger = proxy.ledger();
+    assert!(ledger.conserved());
+    proxy.shutdown();
+}

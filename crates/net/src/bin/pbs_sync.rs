@@ -37,8 +37,10 @@
 //! establishing an epoch baseline (from `--since`/`--epoch-cache`, or by
 //! running one full sync first), every further store mutation the server
 //! commits is pushed down and printed as it happens, one line per delta
-//! stream; the epoch cache (when configured) is rewritten after every
-//! delta, so an interrupted follow resumes exactly where it stopped.
+//! stream; the epoch cache (when configured) is rewritten for the
+//! baseline and then *before* each delta is printed, so a follow
+//! interrupted at any instant — even right as the server closes after a
+//! final delta — resumes exactly where it stopped.
 //! The process exits 0 when the server closes the stream (shutdown) and
 //! non-zero when the subscription fails or is evicted.
 
@@ -139,6 +141,16 @@ fn read_epoch_cache(path: &std::path::Path) -> Option<u64> {
         .and_then(|s| s.trim().parse().ok())
 }
 
+/// Persist the epoch baseline (if a cache is configured) — atomically, so
+/// a crash mid-write can never leave a torn baseline.
+fn write_epoch_cache(args: &Args, epoch: u64) {
+    if let Some(path) = &args.epoch_cache {
+        if let Err(e) = setio::write_file_atomic(path, format!("{epoch}\n").as_bytes()) {
+            eprintln!("pbs-sync: cannot write {}: {e}", path.display());
+        }
+    }
+}
+
 /// `--follow`: establish an epoch baseline, then stream pushed deltas to
 /// stdout until the server closes the subscription. Never returns.
 fn follow(args: &Args, set: &[u64], config: &ClientConfig, policy: &RetryPolicy) -> ! {
@@ -156,6 +168,10 @@ fn follow(args: &Args, set: &[u64], config: &ClientConfig, policy: &RetryPolicy)
                 eprintln!("pbs-sync: server keeps no epochs for this store; cannot --follow");
                 std::process::exit(1);
             };
+            // The baseline is durable state: persist it before announcing
+            // it, so a crash right here resumes as a delta, not a full
+            // resync.
+            write_epoch_cache(args, epoch);
             println!(
                 "pbs-sync: baseline sync: |A△B| = {}, epoch {epoch}",
                 report.recovered.len()
@@ -180,6 +196,12 @@ fn follow(args: &Args, set: &[u64], config: &ClientConfig, policy: &RetryPolicy)
             eprintln!("pbs-sync: subscription lost: {e}");
             std::process::exit(1);
         });
+        // Flush the cache before acknowledging the delta on stdout: if the
+        // server (or this process) dies between the stream ending and the
+        // rewrite, the cache must already hold the epoch we consumed —
+        // otherwise the next run re-fetches (or worse, full-resyncs) work
+        // it already applied.
+        write_epoch_cache(args, delta.to_epoch);
         println!(
             "pbs-sync: epoch {} → {} in {} batches (+{} −{} net)",
             delta.from_epoch,
@@ -194,13 +216,6 @@ fn follow(args: &Args, set: &[u64], config: &ClientConfig, policy: &RetryPolicy)
             }
             for e in delta.removed.iter().take(25) {
                 println!("  -{e}");
-            }
-        }
-        if let Some(path) = &args.epoch_cache {
-            if let Err(e) =
-                setio::write_file_atomic(path, format!("{}\n", delta.to_epoch).as_bytes())
-            {
-                eprintln!("pbs-sync: cannot write {}: {e}", path.display());
             }
         }
     }

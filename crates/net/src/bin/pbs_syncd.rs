@@ -8,6 +8,8 @@
 //!           [--round-cap R] [--max-pipeline L] [--protocol V]
 //!           [--stats-every SECS] [--admin ADDR] [--log json|text]
 //!           [--trace-sample R]
+//!           [--anti-entropy PEER[,PEER...] [--anti-entropy-every SECS]
+//!            [--anti-entropy-seed N]]
 //! ```
 //!
 //! Serves the `docs/WIRE.md` protocol. One process serves any number of
@@ -48,6 +50,17 @@
 //! `--max-subscribers N` caps concurrently parked subscribers
 //! server-wide.
 //!
+//! **Anti-entropy mesh** (`--anti-entropy PEER[,PEER…]`): the node also
+//! takes the *client role*, periodically reconciling every local store
+//! pairwise against each listed peer with the ordinary wire protocol and
+//! applying what the peer had that this node lacked. The applies are
+//! normal epoch-advancing change batches, so local subscribers see
+//! remotely-originated elements pushed live, and the stores of a connected
+//! mesh converge to the union without any coordinator.
+//! `--anti-entropy-every SECS` paces the rotation (default 5, with ±25%
+//! seeded jitter), `--anti-entropy-seed N` pins the rotation/jitter
+//! schedule for reproducible soaks.
+//!
 //! **Observability**: `--admin ADDR` binds an HTTP endpoint serving
 //! `GET /metrics` (Prometheus text format), `GET /healthz` (`503` once
 //! shutdown begins), and `GET /stats.json`; the metric catalog is in
@@ -61,6 +74,8 @@
 
 use obs::trace::{Level, TraceConfig, TraceFormat};
 use pbs_net::admin::{AdminServer, AdminState};
+use pbs_net::client::ClientConfig;
+use pbs_net::mesh::{MeshConfig, MeshDriver};
 use pbs_net::server::{Server, ServerConfig};
 use pbs_net::setio;
 use pbs_net::store::{InMemoryStore, SetStore, StoreOptions, StoreRegistry};
@@ -91,6 +106,9 @@ struct Args {
     admin: Option<String>,
     log: Option<String>,
     trace_sample: f64,
+    anti_entropy: Vec<String>,
+    anti_entropy_every: u64,
+    anti_entropy_seed: u64,
 }
 
 fn usage() -> ! {
@@ -100,10 +118,14 @@ fn usage() -> ! {
          [--changelog-cap N] [--data-dir DIR] [--snapshot-every N] [--fsync] \
          [--event-workers W] [--max-subscribers N] [--round-cap R] \
          [--max-pipeline L] [--protocol V] [--stats-every SECS] \
-         [--admin ADDR] [--log json|text] [--trace-sample R]\n\
+         [--admin ADDR] [--log json|text] [--trace-sample R] \
+         [--anti-entropy PEER[,PEER...]] [--anti-entropy-every SECS] \
+         [--anti-entropy-seed N]\n\
          SPEC is a set-file path or range:N; at least one store is required\n\
          --stats-every 0 disables the periodic stats line; --admin serves \
-         GET /metrics, /healthz, /stats.json"
+         GET /metrics, /healthz, /stats.json\n\
+         --anti-entropy gives the node a client role: every local store is \
+         periodically reconciled pairwise against each PEER"
     );
     std::process::exit(2);
 }
@@ -129,6 +151,9 @@ fn parse_args() -> Args {
         admin: None,
         log: None,
         trace_sample: 1.0,
+        anti_entropy: Vec::new(),
+        anti_entropy_every: 5,
+        anti_entropy_seed: 0xA17E_E471,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -167,6 +192,18 @@ fn parse_args() -> Args {
             "--admin" => args.admin = Some(value()),
             "--log" => args.log = Some(value()),
             "--trace-sample" => args.trace_sample = value().parse().unwrap_or_else(|_| usage()),
+            "--anti-entropy" => args.anti_entropy.extend(
+                value()
+                    .split(',')
+                    .filter(|p| !p.is_empty())
+                    .map(str::to_string),
+            ),
+            "--anti-entropy-every" => {
+                args.anti_entropy_every = value().parse().unwrap_or_else(|_| usage())
+            }
+            "--anti-entropy-seed" => {
+                args.anti_entropy_seed = value().parse().unwrap_or_else(|_| usage())
+            }
             _ => usage(),
         }
     }
@@ -332,6 +369,28 @@ fn main() {
         registry.len()
     );
 
+    // Anti-entropy client role: a background driver reconciling every
+    // local store against each peer on a seeded, jittered rotation. The
+    // handle must stay alive for the life of the process.
+    let mesh = (!args.anti_entropy.is_empty()).then(|| {
+        println!(
+            "pbs-syncd: anti-entropy mesh with {} peer(s) every ~{}s (seed {:#x}): {}",
+            args.anti_entropy.len(),
+            args.anti_entropy_every.max(1),
+            args.anti_entropy_seed,
+            args.anti_entropy.join(", ")
+        );
+        MeshDriver::spawn(
+            Arc::clone(&registry),
+            MeshConfig {
+                peers: args.anti_entropy.clone(),
+                interval: Duration::from_secs(args.anti_entropy_every.max(1)),
+                seed: args.anti_entropy_seed,
+                client: ClientConfig::default(),
+            },
+        )
+    });
+
     // Keep the admin endpoint alive for the life of the process: dropping
     // the handle would stop its listener thread.
     let _admin = args.admin.as_ref().map(|addr| {
@@ -395,6 +454,22 @@ fn main() {
             s.subscribers_evicted,
             s.keepalive_pings,
         );
+        if let Some(mesh) = &mesh {
+            for peer in mesh.stats().snapshot() {
+                println!(
+                    "pbs-syncd:   peer {}: syncs {}/{} ok (failed {}), \
+                     bytes out/in {}/{}, elements pulled {} / pushed {}",
+                    peer.peer,
+                    peer.syncs_completed,
+                    peer.syncs_attempted,
+                    peer.syncs_failed,
+                    peer.bytes_sent,
+                    peer.bytes_received,
+                    peer.elements_pulled,
+                    peer.elements_pushed,
+                );
+            }
+        }
         for name in registry.names() {
             let Some(entry) = registry.get(&name) else {
                 continue;

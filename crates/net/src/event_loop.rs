@@ -21,14 +21,11 @@
 //! [`Notice`] on the worker's channel and write one byte to the wake
 //! socket, which the poll loop drains.
 
-use crate::crc::crc32;
-use crate::frame::{
-    delta_batch_frames, delta_chunk_capacity, ErrorCode, EstimatorMsg, Frame, FRAME_OVERHEAD,
-};
+use crate::frame::{delta_batch_frames, delta_chunk_capacity, ErrorCode, EstimatorMsg, Frame};
+use crate::mux::MuxStream;
 use crate::poll::{Interest, Poller};
 use crate::server::{ServerConfig, ServerStats};
 use crate::store::{DeltaAnswer, RegisteredStore, SetStore, StoreRegistry};
-use crate::{FrameError, NetError};
 use analysis::OptimalParams;
 use estimator::{Estimator, TowEstimator};
 use obs::trace::{self, Level, Value};
@@ -45,10 +42,6 @@ use std::time::{Duration, Instant};
 /// Hard cap on how long a `Closing` session may take to drain its final
 /// frames before the socket is dropped anyway.
 const CLOSING_GRACE_CAP: Duration = Duration::from_secs(5);
-/// Read chunk size per `read(2)` call.
-const READ_CHUNK: usize = 16 * 1024;
-/// Compact the write buffer once this many drained bytes accumulate.
-const WRITE_COMPACT: usize = 64 * 1024;
 
 /// State shared by the acceptor and every worker.
 pub(crate) struct Shared {
@@ -198,151 +191,6 @@ pub(crate) fn spawn_worker(
 }
 
 // ---------------------------------------------------------------------------
-// Non-blocking framed stream
-// ---------------------------------------------------------------------------
-
-/// A non-blocking framed stream: explicit read/write buffers over a
-/// non-blocking `TcpStream`, with the same byte/frame accounting as the
-/// blocking [`crate::FramedStream`]. Frames are extracted from the read
-/// buffer only once complete (the length prefix is validated against the
-/// frame cap *before* the body is awaited, so a hostile prefix cannot
-/// reserve memory), and queued frames drain front-first whenever the
-/// socket is writable.
-struct NbStream {
-    stream: TcpStream,
-    max_frame: u32,
-    read_buf: Vec<u8>,
-    write_buf: Vec<u8>,
-    write_head: usize,
-    bytes_in: u64,
-    bytes_out: u64,
-    frames_in: u64,
-    frames_out: u64,
-    peer_closed: bool,
-}
-
-impl NbStream {
-    fn new(stream: TcpStream, max_frame: u32) -> Self {
-        NbStream {
-            stream,
-            max_frame,
-            read_buf: Vec::new(),
-            write_buf: Vec::new(),
-            write_head: 0,
-            bytes_in: 0,
-            bytes_out: 0,
-            frames_in: 0,
-            frames_out: 0,
-            peer_closed: false,
-        }
-    }
-
-    fn pending_out(&self) -> usize {
-        self.write_buf.len() - self.write_head
-    }
-
-    /// Encode `frame` into the write buffer (framing + CRC included).
-    fn queue(&mut self, frame: &Frame) -> Result<(), NetError> {
-        let body = frame.encode_body();
-        if body.len() as u64 > self.max_frame as u64 {
-            return Err(NetError::Frame(FrameError::TooLarge {
-                len: body.len().min(u32::MAX as usize) as u32,
-                max: self.max_frame,
-            }));
-        }
-        self.write_buf
-            .extend_from_slice(&(body.len() as u32).to_le_bytes());
-        self.write_buf
-            .extend_from_slice(&crc32(&body).to_le_bytes());
-        self.write_buf.extend_from_slice(&body);
-        self.frames_out += 1;
-        Ok(())
-    }
-
-    /// Drain the write buffer as far as the socket accepts. `Ok(true)`
-    /// when any bytes moved.
-    fn flush(&mut self) -> io::Result<bool> {
-        let mut progress = false;
-        while self.pending_out() > 0 {
-            match self.stream.write(&self.write_buf[self.write_head..]) {
-                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
-                Ok(n) => {
-                    self.write_head += n;
-                    self.bytes_out += n as u64;
-                    progress = true;
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                Err(e) => return Err(e),
-            }
-        }
-        if self.pending_out() == 0 {
-            self.write_buf.clear();
-            self.write_head = 0;
-        } else if self.write_head > WRITE_COMPACT {
-            self.write_buf.drain(..self.write_head);
-            self.write_head = 0;
-        }
-        Ok(progress)
-    }
-
-    /// Read whatever the socket has. `Ok(true)` when any bytes arrived;
-    /// EOF sets `peer_closed` instead of erroring.
-    fn fill(&mut self) -> io::Result<bool> {
-        let mut any = false;
-        let mut chunk = [0u8; READ_CHUNK];
-        loop {
-            match self.stream.read(&mut chunk) {
-                Ok(0) => {
-                    self.peer_closed = true;
-                    break;
-                }
-                Ok(n) => {
-                    self.read_buf.extend_from_slice(&chunk[..n]);
-                    any = true;
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                Err(e) => return Err(e),
-            }
-        }
-        Ok(any)
-    }
-
-    /// Extract the next complete frame from the read buffer, if one is
-    /// fully buffered.
-    fn next_frame(&mut self) -> Result<Option<Frame>, NetError> {
-        if self.read_buf.len() < FRAME_OVERHEAD as usize {
-            return Ok(None);
-        }
-        let len = u32::from_le_bytes(self.read_buf[..4].try_into().unwrap());
-        let crc = u32::from_le_bytes(self.read_buf[4..8].try_into().unwrap());
-        if len == 0 {
-            return Err(NetError::Frame(FrameError::BadType(0)));
-        }
-        if len > self.max_frame {
-            return Err(NetError::Frame(FrameError::TooLarge {
-                len,
-                max: self.max_frame,
-            }));
-        }
-        let total = FRAME_OVERHEAD as usize + len as usize;
-        if self.read_buf.len() < total {
-            return Ok(None);
-        }
-        let body = &self.read_buf[FRAME_OVERHEAD as usize..total];
-        if crc32(body) != crc {
-            return Err(NetError::Frame(FrameError::BadCrc));
-        }
-        let frame = Frame::decode_body(body).map_err(NetError::Frame)?;
-        self.read_buf.drain(..total);
-        self.bytes_in += total as u64;
-        self.frames_in += 1;
-        Ok(Some(frame))
-    }
-}
-
-// ---------------------------------------------------------------------------
 // Session state machine
 // ---------------------------------------------------------------------------
 
@@ -388,7 +236,7 @@ struct ProtoCtx {
 }
 
 struct Session {
-    nb: NbStream,
+    nb: MuxStream,
     fd: RawFd,
     phase: Phase,
     /// Server-unique session id: labels trace events, drives trace
@@ -437,7 +285,7 @@ impl Session {
         stream.set_nodelay(config.transport.nodelay)?;
         let fd = stream.as_raw_fd();
         Ok(Session {
-            nb: NbStream::new(stream, config.transport.max_frame),
+            nb: MuxStream::new(stream, config.transport.max_frame),
             fd,
             phase: Phase::Handshake,
             id,
@@ -854,7 +702,7 @@ impl Worker {
                 }
             }
         }
-        if self.sessions[i].nb.peer_closed {
+        if self.sessions[i].nb.peer_closed() {
             let outcome = self.sessions[i].close_outcome();
             if self.sessions[i].nb.pending_out() > 0 {
                 // The peer may have only shut its write half; drain our
@@ -1575,10 +1423,10 @@ impl Worker {
             };
             let sess = self.sessions.remove(i);
             let entry = sess.entry.clone();
-            self.bump(&entry, |s| &s.bytes_in, sess.nb.bytes_in);
-            self.bump(&entry, |s| &s.bytes_out, sess.nb.bytes_out);
-            self.bump(&entry, |s| &s.frames_in, sess.nb.frames_in);
-            self.bump(&entry, |s| &s.frames_out, sess.nb.frames_out);
+            self.bump(&entry, |s| &s.bytes_in, sess.nb.bytes_in());
+            self.bump(&entry, |s| &s.bytes_out, sess.nb.bytes_out());
+            self.bump(&entry, |s| &s.frames_in, sess.nb.frames_in());
+            self.bump(&entry, |s| &s.frames_out, sess.nb.frames_out());
             if let Some(bob) = sess.ctx.as_ref().and_then(|c| c.bob.as_ref()) {
                 self.bump(&entry, |s| &s.decode_failures, bob.decode_failures() as u64);
             }
@@ -1605,8 +1453,8 @@ impl Worker {
                     "closed",
                     &[
                         ("completed", Value::Bool(completed)),
-                        ("bytes_in", Value::U64(sess.nb.bytes_in)),
-                        ("bytes_out", Value::U64(sess.nb.bytes_out)),
+                        ("bytes_in", Value::U64(sess.nb.bytes_in())),
+                        ("bytes_out", Value::U64(sess.nb.bytes_out())),
                         ("seconds", Value::F64(sess.accepted.elapsed().as_secs_f64())),
                     ],
                 );

@@ -76,6 +76,8 @@ pub mod client;
 pub mod crc;
 pub(crate) mod event_loop;
 pub mod frame;
+pub mod mesh;
+pub mod mux;
 pub mod poll;
 pub mod server;
 pub mod setio;
@@ -89,6 +91,8 @@ pub use client::{
     Pipeline, RetryPolicy, Subscription, SyncClient, SyncPhases, SyncReport,
 };
 pub use frame::{Frame, Hello, PROTOCOL_VERSION};
+pub use mesh::{MeshConfig, MeshDriver, MeshStats, PeerSnapshot, PeerStats};
+pub use mux::MuxStream;
 pub use server::{Server, ServerConfig};
 pub use store::{ChangeBatch, DeltaAnswer, InMemoryStore, MutableStore, SetStore, StoreRegistry};
 pub use wal::{CrashPoint, DurableOptions, RecoveryReport};

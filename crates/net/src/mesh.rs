@@ -1,0 +1,383 @@
+//! Anti-entropy mesh: the *client role* of a node.
+//!
+//! A `pbs-syncd` node normally only answers sessions. In a mesh
+//! deployment (`pbs-syncd --anti-entropy PEER[,PEER…]`) it also
+//! periodically originates them: every tick, each of the node's stores is
+//! reconciled pairwise against a peer with the ordinary PBS session
+//! ([`crate::client::sync`]), and the recovered difference is applied
+//! locally through [`crate::store::SetStore::apply_missing`] — on a
+//! [`crate::store::MutableStore`] that lands as a normal `apply` batch,
+//! so the epoch advances, the changelog records it, and live subscribers
+//! ride along exactly as they would for a local write.
+//!
+//! Convergence is gossip-style union convergence: one pairwise sync moves
+//! both endpoints to `A ∪ B` (the protocol pushes `A \ B` to the peer
+//! and this driver applies `B \ A` locally), so any connected mesh
+//! converges after enough pairwise rounds regardless of topology, and
+//! partitioned halves converge among themselves and re-converge globally
+//! once the partition heals. The peer rotation and tick jitter are seeded
+//! ([`MeshConfig::seed`]), so a mesh soak replays the same schedule.
+//!
+//! [`anti_entropy_round`] is the synchronous single-(peer × stores) pass —
+//! the unit tests and the mesh soak drive it directly for determinism;
+//! [`MeshDriver::spawn`] wraps it in the background thread `pbs-syncd`
+//! runs.
+
+use crate::client::{sync, ClientConfig};
+use crate::store::StoreRegistry;
+use crate::NetError;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration of a node's anti-entropy driver.
+#[derive(Debug, Clone)]
+pub struct MeshConfig {
+    /// Peer addresses (`host:port`) this node reconciles against.
+    pub peers: Vec<String>,
+    /// Pause between full peer rotations (each rotation syncs every store
+    /// against every peer once, in seeded order).
+    pub interval: Duration,
+    /// Seed of the rotation order and tick jitter.
+    pub seed: u64,
+    /// The client configuration each pairwise sync runs with; the store
+    /// name is filled in per sync. `delta_epoch` is ignored — anti-entropy
+    /// always runs the full reconciliation so each pairwise sync is a
+    /// symmetric union step.
+    pub client: ClientConfig,
+}
+
+impl Default for MeshConfig {
+    fn default() -> Self {
+        MeshConfig {
+            peers: Vec::new(),
+            interval: Duration::from_secs(5),
+            seed: 0xA17E_E471,
+            client: ClientConfig::default(),
+        }
+    }
+}
+
+/// Per-peer (per-link) counters, updated by every pairwise sync. All
+/// counters are cumulative; byte counters come straight from the
+/// [`crate::client::SyncReport`] wire ledgers, so on a fault-free link
+/// they reconcile exactly with what a relay in the middle forwarded.
+#[derive(Debug, Default)]
+pub struct PeerStats {
+    /// Pairwise syncs attempted (one per store per rotation).
+    pub syncs_attempted: AtomicU64,
+    /// Pairwise syncs that completed verified.
+    pub syncs_completed: AtomicU64,
+    /// Pairwise syncs that failed (connect, transport, protocol) or came
+    /// back unverified.
+    pub syncs_failed: AtomicU64,
+    /// Wire bytes sent to this peer over completed syncs.
+    pub bytes_sent: AtomicU64,
+    /// Wire bytes received from this peer over completed syncs.
+    pub bytes_received: AtomicU64,
+    /// Elements learned from this peer and applied locally (`B \ A`).
+    pub elements_pulled: AtomicU64,
+    /// Elements pushed to this peer by the protocol's final transfer
+    /// (`A \ B`).
+    pub elements_pushed: AtomicU64,
+}
+
+/// One peer's counters, frozen.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerSnapshot {
+    /// The peer address these counters are about.
+    pub peer: String,
+    /// See [`PeerStats::syncs_attempted`].
+    pub syncs_attempted: u64,
+    /// See [`PeerStats::syncs_completed`].
+    pub syncs_completed: u64,
+    /// See [`PeerStats::syncs_failed`].
+    pub syncs_failed: u64,
+    /// See [`PeerStats::bytes_sent`].
+    pub bytes_sent: u64,
+    /// See [`PeerStats::bytes_received`].
+    pub bytes_received: u64,
+    /// See [`PeerStats::elements_pulled`].
+    pub elements_pulled: u64,
+    /// See [`PeerStats::elements_pushed`].
+    pub elements_pushed: u64,
+}
+
+/// The per-peer counter set of one driver.
+#[derive(Debug)]
+pub struct MeshStats {
+    peers: Vec<(String, Arc<PeerStats>)>,
+}
+
+impl MeshStats {
+    /// Build the counter set for `peers` (order preserved).
+    pub fn new(peers: &[String]) -> Self {
+        MeshStats {
+            peers: peers
+                .iter()
+                .map(|p| (p.clone(), Arc::new(PeerStats::default())))
+                .collect(),
+        }
+    }
+
+    /// The counters for `peer`, if it is part of this mesh.
+    pub fn peer(&self, peer: &str) -> Option<&Arc<PeerStats>> {
+        self.peers.iter().find(|(p, _)| p == peer).map(|(_, s)| s)
+    }
+
+    /// Freeze every peer's counters.
+    pub fn snapshot(&self) -> Vec<PeerSnapshot> {
+        self.peers
+            .iter()
+            .map(|(peer, s)| PeerSnapshot {
+                peer: peer.clone(),
+                syncs_attempted: s.syncs_attempted.load(Ordering::Relaxed),
+                syncs_completed: s.syncs_completed.load(Ordering::Relaxed),
+                syncs_failed: s.syncs_failed.load(Ordering::Relaxed),
+                bytes_sent: s.bytes_sent.load(Ordering::Relaxed),
+                bytes_received: s.bytes_received.load(Ordering::Relaxed),
+                elements_pulled: s.elements_pulled.load(Ordering::Relaxed),
+                elements_pushed: s.elements_pushed.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+}
+
+/// What one [`anti_entropy_round`] (one peer, every store) did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundOutcome {
+    /// Stores that reconciled verified against the peer.
+    pub synced: usize,
+    /// Stores whose sync failed (the first error is returned alongside).
+    pub failed: usize,
+    /// Elements learned from the peer and applied locally.
+    pub pulled: u64,
+    /// Elements the protocol pushed to the peer.
+    pub pushed: u64,
+}
+
+/// Reconcile every store of `registry` against `peer` once, applying what
+/// the peer had and we lacked. Failures on one store do not stop the
+/// others; the outcome counts both, and the first error (if any) rides
+/// along so callers can log it.
+pub fn anti_entropy_round(
+    registry: &StoreRegistry,
+    peer: &str,
+    config: &ClientConfig,
+    stats: &PeerStats,
+) -> (RoundOutcome, Option<NetError>) {
+    let mut outcome = RoundOutcome::default();
+    let mut first_error = None;
+    for name in registry.names() {
+        let Some(entry) = registry.get(&name) else {
+            continue;
+        };
+        let store = Arc::clone(entry.store());
+        let (snapshot, _epoch) = store.epoch_snapshot();
+        let mut cfg = config.clone();
+        cfg.store = name.clone();
+        cfg.delta_epoch = None;
+        stats.syncs_attempted.fetch_add(1, Ordering::Relaxed);
+        match sync(peer, &snapshot, &cfg) {
+            Ok(report) if report.verified => {
+                // The peer ingested `A \ B` (report.pushed) from the final
+                // transfer; what remains of the recovered difference is
+                // `B \ A` — ours to apply. `apply_missing` on a
+                // MutableStore is an ordinary apply: epoch bump,
+                // changelog batch, subscriber push.
+                let pushed: std::collections::HashSet<u64> =
+                    report.pushed.iter().copied().collect();
+                let pulled: Vec<u64> = report
+                    .recovered
+                    .iter()
+                    .copied()
+                    .filter(|e| !pushed.contains(e))
+                    .collect();
+                if !pulled.is_empty() {
+                    store.apply_missing(&pulled);
+                }
+                stats.syncs_completed.fetch_add(1, Ordering::Relaxed);
+                stats
+                    .bytes_sent
+                    .fetch_add(report.bytes_sent, Ordering::Relaxed);
+                stats
+                    .bytes_received
+                    .fetch_add(report.bytes_received, Ordering::Relaxed);
+                stats
+                    .elements_pulled
+                    .fetch_add(pulled.len() as u64, Ordering::Relaxed);
+                stats
+                    .elements_pushed
+                    .fetch_add(report.pushed.len() as u64, Ordering::Relaxed);
+                outcome.synced += 1;
+                outcome.pulled += pulled.len() as u64;
+                outcome.pushed += report.pushed.len() as u64;
+            }
+            Ok(_) => {
+                // Unverified: the round cap fired before every group
+                // checksum passed. Apply nothing — a best-effort recovery
+                // may contain fakes.
+                stats.syncs_failed.fetch_add(1, Ordering::Relaxed);
+                outcome.failed += 1;
+                if first_error.is_none() {
+                    first_error = Some(NetError::Protocol(
+                        "anti-entropy sync finished unverified".into(),
+                    ));
+                }
+            }
+            Err(e) => {
+                stats.syncs_failed.fetch_add(1, Ordering::Relaxed);
+                outcome.failed += 1;
+                if first_error.is_none() {
+                    first_error = Some(e);
+                }
+            }
+        }
+    }
+    (outcome, first_error)
+}
+
+/// The background anti-entropy loop of one node: seeded peer rotation,
+/// jittered ticks, graceful shutdown. `pbs-syncd --anti-entropy` owns one.
+#[derive(Debug)]
+pub struct MeshDriver {
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<MeshStats>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MeshDriver {
+    /// Spawn the driver thread. Each rotation visits every peer once in a
+    /// seeded order (reshuffled per rotation — xorshift over
+    /// [`MeshConfig::seed`]), reconciling every store of `registry`
+    /// against it, then sleeps [`MeshConfig::interval`] with ±25% seeded
+    /// jitter so a fleet of identical nodes de-synchronizes.
+    pub fn spawn(registry: Arc<StoreRegistry>, config: MeshConfig) -> MeshDriver {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(MeshStats::new(&config.peers));
+        let thread_shutdown = Arc::clone(&shutdown);
+        let thread_stats = Arc::clone(&stats);
+        let handle = std::thread::Builder::new()
+            .name("pbs-mesh".into())
+            .spawn(move || {
+                let mut rng = config.seed | 1;
+                let step = move |rng: &mut u64| {
+                    *rng ^= *rng << 13;
+                    *rng ^= *rng >> 7;
+                    *rng ^= *rng << 17;
+                    *rng
+                };
+                let mut order: Vec<usize> = (0..config.peers.len()).collect();
+                while !thread_shutdown.load(Ordering::SeqCst) {
+                    // Seeded Fisher–Yates reshuffle per rotation.
+                    for i in (1..order.len()).rev() {
+                        let j = (step(&mut rng) % (i as u64 + 1)) as usize;
+                        order.swap(i, j);
+                    }
+                    for &p in &order {
+                        if thread_shutdown.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        let peer = &config.peers[p];
+                        if let Some(peer_stats) = thread_stats.peer(peer) {
+                            let (_, _err) =
+                                anti_entropy_round(&registry, peer, &config.client, peer_stats);
+                        }
+                    }
+                    // Jittered sleep in short slices so shutdown is prompt.
+                    let jitter = step(&mut rng) % 501; // 0..=500 → 75%..125%
+                    let tick = config.interval.mul_f64(0.75 + jitter as f64 / 2000.0);
+                    let until = Instant::now() + tick;
+                    while Instant::now() < until && !thread_shutdown.load(Ordering::SeqCst) {
+                        std::thread::sleep(Duration::from_millis(20).min(tick));
+                    }
+                }
+            })
+            .expect("spawn mesh driver thread");
+        MeshDriver {
+            shutdown,
+            stats,
+            handle: Some(handle),
+        }
+    }
+
+    /// The live per-peer counters.
+    pub fn stats(&self) -> &MeshStats {
+        &self.stats
+    }
+
+    /// Stop the loop (finishing at most the in-flight pairwise sync) and
+    /// return the final per-peer counters.
+    pub fn shutdown(mut self) -> Vec<PeerSnapshot> {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+        self.stats.snapshot()
+    }
+}
+
+impl Drop for MeshDriver {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{Server, ServerConfig};
+    use crate::store::MutableStore;
+
+    #[test]
+    fn one_round_converges_a_pair_of_stores() {
+        let local = Arc::new(MutableStore::new([1u64, 2, 3, 10]));
+        let remote = Arc::new(MutableStore::new([2u64, 3, 4, 20]));
+        let server = Server::bind(
+            "127.0.0.1:0",
+            Arc::clone(&remote) as Arc<_>,
+            ServerConfig::default(),
+        )
+        .expect("bind peer");
+        let peer = server.local_addr().to_string();
+
+        let registry = StoreRegistry::single(Arc::clone(&local) as Arc<_>);
+        let stats = PeerStats::default();
+        let (outcome, err) = anti_entropy_round(&registry, &peer, &ClientConfig::default(), &stats);
+        assert!(err.is_none(), "round failed: {err:?}");
+        assert_eq!(outcome.synced, 1);
+        assert_eq!(outcome.failed, 0);
+        assert_eq!(outcome.pulled, 2, "learned 4 and 20");
+        assert_eq!(outcome.pushed, 2, "shipped 1 and 10");
+        server.shutdown();
+
+        let (mut a, _) = local.snapshot_with_epoch();
+        let (mut b, _) = remote.snapshot_with_epoch();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "one pairwise round reaches A ∪ B on both sides");
+        assert_eq!(a, vec![1, 2, 3, 4, 10, 20]);
+        assert_eq!(stats.syncs_completed.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.elements_pulled.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn failures_are_counted_not_fatal() {
+        let local = Arc::new(MutableStore::new([1u64, 2, 3]));
+        let registry = StoreRegistry::single(local as Arc<_>);
+        let stats = PeerStats::default();
+        // Nothing listens on this port (bound then dropped).
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let (outcome, err) = anti_entropy_round(&registry, &dead, &ClientConfig::default(), &stats);
+        assert_eq!(outcome.synced, 0);
+        assert_eq!(outcome.failed, 1);
+        assert!(err.is_some());
+        assert_eq!(stats.syncs_failed.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,275 @@
+//! The non-blocking framed stream shared by every session multiplexer.
+//!
+//! PR 7's event-loop server grew this type privately; the load harness
+//! (`crates/loadgen`) needs the exact same discipline on the *client*
+//! side — one worker thread holding thousands of mostly-idle sessions,
+//! none of which may ever block the loop — so the buffered non-blocking
+//! framing lives here as a small public surface. [`MuxStream`] is a
+//! [`crate::frame::Frame`] codec over a non-blocking `TcpStream` with
+//! explicit read/write buffers and the same byte/frame accounting as the
+//! blocking [`crate::FramedStream`]:
+//!
+//! * [`MuxStream::queue`] encodes a frame (length prefix + CRC + body)
+//!   into the write buffer; [`MuxStream::flush`] drains the buffer as far
+//!   as the socket accepts and never blocks.
+//! * [`MuxStream::fill`] reads whatever the socket has;
+//!   [`MuxStream::next_frame`] extracts the next complete frame, if one
+//!   is fully buffered. The length prefix is validated against the frame
+//!   cap *before* the body is awaited, so a hostile prefix cannot reserve
+//!   memory.
+//! * EOF sets [`MuxStream::peer_closed`] instead of erroring — a peer
+//!   shutting its write half is an ordinary protocol event for a
+//!   multiplexer, not an exception.
+//!
+//! Owners drive the stream from a [`crate::poll::Poller`] readiness loop:
+//! read interest always, write interest while [`MuxStream::pending_out`]
+//! is non-zero.
+
+use crate::crc::crc32;
+use crate::frame::{Frame, FRAME_OVERHEAD};
+use crate::{FrameError, NetError};
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Read chunk size per `read(2)` call.
+const READ_CHUNK: usize = 16 * 1024;
+/// Compact the write buffer once this many drained bytes accumulate.
+const WRITE_COMPACT: usize = 64 * 1024;
+
+/// A non-blocking framed stream: explicit read/write buffers over a
+/// non-blocking `TcpStream`, with the same byte/frame accounting as the
+/// blocking [`crate::FramedStream`]. Frames are extracted from the read
+/// buffer only once complete, and queued frames drain front-first
+/// whenever the socket is writable. See the [module docs](self) for the
+/// readiness-loop contract.
+#[derive(Debug)]
+pub struct MuxStream {
+    stream: TcpStream,
+    max_frame: u32,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    write_head: usize,
+    bytes_in: u64,
+    bytes_out: u64,
+    frames_in: u64,
+    frames_out: u64,
+    peer_closed: bool,
+}
+
+impl MuxStream {
+    /// Wrap an already-connected stream. The caller is responsible for
+    /// having put the socket into non-blocking mode (see
+    /// [`MuxStream::from_tcp`] for the one-call form).
+    pub fn new(stream: TcpStream, max_frame: u32) -> Self {
+        MuxStream {
+            stream,
+            max_frame,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            write_head: 0,
+            bytes_in: 0,
+            bytes_out: 0,
+            frames_in: 0,
+            frames_out: 0,
+            peer_closed: false,
+        }
+    }
+
+    /// Put `stream` into non-blocking mode (applying `nodelay`) and wrap
+    /// it. This is the client-side entry point: pair it with a
+    /// `TcpStream::connect` that has already completed, or a non-blocking
+    /// connect whose socket is handed over mid-establishment.
+    pub fn from_tcp(stream: TcpStream, max_frame: u32, nodelay: bool) -> io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        let _ = stream.set_nodelay(nodelay);
+        Ok(MuxStream::new(stream, max_frame))
+    }
+
+    /// Bytes queued for write but not yet accepted by the socket.
+    pub fn pending_out(&self) -> usize {
+        self.write_buf.len() - self.write_head
+    }
+
+    /// `true` once the peer has closed its write half (EOF observed).
+    pub fn peer_closed(&self) -> bool {
+        self.peer_closed
+    }
+
+    /// The wrapped stream (e.g. for its raw fd or a shutdown).
+    pub fn get_ref(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    /// Encode `frame` into the write buffer (framing + CRC included).
+    pub fn queue(&mut self, frame: &Frame) -> Result<(), NetError> {
+        let body = frame.encode_body();
+        if body.len() as u64 > self.max_frame as u64 {
+            return Err(NetError::Frame(FrameError::TooLarge {
+                len: body.len().min(u32::MAX as usize) as u32,
+                max: self.max_frame,
+            }));
+        }
+        self.write_buf
+            .extend_from_slice(&(body.len() as u32).to_le_bytes());
+        self.write_buf
+            .extend_from_slice(&crc32(&body).to_le_bytes());
+        self.write_buf.extend_from_slice(&body);
+        self.frames_out += 1;
+        Ok(())
+    }
+
+    /// Drain the write buffer as far as the socket accepts. `Ok(true)`
+    /// when any bytes moved.
+    pub fn flush(&mut self) -> io::Result<bool> {
+        let mut progress = false;
+        while self.pending_out() > 0 {
+            match self.stream.write(&self.write_buf[self.write_head..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    self.write_head += n;
+                    self.bytes_out += n as u64;
+                    progress = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if self.pending_out() == 0 {
+            self.write_buf.clear();
+            self.write_head = 0;
+        } else if self.write_head > WRITE_COMPACT {
+            self.write_buf.drain(..self.write_head);
+            self.write_head = 0;
+        }
+        Ok(progress)
+    }
+
+    /// Read whatever the socket has. `Ok(true)` when any bytes arrived;
+    /// EOF sets [`MuxStream::peer_closed`] instead of erroring.
+    pub fn fill(&mut self) -> io::Result<bool> {
+        let mut any = false;
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.peer_closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.read_buf.extend_from_slice(&chunk[..n]);
+                    any = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(any)
+    }
+
+    /// Extract the next complete frame from the read buffer, if one is
+    /// fully buffered. `Ok(None)` means "not yet" — call again after the
+    /// next [`MuxStream::fill`].
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, NetError> {
+        if self.read_buf.len() < FRAME_OVERHEAD as usize {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.read_buf[..4].try_into().unwrap());
+        let crc = u32::from_le_bytes(self.read_buf[4..8].try_into().unwrap());
+        if len == 0 {
+            return Err(NetError::Frame(FrameError::BadType(0)));
+        }
+        if len > self.max_frame {
+            return Err(NetError::Frame(FrameError::TooLarge {
+                len,
+                max: self.max_frame,
+            }));
+        }
+        let total = FRAME_OVERHEAD as usize + len as usize;
+        if self.read_buf.len() < total {
+            return Ok(None);
+        }
+        let body = &self.read_buf[FRAME_OVERHEAD as usize..total];
+        if crc32(body) != crc {
+            return Err(NetError::Frame(FrameError::BadCrc));
+        }
+        let frame = Frame::decode_body(body).map_err(NetError::Frame)?;
+        self.read_buf.drain(..total);
+        self.bytes_in += total as u64;
+        self.frames_in += 1;
+        Ok(Some(frame))
+    }
+
+    /// Total wire bytes received so far (framing included).
+    pub fn bytes_in(&self) -> u64 {
+        self.bytes_in
+    }
+
+    /// Total wire bytes sent so far (framing included).
+    pub fn bytes_out(&self) -> u64 {
+        self.bytes_out
+    }
+
+    /// Frames received so far.
+    pub fn frames_in(&self) -> u64 {
+        self.frames_in
+    }
+
+    /// Frames sent so far.
+    pub fn frames_out(&self) -> u64 {
+        self.frames_out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let a = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn frames_round_trip_through_partial_reads() {
+        let (a, b) = pair();
+        let mut tx = MuxStream::from_tcp(a, 1 << 20, true).unwrap();
+        let mut rx = MuxStream::from_tcp(b, 1 << 20, true).unwrap();
+        tx.queue(&Frame::Ping { nonce: 7 }).unwrap();
+        tx.queue(&Frame::DeltaDone { epoch: 42 }).unwrap();
+        while tx.pending_out() > 0 {
+            tx.flush().unwrap();
+        }
+        let mut got = Vec::new();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while got.len() < 2 {
+            assert!(std::time::Instant::now() < deadline, "frames never arrived");
+            let _ = rx.fill().unwrap();
+            while let Some(frame) = rx.next_frame().unwrap() {
+                got.push(frame);
+            }
+        }
+        assert!(matches!(got[0], Frame::Ping { nonce: 7 }));
+        assert!(matches!(got[1], Frame::DeltaDone { epoch: 42 }));
+        assert_eq!(rx.frames_in(), 2);
+        assert_eq!(tx.frames_out(), 2);
+        assert_eq!(rx.bytes_in(), tx.bytes_out());
+    }
+
+    #[test]
+    fn peer_close_is_an_event_not_an_error() {
+        let (a, b) = pair();
+        let mut rx = MuxStream::from_tcp(a, 1 << 20, true).unwrap();
+        drop(b);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while !rx.peer_closed() {
+            assert!(std::time::Instant::now() < deadline, "EOF never observed");
+            let _ = rx.fill().unwrap();
+        }
+        assert!(rx.next_frame().unwrap().is_none());
+    }
+}

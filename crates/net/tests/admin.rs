@@ -258,6 +258,114 @@ fn metrics_reconcile_with_stats_snapshot_and_wire_ledger() {
     let _ = std::fs::remove_dir_all(&root);
 }
 
+/// Scraping `/metrics` *while* sessions are in flight: every scrape is a
+/// consistent-enough view — counters only ever move forward, and
+/// `started >= completed + failed` in every sample (sessions are counted
+/// started before they are reaped) — and once the load drains the
+/// counters reconcile exactly. This is the invariant a dashboard polling
+/// a loaded server depends on; the load harness leans on the same
+/// counters for its own accounting.
+#[test]
+fn concurrent_scrapes_reconcile_under_load() {
+    const THREADS: usize = 12;
+    const SYNCS_PER_THREAD: usize = 4;
+
+    let base: Vec<u64> = (1..=400u64).collect();
+    let store = Arc::new(pbs_net::store::MutableStore::new(base.iter().copied()));
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::clone(&store) as Arc<_>,
+        ServerConfig::default(),
+    )
+    .expect("bind server");
+    let admin = AdminServer::bind("127.0.0.1:0", AdminState::of(&server)).expect("bind admin");
+    let addr = server.local_addr();
+
+    let done = Arc::new(AtomicUsize::new(0));
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let done = Arc::clone(&done);
+            let base = base.clone();
+            std::thread::spawn(move || {
+                for i in 0..SYNCS_PER_THREAD {
+                    // A small subset of the server's set: d is exactly
+                    // the handful of dropped elements and nothing is
+                    // pushed, so the store never mutates under the
+                    // scrapes.
+                    let drop_from = (t * SYNCS_PER_THREAD + i) * 7 % 350;
+                    let local: Vec<u64> = base
+                        .iter()
+                        .copied()
+                        .filter(|e| !(drop_from as u64..drop_from as u64 + 6).contains(e))
+                        .collect();
+                    let report = SyncClient::connect(addr)
+                        .expect("resolve")
+                        .sync(&local)
+                        .expect("sync under scrape load");
+                    assert!(report.verified);
+                }
+                done.fetch_add(1, Ordering::SeqCst);
+            })
+        })
+        .collect();
+
+    // Scrape continuously while the load runs: monotone counters, the
+    // accounting inequality in every sample.
+    let mut scrapes = 0u64;
+    let (mut last_started, mut last_completed, mut last_failed) = (0u64, 0u64, 0u64);
+    loop {
+        let finished = done.load(Ordering::SeqCst) == THREADS;
+        let (status, body) = http_get(admin.local_addr(), "/metrics");
+        assert_eq!(status, 200);
+        let metrics = parse_metrics(&body);
+        let started = counter(&metrics, "pbs_server_sessions_started_total");
+        let completed = counter(&metrics, "pbs_server_sessions_completed_total");
+        let failed = counter(&metrics, "pbs_server_sessions_failed_total");
+        assert!(
+            started >= last_started && completed >= last_completed && failed >= last_failed,
+            "a counter moved backwards across scrapes: \
+             started {last_started}→{started}, completed {last_completed}→{completed}, \
+             failed {last_failed}→{failed}"
+        );
+        assert!(
+            started >= completed + failed,
+            "scrape {scrapes}: {started} started < {completed} completed + {failed} failed"
+        );
+        (last_started, last_completed, last_failed) = (started, completed, failed);
+        scrapes += 1;
+        if finished {
+            break;
+        }
+    }
+    for worker in workers {
+        worker.join().expect("sync thread");
+    }
+    assert!(
+        scrapes >= 3,
+        "the load finished before the scrapes overlapped"
+    );
+
+    // Drained: the counters settle to the exact identity.
+    let total = (THREADS * SYNCS_PER_THREAD) as u64;
+    let snap = settle(&server, total);
+    assert_eq!(snap.sessions_failed, 0);
+    let (_, body) = http_get(admin.local_addr(), "/metrics");
+    let metrics = parse_metrics(&body);
+    assert_eq!(
+        counter(&metrics, "pbs_server_sessions_started_total"),
+        total
+    );
+    assert_eq!(
+        counter(&metrics, "pbs_server_sessions_completed_total")
+            + counter(&metrics, "pbs_server_sessions_failed_total"),
+        total,
+        "the drained scrape must reconcile exactly"
+    );
+
+    server.shutdown();
+    admin.shutdown();
+}
+
 /// Documentation lint (the CI leg that keeps `docs/OBSERVABILITY.md`
 /// honest): spin up a server whose store exercises every registration
 /// path — durable store, so the WAL/recovery families exist too — and

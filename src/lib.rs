@@ -26,6 +26,7 @@ pub use estimator;
 pub use gf;
 pub use graphene;
 pub use iblt;
+pub use loadgen;
 pub use obs;
 pub use pbs_core;
 pub use pbs_net;
