@@ -108,9 +108,9 @@ impl DifferenceDigest {
 
         let encode_start = Instant::now();
         let mut table_a = Iblt::new(cells, hashes, table_seed);
-        table_a.insert_all(alice.iter().copied());
+        table_a.insert_batch(alice);
         let mut table_b = Iblt::new(cells, hashes, table_seed);
-        table_b.insert_all(bob.iter().copied());
+        table_b.insert_batch(bob);
         let encode = encode_start.elapsed();
 
         // Bob ships his IBF to Alice.
@@ -123,7 +123,9 @@ impl DifferenceDigest {
         let decode_start = Instant::now();
         let mut diff = table_a;
         diff.subtract(&table_b);
-        let peel = diff.peel();
+        // Peel in place: `diff` is already a scratch table, so the clone the
+        // borrowing `peel()` pays would be thrown away.
+        let peel = diff.peel_mut();
         let recovered: Vec<u64> = peel.all().collect();
         let decode = decode_start.elapsed();
 

@@ -148,7 +148,7 @@ impl Graphene {
         let hashes = Self::iblt_hashes(expected_leftover);
         let table_seed = derive_seed(seed, 0x1B17);
         let mut iblt_b = Iblt::new(cells, hashes, table_seed);
-        iblt_b.insert_all(bob.iter().copied());
+        iblt_b.insert_batch(bob);
         let encode = encode_start.elapsed();
 
         if let Some(f) = &bf {
@@ -177,10 +177,15 @@ impl Graphene {
             }
             None => candidates.extend_from_slice(alice),
         }
+        // Build the candidate table through the batched insert kernel (the
+        // candidate set is already materialized as a slice, so the 64-key
+        // staging buffer of `insert_all` is pure overhead), subtract through
+        // the fused kernel, and peel in place — the borrowing `peel()` would
+        // clone the full table only to throw the scratch copy away.
         let mut iblt_c = Iblt::new(cells, hashes, table_seed);
-        iblt_c.insert_all(candidates.iter().copied());
-        iblt_c.subtract(&iblt_b);
-        let peel = iblt_c.peel();
+        iblt_c.insert_batch(&candidates);
+        iblt_c.subtract_batch(&[&iblt_b]);
+        let peel = iblt_c.peel_mut();
         recovered.extend(peel.all());
         let decode = decode_start.elapsed();
 

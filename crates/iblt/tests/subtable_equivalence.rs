@@ -1,0 +1,308 @@
+//! Sub-table-vs-flat peel equivalence properties.
+//!
+//! The sub-table engine changes only the *traversal* of the peel — the
+//! cell layout and hash mapping are identical to the flat table — and
+//! peeling is confluent (the unpeelable 2-core of the underlying
+//! hypergraph is unique). So for every input the sub-table peel must
+//! recover exactly the flat wave peel's element sets, report the same
+//! completeness, and — on a stuck decode — strand the same partial decode
+//! and leave the table in the same final cell state. These properties are
+//! exercised across shard sizes small enough (16–256 cells against tables
+//! of up to ~600 cells) that cross-shard spills dominate, plus a
+//! full-size check of the `Auto` dispatch threshold, and a parallel-vs-
+//! serial shard-peel equivalence test under the `parallel` feature.
+//!
+//! The construction-level sharded layout (`SubtableIblt`) routes keys to
+//! disjoint mini-tables, so it is *not* cell-comparable with the flat
+//! layout; its equivalence properties are at the decoded-set level
+//! (against the ground-truth difference and a complete flat decode), plus
+//! bit-for-bit parallel-vs-serial agreement under `parallel`.
+
+use iblt::{Iblt, PeelError, PeelStrategy, SubtableIblt};
+use proptest::prelude::*;
+use proptest::TestCaseError;
+
+/// Build the difference table of two overlapping key ranges: `d` keys only
+/// in A, `d_other` only in B, `shared` in both (cancelling out).
+fn difference_table(d: usize, d_other: usize, shared: usize, cells: usize, seed: u64) -> Iblt {
+    let mix = |x: u64| x.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let a: Vec<u64> = (1..=(d + shared) as u64).map(mix).collect();
+    let b: Vec<u64> = ((d + 1) as u64..=(d + shared + d_other) as u64)
+        .map(mix)
+        .collect();
+    let mut ta = Iblt::new(cells, 4, seed);
+    ta.insert_batch(&a);
+    let mut tb = Iblt::new(cells, 4, seed);
+    tb.insert_batch(&b);
+    ta.subtract(&tb);
+    ta
+}
+
+fn sorted(mut v: Vec<u64>) -> Vec<u64> {
+    v.sort_unstable();
+    v
+}
+
+/// Peel a clone of `diff` with `strategy` and the flat wave peeler, and
+/// assert set-level equality of the outcome plus cell-level equality of
+/// the final table state.
+fn assert_matches_flat(diff: &Iblt, strategy: PeelStrategy) -> Result<(), TestCaseError> {
+    let mut flat = diff.clone();
+    let flat_res = flat.try_peel_mut_with(PeelStrategy::Wave);
+    let mut sub = diff.clone();
+    let sub_res = sub.try_peel_mut_with(strategy);
+    match (flat_res, sub_res) {
+        (Ok(f), Ok(s)) => {
+            prop_assert!(f.complete && s.complete);
+            prop_assert_eq!(sorted(f.only_in_self), sorted(s.only_in_self));
+            prop_assert_eq!(sorted(f.only_in_other), sorted(s.only_in_other));
+        }
+        (
+            Err(PeelError::Stuck {
+                partial: f,
+                stuck_cells: fc,
+            }),
+            Err(PeelError::Stuck {
+                partial: s,
+                stuck_cells: sc,
+            }),
+        ) => {
+            prop_assert_eq!(fc, sc, "different stuck cell counts");
+            prop_assert_eq!(sorted(f.only_in_self), sorted(s.only_in_self));
+            prop_assert_eq!(sorted(f.only_in_other), sorted(s.only_in_other));
+        }
+        (f, s) => prop_assert!(false, "flat {f:?} vs sub-table {s:?} disagree on success"),
+    }
+    // Confluence: same extracted set ⇒ bit-identical final table state
+    // (all cells empty on success, the same stranded 2-core when stuck).
+    prop_assert_eq!(flat, sub);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Complete decodes (table sized at the §8.1.1 ~2d rule) and shard
+    /// sizes far below the table size, so extractions constantly spill
+    /// across shard boundaries.
+    #[test]
+    fn subtable_peel_matches_flat_on_decodable_tables(
+        d in 0usize..120,
+        d_other in 0usize..60,
+        shared in 0usize..200,
+        seed in any::<u64>(),
+        shard_pow in 4u32..9, // shard_cells in 16..=256
+    ) {
+        let cells = (2 * (d + d_other)).max(8);
+        let diff = difference_table(d, d_other, shared, cells, seed);
+        assert_matches_flat(&diff, PeelStrategy::SubTable {
+            shard_cells: 1usize << shard_pow,
+            parallel: false,
+        })?;
+    }
+
+    /// Stuck decodes: the table is deliberately undersized so the decoder
+    /// strands a partial result, which must match the flat peel exactly
+    /// (same partial sets, same stuck cells, same final state).
+    #[test]
+    fn subtable_peel_matches_flat_on_stuck_tables(
+        d in 40usize..200,
+        seed in any::<u64>(),
+        shard_pow in 4u32..7,
+    ) {
+        // d keys into d/3 cells cannot fully decode (way past the peeling
+        // threshold); occasionally it still completes for tiny d, which
+        // assert_matches_flat handles either way.
+        let cells = (d / 3).max(4);
+        let diff = difference_table(d, 0, 50, cells, seed);
+        assert_matches_flat(&diff, PeelStrategy::SubTable {
+            shard_cells: 1usize << shard_pow,
+            parallel: false,
+        })?;
+    }
+}
+
+#[cfg(feature = "parallel")]
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Parallel-vs-serial shard peel: the round-parallel engine (with its
+    /// barrier spill exchange and duplicate-extraction fix-up) must agree
+    /// with the serial visit-pass engine on sets, completeness, stuck
+    /// cells and final table state.
+    #[test]
+    fn parallel_shard_peel_matches_serial(
+        d in 0usize..150,
+        shared in 0usize..200,
+        undersize in any::<bool>(),
+        seed in any::<u64>(),
+        shard_pow in 4u32..8,
+    ) {
+        let cells = if undersize { (d / 3).max(4) } else { (2 * d).max(8) };
+        let diff = difference_table(d, d / 4, shared, cells, seed);
+        let shard_cells = 1usize << shard_pow;
+        let mut serial = diff.clone();
+        let serial_res = serial.try_peel_mut_with(PeelStrategy::SubTable { shard_cells, parallel: false });
+        let mut par = diff.clone();
+        let par_res = par.try_peel_mut_with(PeelStrategy::SubTable { shard_cells, parallel: true });
+        match (serial_res, par_res) {
+            (Ok(s), Ok(p)) => {
+                prop_assert_eq!(sorted(s.only_in_self), sorted(p.only_in_self));
+                prop_assert_eq!(sorted(s.only_in_other), sorted(p.only_in_other));
+            }
+            (
+                Err(PeelError::Stuck { partial: s, stuck_cells: sc }),
+                Err(PeelError::Stuck { partial: p, stuck_cells: pc }),
+            ) => {
+                prop_assert_eq!(sc, pc);
+                prop_assert_eq!(sorted(s.only_in_self), sorted(p.only_in_self));
+                prop_assert_eq!(sorted(s.only_in_other), sorted(p.only_in_other));
+            }
+            (s, p) => prop_assert!(false, "serial {s:?} vs parallel {p:?} disagree on success"),
+        }
+        prop_assert_eq!(serial, par);
+    }
+}
+
+/// The two logical key sets behind [`difference_table`], so sharded-layout
+/// decodes can be checked against the ground-truth difference rather than
+/// against the flat table's (differently laid out, so not cell-comparable)
+/// decode.
+fn difference_sets(d: usize, d_other: usize, shared: usize) -> (Vec<u64>, Vec<u64>) {
+    let mix = |x: u64| x.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let only_a: Vec<u64> = (1..=d as u64).map(mix).collect();
+    let only_b: Vec<u64> = ((d + shared + 1) as u64..=(d + shared + d_other) as u64)
+        .map(mix)
+        .collect();
+    (only_a, only_b)
+}
+
+/// Build the same A/B difference as [`difference_table`] but in the
+/// construction-level sharded layout.
+fn sharded_difference_table(
+    d: usize,
+    d_other: usize,
+    shared: usize,
+    cells: usize,
+    seed: u64,
+    shard_cells: usize,
+) -> SubtableIblt {
+    let mix = |x: u64| x.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let a: Vec<u64> = (1..=(d + shared) as u64).map(mix).collect();
+    let b: Vec<u64> = ((d + 1) as u64..=(d + shared + d_other) as u64)
+        .map(mix)
+        .collect();
+    let mut ta = SubtableIblt::new(cells, 4, seed, shard_cells);
+    ta.insert_batch(&a);
+    let mut tb = SubtableIblt::new(cells, 4, seed, shard_cells);
+    tb.insert_batch(&b);
+    ta.subtract(&tb);
+    ta
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The construction-level sharded layout (`SubtableIblt`) must decode
+    /// the same difference as the flat table built from the same key sets.
+    /// The layouts are not cell-comparable (keys are routed to disjoint
+    /// mini-tables), so equivalence is at the set level against the known
+    /// ground truth: every extraction — complete or stranded partial — is a
+    /// true difference element on the correct side, and a complete decode
+    /// recovers exactly the flat decode's sets. The sharded table gets 3d
+    /// cells (vs the flat 2d rule) because the binomial key split across
+    /// shards leaves some shards proportionally overloaded.
+    #[test]
+    fn sharded_layout_decode_matches_flat(
+        d in 0usize..120,
+        d_other in 0usize..60,
+        shared in 0usize..200,
+        seed in any::<u64>(),
+        shard_pow in 4u32..9, // shard_cells in 16..=256
+    ) {
+        let (truth_a, truth_b) = difference_sets(d, d_other, shared);
+        let flat = difference_table(d, d_other, shared, (2 * (d + d_other)).max(8), seed);
+        let sharded = sharded_difference_table(
+            d, d_other, shared,
+            (3 * (d + d_other)).max(8),
+            seed,
+            1usize << shard_pow,
+        );
+
+        let check_sides = |r: &iblt::PeelResult| -> Result<(), TestCaseError> {
+            for k in &r.only_in_self {
+                prop_assert!(truth_a.contains(k), "sharded invented {k} on self side");
+            }
+            for k in &r.only_in_other {
+                prop_assert!(truth_b.contains(k), "sharded invented {k} on other side");
+            }
+            Ok(())
+        };
+        match sharded.try_peel() {
+            Ok(s) => {
+                prop_assert!(s.complete);
+                check_sides(&s)?;
+                prop_assert_eq!(sorted(s.only_in_self.clone()), sorted(truth_a.clone()));
+                prop_assert_eq!(sorted(s.only_in_other.clone()), sorted(truth_b.clone()));
+                // And therefore equal to a complete flat decode of the same keys.
+                if let Ok(f) = flat.try_peel() {
+                    prop_assert_eq!(sorted(f.only_in_self), sorted(s.only_in_self));
+                    prop_assert_eq!(sorted(f.only_in_other), sorted(s.only_in_other));
+                }
+            }
+            Err(PeelError::Stuck { partial, stuck_cells }) => {
+                prop_assert!(!partial.complete);
+                prop_assert!(stuck_cells > 0);
+                check_sides(&partial)?; // partials never invent elements
+            }
+        }
+    }
+}
+
+#[cfg(feature = "parallel")]
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Sharded-layout parallel peel: shards are fully independent
+    /// mini-tables, so `try_peel_parallel` must agree with the serial
+    /// `try_peel` bit for bit — same sets in the same (shard-major) order,
+    /// same completeness, and on a stuck decode the same aggregated
+    /// partial and stuck-cell count.
+    #[test]
+    fn sharded_parallel_peel_matches_serial(
+        d in 0usize..150,
+        shared in 0usize..200,
+        undersize in any::<bool>(),
+        seed in any::<u64>(),
+        shard_pow in 4u32..8,
+    ) {
+        let cells = if undersize { (d / 3).max(4) } else { (3 * d).max(8) };
+        let sharded = sharded_difference_table(d, d / 4, shared, cells, seed, 1usize << shard_pow);
+        prop_assert_eq!(sharded.try_peel(), sharded.try_peel_parallel());
+    }
+}
+
+/// The `Auto` dispatch threshold: a table big enough to take the
+/// sub-table path through the default `peel()` entry points must still
+/// agree with an explicit flat wave peel. (One deterministic full-size
+/// case — 2^16 cells — rather than a proptest, to keep the suite fast.)
+#[test]
+fn auto_dispatch_at_threshold_matches_wave() {
+    let d = 20_000;
+    let diff = difference_table(d, 0, 10_000, 1 << 16, 0xA07C);
+    let auto = diff.peel();
+    let mut wave = diff.clone();
+    let wave_res = match wave.try_peel_mut_with(PeelStrategy::Wave) {
+        Ok(r) => r,
+        Err(PeelError::Stuck { partial, .. }) => partial,
+    };
+    assert_eq!(auto.complete, wave_res.complete);
+    assert_eq!(
+        sorted(auto.only_in_self.clone()),
+        sorted(wave_res.only_in_self)
+    );
+    assert_eq!(
+        sorted(auto.only_in_other.clone()),
+        sorted(wave_res.only_in_other)
+    );
+}

@@ -1126,7 +1126,12 @@ impl Worker {
                     );
                 }
                 // Shape-check before the codec's capacity assertion could
-                // fire: every sketch must match the negotiated (m, t).
+                // fire: the batch must be nonempty (a zero-sketch round is a
+                // degenerate shape no worker should ever be handed) and every
+                // sketch must match the negotiated (m, t).
+                if batch.is_empty() {
+                    return self.refuse(i, ErrorCode::BadConfig, "empty sketch batch");
+                }
                 if m != params.m || batch.iter().any(|s| s.sketch.capacity() != params.t) {
                     return self.refuse(
                         i,

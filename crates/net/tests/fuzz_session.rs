@@ -141,6 +141,27 @@ fn valid_streams(client_set: &[u64], d: u64) -> Vec<Vec<Vec<u8>>> {
                 removed: vec![9],
             },
         ]),
+        // Hostile degenerate shape: zero-cell/zero-width sketch parameters
+        // in the Hello. Every one of these would build a zero-sized table
+        // or divide by zero somewhere downstream; config validation must
+        // refuse them at the handshake, before any worker sees them.
+        encode(&[Frame::Hello({
+            let mut h = hello(1);
+            h.universe_bits = 0;
+            h.delta = 0;
+            h.estimator_sketches = 0;
+            h
+        })]),
+        // Degenerate round shape after a valid handshake: an empty sketch
+        // batch (m matches, zero sketches). The shape check must refuse it
+        // before the decode path is handed a zero-cell workload.
+        encode(&[
+            Frame::Hello(hello(1)),
+            Frame::Sketches {
+                m: Pbs::new(cfg).plan(d as usize).m,
+                batch: vec![],
+            },
+        ]),
     ]
 }
 
@@ -246,9 +267,10 @@ fn fuzzed_streams_never_break_the_server() {
 
     let streams = valid_streams(&client_set, 20);
 
-    // Sanity: the first four seed streams complete cleanly unmutated;
-    // the last is deliberately protocol-violating and must be refused
-    // with an Error frame (not a crash, not a hang).
+    // Sanity: the first four seed streams complete cleanly unmutated; the
+    // rest — the protocol-violating stream and the degenerate-shape
+    // streams (zero-cell Hello parameters, empty sketch batch) — must be
+    // refused with an Error frame (not a crash, not a hang).
     for (i, stream) in streams.iter().enumerate() {
         let outcome = replay(addr, &stream.concat());
         if i < 4 {
